@@ -1,0 +1,138 @@
+// Benchmarks: one per table and figure of the paper's evaluation, each
+// regenerating its artifact through the experiment driver (quick
+// settings, fixed seed). `go test -bench=. -benchmem` therefore replays
+// the entire measurement campaign. Each benchmark reports pass=1/0 as a
+// custom metric so regressions in the reproduced *shape* show up in
+// benchmark diffs, not just in wall time.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	pass := 1.0
+	for i := 0; i < b.N; i++ {
+		// Fixed seed: the benchmark measures cost and reproduction
+		// stability of the canonical run, not seed robustness (the unit
+		// tests cover correctness).
+		res := r.Run(experiments.Options{Seed: 1, Quick: true})
+		if !res.Pass() {
+			pass = 0
+			b.Logf("%s failed:\n%s", id, res)
+		}
+	}
+	b.ReportMetric(pass, "pass")
+}
+
+// BenchmarkTable1FramePeriodicity regenerates Table 1 (frame repeat
+// intervals of both systems).
+func BenchmarkTable1FramePeriodicity(b *testing.B) { benchExperiment(b, "T1") }
+
+// BenchmarkFig3DiscoveryFrame regenerates Fig. 3 (32-sub-element
+// discovery frame structure).
+func BenchmarkFig3DiscoveryFrame(b *testing.B) { benchExperiment(b, "F3") }
+
+// BenchmarkFig8FrameFlow regenerates Fig. 8 (TXOP bursts with control
+// frames and data/ACK exchange).
+func BenchmarkFig8FrameFlow(b *testing.B) { benchExperiment(b, "F8") }
+
+// BenchmarkFig9FrameLengthCDF regenerates Fig. 9 (frame-length CDFs
+// across TCP loads).
+func BenchmarkFig9FrameLengthCDF(b *testing.B) { benchExperiment(b, "F9") }
+
+// BenchmarkFig10LongFrames regenerates Fig. 10 (long-frame percentage vs
+// load).
+func BenchmarkFig10LongFrames(b *testing.B) { benchExperiment(b, "F10") }
+
+// BenchmarkFig11MediumUsage regenerates Fig. 11 (medium usage vs load).
+func BenchmarkFig11MediumUsage(b *testing.B) { benchExperiment(b, "F11") }
+
+// BenchmarkFig12MCSDistance regenerates Fig. 12 (PHY rate at 2/8/14 m).
+func BenchmarkFig12MCSDistance(b *testing.B) { benchExperiment(b, "F12") }
+
+// BenchmarkFig13ThroughputDistance regenerates Fig. 13 (throughput vs
+// distance with per-day cliffs).
+func BenchmarkFig13ThroughputDistance(b *testing.B) { benchExperiment(b, "F13") }
+
+// BenchmarkFig14Realignment regenerates Fig. 14 (long-run rate/amplitude
+// with beam realignments).
+func BenchmarkFig14Realignment(b *testing.B) { benchExperiment(b, "F14") }
+
+// BenchmarkFig15WiHDFlow regenerates Fig. 15 (WiHD frame flow).
+func BenchmarkFig15WiHDFlow(b *testing.B) { benchExperiment(b, "F15") }
+
+// BenchmarkFig16QuasiOmni regenerates Fig. 16 (quasi-omni discovery
+// patterns).
+func BenchmarkFig16QuasiOmni(b *testing.B) { benchExperiment(b, "F16") }
+
+// BenchmarkFig17Directional regenerates Fig. 17 (directional patterns,
+// aligned and rotated).
+func BenchmarkFig17Directional(b *testing.B) { benchExperiment(b, "F17") }
+
+// BenchmarkFig18ReflectionsWiGig regenerates Fig. 18 (D5000 angular
+// profiles in the conference room).
+func BenchmarkFig18ReflectionsWiGig(b *testing.B) { benchExperiment(b, "F18") }
+
+// BenchmarkFig19ReflectionsWiHD regenerates Fig. 19 (WiHD angular
+// profiles).
+func BenchmarkFig19ReflectionsWiHD(b *testing.B) { benchExperiment(b, "F19") }
+
+// BenchmarkFig20NLOSThroughput regenerates Fig. 20 (blocked-LOS link over
+// a wall reflection).
+func BenchmarkFig20NLOSThroughput(b *testing.B) { benchExperiment(b, "F20") }
+
+// BenchmarkFig21InterferenceTrace regenerates Fig. 21 (collision and
+// carrier-sense frame-level effects).
+func BenchmarkFig21InterferenceTrace(b *testing.B) { benchExperiment(b, "F21") }
+
+// BenchmarkFig22SideLobeInterference regenerates Fig. 22 (utilization and
+// link rate vs interferer distance).
+func BenchmarkFig22SideLobeInterference(b *testing.B) { benchExperiment(b, "F22") }
+
+// BenchmarkFig23ReflectionInterference regenerates Fig. 23 (TCP under
+// reflected interference, power-off recovery).
+func BenchmarkFig23ReflectionInterference(b *testing.B) { benchExperiment(b, "F23") }
+
+// BenchmarkAggregationGain regenerates the §4.1 headline (5.4× scaling
+// via aggregation alone).
+func BenchmarkAggregationGain(b *testing.B) { benchExperiment(b, "S41") }
+
+// BenchmarkAblationQuantization sweeps phase-shifter resolution against
+// side-lobe level (DESIGN.md ablation).
+func BenchmarkAblationQuantization(b *testing.B) { benchExperiment(b, "A1") }
+
+// BenchmarkAblationCarrierSense compares a blind and a sensing WiHD
+// against WiGig collision counts.
+func BenchmarkAblationCarrierSense(b *testing.B) { benchExperiment(b, "A2") }
+
+// BenchmarkAblationAggregation compares aggregation policies at equal
+// offered load.
+func BenchmarkAblationAggregation(b *testing.B) { benchExperiment(b, "A3") }
+
+// BenchmarkAblationReflectionOrder sweeps ray-tracer depth in the
+// coexistence predictor.
+func BenchmarkAblationReflectionOrder(b *testing.B) { benchExperiment(b, "A4") }
+
+// BenchmarkAblationPowerControl compares full-power and power-controlled
+// aggressors next to a marginal victim link.
+func BenchmarkAblationPowerControl(b *testing.B) { benchExperiment(b, "A5") }
+
+// BenchmarkAblationChannelSeparation closes the coexistence loop: the
+// planner's channel assignment removes the same-channel collisions.
+func BenchmarkAblationChannelSeparation(b *testing.B) { benchExperiment(b, "A6") }
+
+// BenchmarkBlockageTransient exercises the extension experiment: a
+// walker crossing the LOS, with and without a reflecting wall.
+func BenchmarkBlockageTransient(b *testing.B) { benchExperiment(b, "X1") }
+
+// BenchmarkDenseDeployment exercises the dense-deployment extension:
+// N same-channel links vs the planner's two-channel assignment.
+func BenchmarkDenseDeployment(b *testing.B) { benchExperiment(b, "X2") }

@@ -1,0 +1,100 @@
+// Command beamplot renders the simulated antenna patterns of the devices
+// under test as ASCII polar plots — a quick way to eyeball the Figs.
+// 16/17 material without a plotting stack.
+//
+// Usage:
+//
+//	beamplot d5000            # directional sectors of the 2x8 array
+//	beamplot d5000 -steer 70  # a boundary sector (the paper's rotated case)
+//	beamplot quasi -n 4       # quasi-omni discovery patterns
+//	beamplot wihd             # the Air-3c's wider sectors
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/antenna"
+	"repro/internal/geom"
+	"repro/internal/rf"
+)
+
+func main() {
+	steer := flag.Float64("steer", 0, "steering angle in degrees")
+	n := flag.Int("n", 2, "number of quasi-omni patterns to plot")
+	seed := flag.Uint64("seed", 1, "codebook seed")
+	flag.Parse()
+	mode := "d5000"
+	if flag.NArg() > 0 {
+		mode = strings.ToLower(flag.Arg(0))
+	}
+	switch mode {
+	case "d5000":
+		arr, _ := antenna.D5000Codebook(rf.FreqChannel2Hz, *seed)
+		arr.Steer(geom.Rad(*steer))
+		plot(fmt.Sprintf("D5000 2x8 array steered to %.0f°", *steer), arr)
+	case "wihd":
+		arr, _ := antenna.WiHDCodebook(rf.FreqChannel2Hz, *seed)
+		arr.Steer(geom.Rad(*steer))
+		plot(fmt.Sprintf("Air-3c 24-element array steered to %.0f°", *steer), arr)
+	case "quasi":
+		_, cb := antenna.D5000Codebook(rf.FreqChannel2Hz, *seed)
+		for i := 0; i < *n && i < len(cb.QuasiOmni); i++ {
+			plot(fmt.Sprintf("D5000 quasi-omni pattern %d", i), cb.QuasiOmni[i])
+		}
+	case "horn":
+		plot("Vubiq 25 dBi measurement horn", antenna.MeasurementHorn())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (d5000|wihd|quasi|horn)\n", mode)
+		os.Exit(2)
+	}
+}
+
+// plot renders the pattern as a 360° strip chart plus summary metrics.
+func plot(title string, p antenna.Pattern) {
+	m := antenna.Analyze(p, 1440)
+	fmt.Printf("== %s\n", title)
+	fmt.Printf("   peak %.1f dBi @ %.0f°, HPBW %.1f°, strongest side lobe %.1f dB, deep gaps %d\n",
+		m.PeakGainDBi, geom.Deg(m.PeakAngle), m.HPBWDeg, m.PeakSideLobeDB(), m.DeepGaps)
+
+	const cols = 120
+	const rows = 16
+	const floorDB = -30.0
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for c := 0; c < cols; c++ {
+		thetaDeg := -180 + 360*float64(c)/float64(cols)
+		g := p.GainDBi(geom.Rad(thetaDeg)) - m.PeakGainDBi
+		if g < floorDB {
+			g = floorDB
+		}
+		h := int((g - floorDB) / -floorDB * float64(rows-1))
+		for r := 0; r <= h; r++ {
+			grid[rows-1-r][c] = '#'
+		}
+	}
+	for r, line := range grid {
+		level := floorDB * float64(r) / float64(rows-1)
+		fmt.Printf("%6.1f |%s|\n", level, string(line))
+	}
+	fmt.Printf("       %s\n", axisLabels(cols))
+	fmt.Println()
+}
+
+func axisLabels(cols int) string {
+	line := []byte(strings.Repeat(" ", cols+2))
+	for _, deg := range []float64{-180, -90, 0, 90, 180} {
+		pos := int((deg + 180) / 360 * float64(cols))
+		label := fmt.Sprintf("%.0f°", deg)
+		for i, ch := range []byte(label) {
+			if p := pos + i; p >= 0 && p < len(line) {
+				line[p] = ch
+			}
+		}
+	}
+	return string(line)
+}

@@ -1,0 +1,194 @@
+// Command mmsim runs the paper-reproduction experiments: one driver per
+// table and figure of "Boon and Bane of 60 GHz Networks" (CoNEXT 2015).
+//
+// Usage:
+//
+//	mmsim list                 # enumerate experiments
+//	mmsim run F9 F10           # run selected experiments
+//	mmsim run all              # run everything
+//	mmsim -quick -seed 7 run all
+//	mmsim -parallel 8 run all  # fan the campaign across CPUs
+//	mmsim -series run F13      # also dump the data series as TSV
+//
+// Each run prints a PASS/FAIL report comparing the paper's claim with
+// the reproduced measurement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced-cost runs (CI settings)")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	series := flag.Bool("series", false, "print data series as TSV after each report")
+	outDir := flag.String("out", "", "write each experiment's data series to TSV files in this directory")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "experiments to run concurrently")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "list":
+		for _, r := range experiments.All() {
+			fmt.Printf("%-5s %s\n", r.ID, r.Title)
+		}
+	case "run":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "mmsim run <id>... | all")
+			os.Exit(2)
+		}
+		opts := experiments.Options{Seed: *seed, Quick: *quick}
+		ids := args[1:]
+		if len(ids) == 1 && strings.EqualFold(ids[0], "all") {
+			ids = nil
+			for _, r := range experiments.All() {
+				ids = append(ids, r.ID)
+			}
+		}
+		runners := make([]experiments.Runner, len(ids))
+		for i, id := range ids {
+			r, ok := experiments.Get(strings.ToUpper(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try: mmsim list)\n", id)
+				os.Exit(2)
+			}
+			runners[i] = r
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "mmsim:", err)
+				os.Exit(1)
+			}
+		}
+		if runCampaign(runners, opts, *parallel, *series, *outDir) > 0 {
+			os.Exit(1)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+// runCampaign executes the runners with bounded parallelism, printing
+// reports in the requested order as they become available. Returns the
+// number of failed experiments.
+func runCampaign(runners []experiments.Runner, opts experiments.Options, parallel int, series bool, outDir string) int {
+	if parallel < 1 {
+		parallel = 1
+	}
+	type outcome struct {
+		res  core.Result
+		wall time.Duration
+	}
+	results := make([]chan outcome, len(runners))
+	for i := range results {
+		results[i] = make(chan outcome, 1)
+	}
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, r := range runners {
+		i, r := i, r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			res := r.Run(opts)
+			results[i] <- outcome{res, time.Since(start)}
+		}()
+	}
+	go wg.Wait()
+
+	failed := 0
+	for i := range runners {
+		o := <-results[i]
+		fmt.Print(o.res)
+		fmt.Printf("   (wall time %v)\n\n", o.wall.Round(time.Millisecond))
+		if !o.res.Pass() {
+			failed++
+		}
+		if series {
+			for _, s := range o.res.Series {
+				fmt.Printf("# %s: %s vs %s\n", s.Label, s.YLabel, s.XLabel)
+				for j := range s.X {
+					fmt.Printf("%g\t%g\n", s.X[j], s.Y[j])
+				}
+				fmt.Println()
+			}
+		}
+		if outDir != "" {
+			if err := writeSeries(outDir, o.res); err != nil {
+				fmt.Fprintln(os.Stderr, "mmsim:", err)
+				failed++
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("%d experiment(s) FAILED\n", failed)
+	}
+	return failed
+}
+
+// writeSeries dumps every series of the result as a TSV file named
+// <id>_<label>.tsv — the raw material for regenerating the figure in
+// any plotting tool.
+func writeSeries(dir string, res core.Result) error {
+	for _, s := range res.Series {
+		name := fmt.Sprintf("%s_%s.tsv", res.ID, sanitize(s.Label))
+		f, err := os.Create(dir + "/" + name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(f, "# %s — %s\n", res.ID, res.Title)
+		fmt.Fprintf(f, "# %s\t%s\n", s.XLabel, s.YLabel)
+		for j := range s.X {
+			fmt.Fprintf(f, "%g\t%g\n", s.X[j], s.Y[j])
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitize maps a series label to a filesystem-safe slug.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ' || r == '/' || r == ':':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `mmsim — reproduce the tables and figures of
+"Boon and Bane of 60 GHz Networks" (CoNEXT 2015) in simulation.
+
+usage:
+  mmsim [flags] list
+  mmsim [flags] run <id>... | all
+
+flags:
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,121 @@
+// Command sound characterizes a simulated 60 GHz channel the way the
+// channel-sounding literature the paper builds on does (§2): it traces
+// the multipath between two points, prints the power-delay profile, and
+// reports RMS delay spread, Rician K-factor, angular spread, and
+// coherence bandwidth — for both isotropic and directional reception.
+//
+// Usage:
+//
+//	sound                        # the paper's conference room, TX→RX
+//	sound -room open -d 5        # open space at 5 m
+//	sound -tx 1,1 -rx 8,2        # custom endpoints in the room
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/rf"
+)
+
+func main() {
+	roomKind := flag.String("room", "conference", "environment: conference|open")
+	d := flag.Float64("d", 5, "link distance for -room open")
+	txs := flag.String("tx", "1.85,2.3", "transmitter position x,y")
+	rxs := flag.String("rx", "7.3,1.6", "receiver position x,y")
+	floor := flag.Float64("floor", 40, "dynamic range below the strongest tap (dB)")
+	flag.Parse()
+
+	var room *geom.Room
+	var tx, rx geom.Vec2
+	switch *roomKind {
+	case "conference":
+		room = geom.ConferenceRoom()
+		tx = parseVec(*txs)
+		rx = parseVec(*rxs)
+	case "open":
+		room = geom.Open()
+		tx = geom.V(0, 0)
+		rx = geom.V(*d, 0)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown room %q\n", *roomKind)
+		os.Exit(2)
+	}
+
+	tracer := rf.NewTracer(room, rf.FreqChannel2Hz)
+	paths, err := tracer.Trace(tx, rx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sound:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("channel %v -> %v (%d paths, ≤%d reflections)\n\n", tx, rx, len(paths), tracer.MaxOrder)
+
+	taps := rf.PowerDelayProfile(0, paths, rf.Isotropic, rf.Isotropic, *floor)
+	fmt.Println("power-delay profile (isotropic):")
+	printTaps(taps)
+	printMetrics("isotropic", taps)
+
+	// Directional reception: a 20 dBi horn aimed at the strongest tap.
+	best := rf.StrongestPath(paths, rf.Isotropic, rf.Isotropic)
+	if best >= 0 {
+		aim := paths[best].AoA
+		horn := func(a float64) float64 {
+			delta := geom.NormalizeAngle(a - aim)
+			g := 20 - 12*(delta/geom.Rad(15))*(delta/geom.Rad(15))
+			return math.Max(g, -10)
+		}
+		dirTaps := rf.PowerDelayProfile(0, paths, rf.Isotropic, horn, *floor)
+		fmt.Println()
+		printMetrics(fmt.Sprintf("20 dBi horn aimed %.0f°", geom.Deg(aim)), dirTaps)
+	}
+}
+
+func printTaps(taps []rf.Tap) {
+	if len(taps) == 0 {
+		fmt.Println("  (no taps)")
+		return
+	}
+	best := math.Inf(-1)
+	for _, t := range taps {
+		if t.PowerDBm > best {
+			best = t.PowerDBm
+		}
+	}
+	for _, t := range taps {
+		rel := t.PowerDBm - best
+		bars := int((rel + 40) / 40 * 40)
+		if bars < 0 {
+			bars = 0
+		}
+		fmt.Printf("  %7.2f ns  %6.1f dB  AoA %4.0f°  |%s\n",
+			t.DelayNs, rel, geom.Deg(t.AoARad), strings.Repeat("#", bars))
+	}
+}
+
+func printMetrics(label string, taps []rf.Tap) {
+	fmt.Printf("metrics (%s):\n", label)
+	fmt.Printf("  RMS delay spread     %8.2f ns\n", rf.RMSDelaySpreadNs(taps))
+	fmt.Printf("  Rician K             %8.1f dB\n", rf.RicianKdB(taps))
+	fmt.Printf("  angular spread       %8.1f°\n", geom.Deg(rf.AngularSpreadRad(taps)))
+	fmt.Printf("  coherence bandwidth  %8.1f MHz\n", rf.CoherenceBandwidthMHz(taps))
+}
+
+func parseVec(s string) geom.Vec2 {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		fmt.Fprintf(os.Stderr, "bad position %q (want x,y)\n", s)
+		os.Exit(2)
+	}
+	x, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	y, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err1 != nil || err2 != nil {
+		fmt.Fprintf(os.Stderr, "bad position %q\n", s)
+		os.Exit(2)
+	}
+	return geom.V(x, y)
+}

@@ -1,0 +1,27 @@
+// Package repro is a simulation-based reproduction of "Boon and Bane of
+// 60 GHz Networks: Practical Insights into Beamforming, Interference,
+// and Frame Level Operation" (Nitsche et al., CoNEXT 2015).
+//
+// The paper is a measurement study of consumer-grade 60 GHz hardware —
+// a Dell D5000 WiGig docking station and a DVDO Air-3c WirelessHD link —
+// observed through a Vubiq down-converter. This module rebuilds the
+// entire measured system in software: 60 GHz propagation with
+// material-dependent reflections, consumer-grade phased-array models
+// with quantized phase shifters, the WiGig and WiHD MAC protocols at
+// frame level, a TCP/iperf transport, and the down-converter
+// measurement methodology itself. On top of it, internal/experiments
+// regenerates every table and figure of the paper's evaluation.
+//
+// This root package is the public facade: it re-exports the scenario
+// toolkit so downstream users import a single package.
+//
+//	sc := repro.NewScenario(repro.OpenSpace(), 42)
+//	link := sc.AddWiGigLink(
+//	    repro.WiGigConfig{Name: "dock", Pos: repro.XY(0, 0)},
+//	    repro.WiGigConfig{Name: "laptop", Pos: repro.XY(2, 0)},
+//	)
+//	link.WaitAssociated(sc.Sched, time.Second)
+//
+// See the examples directory for runnable scenarios and cmd/mmsim for
+// the experiment harness.
+package repro

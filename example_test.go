@@ -1,0 +1,39 @@
+package repro_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+// ExampleNewScenario brings up a D5000-style link and reports its
+// trained state — the smallest useful program against the public API.
+func ExampleNewScenario() {
+	sc := repro.NewScenario(repro.OpenSpace(), 42)
+	link := sc.AddWiGigLink(
+		repro.WiGigConfig{Name: "dock", Pos: repro.XY(0, 0)},
+		repro.WiGigConfig{Name: "laptop", Pos: repro.XY(2, 0)},
+	)
+	if !link.WaitAssociated(sc.Sched, time.Second) {
+		fmt.Println("no association")
+		return
+	}
+	fmt.Printf("associated at %s\n", link.Dock.CurrentMCS())
+	// Output:
+	// associated at MCS11 (π/2-16QAM 5/8, 3850 Mbps)
+}
+
+// ExampleLookupExperiment runs one registered paper artifact and prints
+// whether the reproduction checks passed.
+func ExampleLookupExperiment() {
+	r, ok := repro.LookupExperiment("A4")
+	if !ok {
+		fmt.Println("missing")
+		return
+	}
+	res := r.Run(repro.QuickExperimentOptions())
+	fmt.Printf("%s pass=%v\n", res.ID, res.Pass())
+	// Output:
+	// A4 pass=true
+}

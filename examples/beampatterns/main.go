@@ -1,0 +1,63 @@
+// Beampatterns: reproduce the paper's beam-pattern measurement workflow
+// (Figs. 2, 16, 17) — a semicircle of measurement positions around a
+// transmitting device, a 25 dBi horn pointed back at it, and offline
+// analysis of the collected per-position powers.
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro"
+	"repro/internal/sniffer"
+)
+
+func main() {
+	sc := repro.NewScenario(repro.OpenSpace(), 7)
+
+	// An associated link so the dock uses its trained data-phase sector.
+	link := sc.AddWiGigLink(
+		repro.WiGigConfig{Name: "dock", Pos: repro.XY(0, 0)},
+		repro.WiGigConfig{Name: "laptop", Pos: repro.XY(2, 0)},
+	)
+	if !link.WaitAssociated(sc.Sched, time.Second) {
+		panic("no association")
+	}
+	// Keep data flowing dock → laptop so the sniffer hears data frames.
+	flow := repro.NewFlow(sc, link.Dock, link.Station, repro.FlowConfig{PacingBps: 400e6})
+	flow.Start()
+	sc.Run(50 * time.Millisecond)
+
+	// The paper's rig: 100 positions on a 3.2 m semicircle, a horn
+	// pointed back at the device under test, one dwell per position.
+	sn := sniffer.New(sc.Med, "vubiq", repro.XY(3.2, 0), repro.MeasurementHorn(), math.Pi)
+	prof := sn.SemicircleSweep(sc.Med, repro.XY(0, 0), 3.2, 100, 5*time.Millisecond)
+
+	fmt.Println("measured transmit pattern of the dock (semicircle, 100 positions):")
+	printPolar(prof)
+}
+
+// printPolar renders the normalized profile as a bar per 3.6° step.
+func printPolar(p repro.AngularProfile) {
+	norm := p.Normalized()
+	for i, a := range p.AnglesRad {
+		db := norm[i]
+		if math.IsInf(db, -1) {
+			db = -30
+		}
+		bars := int((db + 30) / 30 * 50)
+		if bars < 0 {
+			bars = 0
+		}
+		fmt.Printf("%6.1f° %6.1f dB |%s\n", a*180/math.Pi, db, repeat('#', bars))
+	}
+}
+
+func repeat(ch byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ch
+	}
+	return string(b)
+}

@@ -1,0 +1,53 @@
+// Reflection: the paper's range-extension case study (Figs. 5/20) — a
+// WiGig link whose line of sight is blocked still reaches hundreds of
+// Mbps by beamforming onto a wall reflection. The angular energy profile
+// at the dock proves no energy arrives on the direct path.
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro"
+	"repro/internal/sniffer"
+)
+
+func main() {
+	// A glass wall along y=0, the link parallel to it at y=1, and an
+	// absorbing obstacle square on the direct path.
+	room := repro.OpenSpace()
+	room.AddWall(repro.XY(-2, 0), repro.XY(6, 0), "glass")
+	room.AddObstacle(repro.XY(1.25, 0.6), repro.XY(1.25, 1.6), "absorber")
+
+	sc := repro.NewScenario(room, 11)
+	link := sc.AddWiGigLink(
+		repro.WiGigConfig{Name: "dock", Pos: repro.XY(0, 1)},
+		repro.WiGigConfig{Name: "laptop", Pos: repro.XY(2.5, 1)},
+	)
+	if !link.WaitAssociated(sc.Sched, 3*time.Second) {
+		panic("NLOS link failed to associate — the reflection should carry it")
+	}
+	dockSec := link.Dock.Codebook().Sectors[link.Dock.Sector()]
+	fmt.Printf("associated over the reflection: dock sector steers %.0f° (LOS would be 0°)\n",
+		dockSec.SteerDeg)
+
+	// TCP over the bounce.
+	flow := repro.NewFlow(sc, link.Station, link.Dock, repro.FlowConfig{PacingBps: 940e6})
+	flow.Start()
+	sc.Run(2 * time.Second)
+	fmt.Printf("NLOS TCP throughput: %.0f Mbps at %s\n",
+		flow.GoodputBps()/1e6, link.Dock.CurrentMCS())
+
+	// The validation the paper adds over prior work: an angular energy
+	// profile at the dock showing all energy arrives via the wall.
+	sn := sniffer.New(sc.Med, "vubiq", repro.XY(0, 1.05), nil, 0)
+	prof := sn.MeasureAngularProfile(sc.Med, 72, 3*time.Millisecond)
+	peakDeg := prof.PeakAngle() * 180 / math.Pi
+	fmt.Printf("angular profile peak at %.0f° — pointing at the wall, not the laptop\n", peakDeg)
+	if prof.HasLobeTowards(0, 12*math.Pi/180, -8) {
+		fmt.Println("unexpected: LOS lobe present")
+	} else {
+		fmt.Println("confirmed: no line-of-sight lobe in the profile")
+	}
+}

@@ -1,0 +1,135 @@
+package antenna
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/rf"
+)
+
+// forceLUT drives enough GainDBi queries through the array to cross the
+// build threshold, returning with the table in place.
+func forceLUT(t *testing.T, a *PhasedArray) {
+	t.Helper()
+	for i := 0; i <= lutBuildThreshold+1; i++ {
+		a.GainDBi(0.1)
+	}
+	if a.lut == nil {
+		t.Fatal("LUT not built after threshold queries")
+	}
+}
+
+// binCenter returns the angle at the center of the LUT bin that GainDBi
+// resolves theta into.
+func binCenter(theta float64) float64 {
+	t := (geom.NormalizeAngle(theta) + math.Pi) / (2 * math.Pi) * lutBins
+	i := int(t)
+	if i < 0 {
+		i = 0
+	}
+	if i >= lutBins {
+		i = lutBins - 1
+	}
+	return -math.Pi + 2*math.Pi*(float64(i)+0.5)/lutBins
+}
+
+// Property: once the LUT is hot, GainDBi(θ) must equal the exact pattern
+// evaluated at the center of θ's bin — for any θ, including values far
+// outside [-π, π]. This pins the indexing and wrap-around math.
+func TestLUTIndexingProperty(t *testing.T) {
+	a := NewD5000Array(rf.FreqChannel2Hz)
+	a.Steer(0.35)
+	forceLUT(t, a)
+	prop := func(raw float64) bool {
+		theta := math.Mod(raw, 12) // exercise multiple wraps
+		got := a.GainDBi(theta)
+		want := a.gainExact(binCenter(theta))
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the tabulated pattern of an imperfect, steered array never
+// strays more than a fraction of a dB from the exact pattern away from
+// nulls — the LUT is a cache, not an approximation the physics can feel.
+func TestLUTAccuracyAwayFromNulls(t *testing.T) {
+	a := NewD5000Array(rf.FreqChannel2Hz)
+	a.ApplyImperfections(7, 1.0, 20)
+	a.Steer(-0.6)
+	forceLUT(t, a)
+	checked := 0
+	for i := 0; i < 2000; i++ {
+		theta := -math.Pi + 2*math.Pi*float64(i)/2000
+		exact := a.gainExact(theta)
+		if exact < -20 { // skip nulls: unbounded slope across a bin
+			continue
+		}
+		checked++
+		if d := math.Abs(a.GainDBi(theta) - exact); d > 1.0 {
+			t.Fatalf("LUT error %.2f dB at θ=%.4f (exact %.2f)", d, theta, exact)
+		}
+	}
+	if checked < 500 {
+		t.Fatalf("only %d angles above the null floor; pattern implausible", checked)
+	}
+}
+
+func TestSteerInvalidatesLUT(t *testing.T) {
+	a := NewD5000Array(rf.FreqChannel2Hz)
+	a.Steer(0)
+	forceLUT(t, a)
+	before := a.GainDBi(1.0)
+	a.Steer(1.0)
+	if a.lut != nil {
+		t.Fatal("Steer left a stale LUT in place")
+	}
+	after := a.gainExact(1.0)
+	if after <= before {
+		t.Errorf("steering toward 1.0 rad did not raise gain there: %.1f -> %.1f dBi", before, after)
+	}
+}
+
+func TestSetWeightsInvalidatesLUT(t *testing.T) {
+	a := NewD5000Array(rf.FreqChannel2Hz)
+	forceLUT(t, a)
+	w := make([]complex128, a.N())
+	for i := range w {
+		w[i] = complex(0, 1)
+	}
+	if err := a.SetWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	if a.lut != nil {
+		t.Error("SetWeights left a stale LUT in place")
+	}
+}
+
+func TestApplyImperfectionsInvalidatesLUT(t *testing.T) {
+	a := NewD5000Array(rf.FreqChannel2Hz)
+	forceLUT(t, a)
+	a.ApplyImperfections(3, 1.0, 20)
+	if a.lut != nil {
+		t.Error("ApplyImperfections left a stale LUT in place")
+	}
+}
+
+// A snapshotting clone must not share mutable pattern state: steering the
+// clone may not disturb the original's (tabulated) pattern.
+func TestCloneLUTIndependence(t *testing.T) {
+	a := NewD5000Array(rf.FreqChannel2Hz)
+	a.Steer(0.2)
+	forceLUT(t, a)
+	ref := a.GainDBi(0.2)
+	c := a.Clone()
+	c.Steer(-1.2)
+	if got := a.GainDBi(0.2); got != ref {
+		t.Errorf("steering the clone changed the original: %.3f -> %.3f dBi", ref, got)
+	}
+	if math.Abs(c.gainExact(-1.2)-a.gainExact(-1.2)) < 1e-9 {
+		t.Error("clone did not steer independently")
+	}
+}

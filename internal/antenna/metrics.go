@@ -1,0 +1,173 @@
+package antenna
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Sample evaluates the pattern at n equally spaced angles over the full
+// circle and returns (angles, gains). This mirrors the paper's semicircle
+// measurement procedure (100 positions), generalized to 360°.
+func Sample(p Pattern, n int) (angles, gains []float64) {
+	angles = make([]float64, n)
+	gains = make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := -math.Pi + 2*math.Pi*float64(i)/float64(n)
+		angles[i] = a
+		gains[i] = p.GainDBi(a)
+	}
+	return angles, gains
+}
+
+// Metrics summarizes a measured beam pattern the way the paper discusses
+// Figs. 16 and 17: peak direction and gain, half-power beam width, and
+// the strongest side lobe relative to the main lobe.
+type Metrics struct {
+	// PeakAngle is the main-lobe direction (radians).
+	PeakAngle float64
+	// PeakGainDBi is the main-lobe gain.
+	PeakGainDBi float64
+	// HPBWDeg is the angular width over which gain stays within 3 dB of
+	// the peak, in degrees.
+	HPBWDeg float64
+	// SideLobes lists local pattern maxima outside the main lobe, as
+	// levels in dB relative to the peak (negative values; −4 means a side
+	// lobe 4 dB below the main lobe). Sorted strongest first.
+	SideLobes []float64
+	// SideLobeAngles holds the directions of those side lobes (radians),
+	// index-aligned with SideLobes.
+	SideLobeAngles []float64
+	// DeepGaps counts angular positions within the nominal coverage where
+	// the pattern falls more than 15 dB below the peak — the "deep gaps
+	// that may prevent communication" in the paper's quasi-omni patterns.
+	DeepGaps int
+}
+
+// PeakSideLobeDB returns the strongest side-lobe level relative to the
+// main lobe, or -Inf if the pattern has no side lobes.
+func (m Metrics) PeakSideLobeDB() float64 {
+	if len(m.SideLobes) == 0 {
+		return math.Inf(-1)
+	}
+	return m.SideLobes[0]
+}
+
+// Analyze measures a pattern numerically with the given angular
+// resolution (number of samples around the circle; 720 gives 0.5°).
+func Analyze(p Pattern, n int) Metrics {
+	angles, gains := Sample(p, n)
+	m := Metrics{PeakGainDBi: math.Inf(-1)}
+	peakIdx := 0
+	for i, g := range gains {
+		if g > m.PeakGainDBi {
+			m.PeakGainDBi = g
+			m.PeakAngle = angles[i]
+			peakIdx = i
+		}
+	}
+
+	// HPBW: walk from the peak in both directions until gain drops 3 dB.
+	step := 2 * math.Pi / float64(n)
+	half := 0
+	for d := 1; d < n/2; d++ {
+		if gains[(peakIdx+d)%n] < m.PeakGainDBi-3 {
+			break
+		}
+		half++
+	}
+	width := float64(half)
+	for d := 1; d < n/2; d++ {
+		if gains[(peakIdx-d+n)%n] < m.PeakGainDBi-3 {
+			break
+		}
+		width++
+	}
+	m.HPBWDeg = geom.Deg((width + 1) * step)
+
+	// Main-lobe extent: from the peak outward until the first local
+	// minimum at least 3 dB down; side lobes live beyond it.
+	mainLo, mainHi := mainLobeExtent(gains, peakIdx)
+
+	inMain := func(i int) bool {
+		// Indices are circular; the main lobe spans [mainLo, mainHi]
+		// possibly wrapping.
+		if mainLo <= mainHi {
+			return i >= mainLo && i <= mainHi
+		}
+		return i >= mainLo || i <= mainHi
+	}
+
+	// Side lobes: local maxima outside the main lobe that rise at least
+	// 1 dB above their surrounding minima and sit above the noise floor.
+	for i := 0; i < n; i++ {
+		if inMain(i) {
+			continue
+		}
+		prev := gains[(i-1+n)%n]
+		next := gains[(i+1)%n]
+		g := gains[i]
+		if g <= prev || g < next {
+			continue
+		}
+		if g <= backLobeFloorDBi+1 {
+			continue
+		}
+		rel := g - m.PeakGainDBi
+		if rel < -30 {
+			continue
+		}
+		m.SideLobes = append(m.SideLobes, rel)
+		m.SideLobeAngles = append(m.SideLobeAngles, angles[i])
+	}
+	sortSideLobes(m.SideLobes, m.SideLobeAngles)
+
+	// Deep gaps within ±90° of the peak.
+	for i, g := range gains {
+		if math.Abs(geom.AngleDiff(m.PeakAngle, angles[i])) <= math.Pi/2 && g < m.PeakGainDBi-15 {
+			m.DeepGaps++
+		}
+	}
+	return m
+}
+
+// mainLobeExtent walks outward from the peak to the first local minima
+// that are at least 3 dB below the peak, returning circular indices.
+func mainLobeExtent(gains []float64, peak int) (lo, hi int) {
+	n := len(gains)
+	hi = peak
+	for d := 1; d < n/2; d++ {
+		i := (peak + d) % n
+		next := gains[(i+1)%n]
+		if gains[i] < gains[peak]-3 && next >= gains[i] {
+			break
+		}
+		hi = i
+	}
+	lo = peak
+	for d := 1; d < n/2; d++ {
+		i := (peak - d + n) % n
+		prev := gains[(i-1+n)%n]
+		if gains[i] < gains[peak]-3 && prev >= gains[i] {
+			break
+		}
+		lo = i
+	}
+	return lo, hi
+}
+
+func sortSideLobes(levels, angles []float64) {
+	// Insertion sort, strongest (largest, i.e. closest to 0) first; side
+	// lobe lists are short.
+	for i := 1; i < len(levels); i++ {
+		l, a := levels[i], angles[i]
+		j := i - 1
+		for j >= 0 && levels[j] < l {
+			levels[j+1] = levels[j]
+			angles[j+1] = angles[j]
+			j--
+		}
+		levels[j+1] = l
+		angles[j+1] = a
+	}
+}

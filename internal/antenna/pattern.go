@@ -1,0 +1,94 @@
+// Package antenna models the radiating hardware of the devices under
+// test: horn antennas and open waveguides (the Vubiq measurement
+// frontend), and consumer-grade phased antenna arrays with coarse phase
+// shifters (the D5000's 2x8 Wilocity module and the Air-3c's irregular
+// 24-element array).
+//
+// The package reproduces the paper's two key beamforming findings
+// (Section 4.2):
+//
+//   - Directional patterns of low-order consumer arrays have strong side
+//     lobes, −4 to −6 dB relative to the main lobe, because few elements
+//     and quantized phase control cannot synthesize clean tapers.
+//   - Steering towards the boundary of the array's transmission area
+//     (≈70° off broadside) loses roughly 10 dB of main-lobe gain and
+//     raises side lobes to as little as −1 dB below the main lobe.
+//
+// All patterns are azimuthal (2-D), matching the paper's measurement
+// plane. Angles are radians in the antenna's local frame; 0 is boresight.
+package antenna
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Pattern is an azimuthal antenna gain pattern. GainDBi reports the gain
+// in dBi towards the local-frame angle theta (radians, 0 = boresight,
+// normalized to (-π, π]).
+type Pattern interface {
+	GainDBi(theta float64) float64
+}
+
+// backLobeFloorDBi is the gain floor used by the analytic aperture
+// patterns; physical antennas leak a bit of energy everywhere.
+const backLobeFloorDBi = -20
+
+// Isotropic radiates 0 dBi in every direction. It is the reference
+// pattern and the model for ideal omni reception.
+type Isotropic struct{}
+
+// GainDBi implements Pattern.
+func (Isotropic) GainDBi(float64) float64 { return 0 }
+
+// Horn is a directive aperture antenna with a Gaussian main lobe, used to
+// model the 25 dBi horn the paper mounts on the Vubiq down-converter for
+// beam pattern and angular profile measurements.
+type Horn struct {
+	// PeakGainDBi is the boresight gain.
+	PeakGainDBi float64
+	// HPBWDeg is the half-power beam width in degrees.
+	HPBWDeg float64
+}
+
+// GainDBi implements Pattern with the standard Gaussian-beam
+// approximation G(θ) = Gpeak − 12·(θ/HPBW)² dB, floored at the back-lobe
+// level.
+func (h Horn) GainDBi(theta float64) float64 {
+	theta = geom.NormalizeAngle(theta)
+	hp := geom.Rad(h.HPBWDeg)
+	if hp <= 0 {
+		return backLobeFloorDBi
+	}
+	g := h.PeakGainDBi - 12*(theta/hp)*(theta/hp)
+	return math.Max(g, backLobeFloorDBi)
+}
+
+// MeasurementHorn returns the paper's 25 dBi horn (≈10° HPBW — gain and
+// beam width of a standard WR-15 pyramidal horn are linked).
+func MeasurementHorn() Horn { return Horn{PeakGainDBi: 25, HPBWDeg: 10} }
+
+// OpenWaveguide returns the wide reception pattern of the Vubiq's bare
+// WR-15 flange, which the paper uses for frame-level protocol analysis
+// precisely because it hears both link directions at once.
+func OpenWaveguide() Horn { return Horn{PeakGainDBi: 6.5, HPBWDeg: 90} }
+
+// Oriented binds a pattern to a boresight direction in the global frame,
+// yielding the gain-vs-global-angle function that the propagation layer
+// consumes.
+type Oriented struct {
+	Pattern   Pattern
+	Boresight float64 // global-frame angle of the local 0° axis
+}
+
+// GainDBi returns the gain towards the given global-frame angle.
+func (o Oriented) GainDBi(globalAngle float64) float64 {
+	return o.Pattern.GainDBi(geom.NormalizeAngle(globalAngle - o.Boresight))
+}
+
+// GainFunc adapts the oriented pattern to the rf package's plain
+// func(angle) float64 form.
+func (o Oriented) GainFunc() func(float64) float64 {
+	return func(a float64) float64 { return o.GainDBi(a) }
+}

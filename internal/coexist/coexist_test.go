@@ -1,0 +1,262 @@
+package coexist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/antenna"
+	"repro/internal/geom"
+	"repro/internal/rf"
+)
+
+// twoParallelLinks builds two vertical links side by side, sep meters
+// apart, in the given room.
+func twoParallelLinks(sep float64) []Link {
+	return []Link{
+		{
+			Name: "linkA",
+			A:    Endpoint{Pos: geom.V(0, 0), BoresightDeg: 90},
+			B:    Endpoint{Pos: geom.V(0, 6), BoresightDeg: -90},
+		},
+		{
+			Name: "linkB",
+			A:    Endpoint{Pos: geom.V(sep, 0), BoresightDeg: 90},
+			B:    Endpoint{Pos: geom.V(sep, 6), BoresightDeg: -90},
+		},
+	}
+}
+
+func TestCloseLinksCouple(t *testing.T) {
+	a := NewAnalyzer(geom.Open())
+	cs, err := a.Analyze(twoParallelLinks(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("couplings = %d", len(cs))
+	}
+	for _, c := range cs {
+		if c.Regime == Isolated {
+			t.Errorf("0.5 m parallel links predicted isolated (%.1f dBm)", c.WorstRxDBm)
+		}
+	}
+}
+
+func TestFarLinksIsolated(t *testing.T) {
+	a := NewAnalyzer(geom.Open())
+	cs, err := a.Analyze(twoParallelLinks(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cs {
+		if c.Regime != Isolated {
+			t.Errorf("40 m separated links predicted %v (%.1f dBm)", c.Regime, c.WorstRxDBm)
+		}
+	}
+}
+
+func TestCouplingMonotoneWithSeparation(t *testing.T) {
+	a := NewAnalyzer(geom.Open())
+	prev := math.Inf(1)
+	for _, sep := range []float64{0.5, 2, 6, 15, 40} {
+		cs, err := a.Analyze(twoParallelLinks(sep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := math.Inf(-1)
+		for _, c := range cs {
+			if c.WorstRxDBm > worst {
+				worst = c.WorstRxDBm
+			}
+		}
+		if worst > prev+3 { // small tolerance for side-lobe structure
+			t.Errorf("coupling rose with separation at %v m: %.1f > %.1f", sep, worst, prev)
+		}
+		prev = worst
+	}
+}
+
+func TestReflectionCreatesCoupling(t *testing.T) {
+	// Two links shielded from each other but sharing a metal wall: with
+	// reflections enabled the analyzer must find the bounce path that a
+	// 0-reflection (naive geometric) analysis misses — the paper's §5
+	// design principle.
+	room := geom.Open()
+	room.AddWall(geom.V(-5, 3), geom.V(10, 3), "metal")
+	room.AddObstacle(geom.V(2.5, -1), geom.V(2.5, 1.5), "absorber")
+	links := []Link{
+		{
+			Name: "left",
+			A:    Endpoint{Pos: geom.V(0, 0), BoresightDeg: 0},
+			B:    Endpoint{Pos: geom.V(2, 0), BoresightDeg: 180},
+		},
+		{
+			Name: "right",
+			A:    Endpoint{Pos: geom.V(3, 0), BoresightDeg: 0},
+			B:    Endpoint{Pos: geom.V(5, 0), BoresightDeg: 180},
+		},
+	}
+	with := NewAnalyzer(room)
+	csWith, err := with.Analyze(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := NewAnalyzer(room)
+	naive.MaxReflections = 0
+	csNaive, err := naive.Analyze(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := func(cs []Coupling) (float64, bool) {
+		w, via := math.Inf(-1), false
+		for _, c := range cs {
+			if c.WorstRxDBm > w {
+				w = c.WorstRxDBm
+				via = c.ViaReflection
+			}
+		}
+		return w, via
+	}
+	wWith, viaWith := worst(csWith)
+	wNaive, _ := worst(csNaive)
+	if wWith <= wNaive+10 {
+		t.Errorf("reflection-aware analysis should find much stronger coupling: %.1f vs naive %.1f",
+			wWith, wNaive)
+	}
+	if !viaWith {
+		t.Error("dominant path not flagged as reflection")
+	}
+}
+
+func TestConflictGraphAndChannels(t *testing.T) {
+	// Three links: two close together, one far away. Two channels must
+	// separate the close pair.
+	links := []Link{
+		{Name: "a", A: Endpoint{Pos: geom.V(0, 0), BoresightDeg: 90}, B: Endpoint{Pos: geom.V(0, 6), BoresightDeg: -90}},
+		{Name: "b", A: Endpoint{Pos: geom.V(0.5, 0), BoresightDeg: 90}, B: Endpoint{Pos: geom.V(0.5, 6), BoresightDeg: -90}},
+		{Name: "c", A: Endpoint{Pos: geom.V(50, 0), BoresightDeg: 90}, B: Endpoint{Pos: geom.V(50, 6), BoresightDeg: -90}},
+	}
+	a := NewAnalyzer(geom.Open())
+	cs, err := a.Analyze(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := ConflictGraph(len(links), cs, CSCoupled)
+	if len(adj[0]) == 0 || len(adj[1]) == 0 {
+		t.Fatalf("close pair not in conflict graph: %v", adj)
+	}
+	for _, n := range adj[2] {
+		if n == 0 || n == 1 {
+			t.Errorf("far link conflicts with %d", n)
+		}
+	}
+	assign, unresolved := AssignChannels(len(links), cs, 2)
+	if assign[0] == assign[1] {
+		t.Errorf("close pair share channel: %v", assign)
+	}
+	if unresolved != 0 {
+		t.Errorf("unresolved = %d", unresolved)
+	}
+	// With a single channel the conflict cannot be resolved.
+	_, unresolved1 := AssignChannels(len(links), cs, 1)
+	if unresolved1 == 0 {
+		t.Error("single channel should leave the close pair conflicting")
+	}
+}
+
+func TestRegimeStrings(t *testing.T) {
+	if Isolated.String() != "isolated" || CSCoupled.String() != "cs-coupled" || Colliding.String() != "colliding" {
+		t.Error("regime names")
+	}
+	if !strings.Contains(Regime(9).String(), "9") {
+		t.Error("unknown regime formatting")
+	}
+}
+
+func TestReport(t *testing.T) {
+	links := twoParallelLinks(0.5)
+	a := NewAnalyzer(geom.Open())
+	cs, err := a.Analyze(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Report(links, cs)
+	if !strings.Contains(rep, "linkA") || !strings.Contains(rep, "linkB") {
+		t.Errorf("report missing links:\n%s", rep)
+	}
+}
+
+func TestAssignChannelsDegenerate(t *testing.T) {
+	assign, unresolved := AssignChannels(3, nil, 0)
+	if len(assign) != 3 || unresolved != 0 {
+		t.Errorf("degenerate assignment: %v %d", assign, unresolved)
+	}
+}
+
+func TestAnalyzerWithWiHDCodebook(t *testing.T) {
+	// Mixed systems: a WiGig link and a WiHD link with its own codebook.
+	_, wcb := antenna.WiHDCodebook(rf.FreqChannel2Hz, 3)
+	links := []Link{
+		{
+			Name: "wigig",
+			A:    Endpoint{Pos: geom.V(0, 0), BoresightDeg: 90},
+			B:    Endpoint{Pos: geom.V(0, 6), BoresightDeg: -90},
+		},
+		{
+			Name:     "wihd",
+			A:        Endpoint{Pos: geom.V(0.5, -0.3), BoresightDeg: 72, TxPowerDBm: 5},
+			B:        Endpoint{Pos: geom.V(3.0, 7.3), BoresightDeg: -108},
+			Codebook: wcb,
+		},
+	}
+	a := NewAnalyzer(geom.Open())
+	cs, err := a.Analyze(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Fig. 6-style geometry must be flagged as non-isolated in at
+	// least one direction (it measurably collides in simulation).
+	worst := Isolated
+	for _, c := range cs {
+		if c.Regime > worst {
+			worst = c.Regime
+		}
+	}
+	if worst == Isolated {
+		t.Errorf("known-colliding geometry predicted isolated:\n%s", Report(links, cs))
+	}
+}
+
+func TestAnalyzeUnknownMaterialErrors(t *testing.T) {
+	room := geom.Open()
+	room.AddWall(geom.V(-5, 3), geom.V(5, 3), "vibranium")
+	a := NewAnalyzer(room)
+	if _, err := a.Analyze(twoParallelLinks(1)); err == nil {
+		t.Error("unknown wall material should surface an error")
+	}
+}
+
+func TestConflictGraphRegimeFilter(t *testing.T) {
+	cs := []Coupling{
+		{Interferer: 0, Victim: 1, Regime: Isolated},
+		{Interferer: 1, Victim: 2, Regime: CSCoupled},
+		{Interferer: 2, Victim: 0, Regime: Colliding},
+	}
+	// Only pairs at or above Colliding.
+	adj := ConflictGraph(3, cs, Colliding)
+	if len(adj[0]) != 1 || len(adj[2]) != 1 || len(adj[1]) != 0 {
+		t.Errorf("adjacency = %v", adj)
+	}
+	// At CSCoupled both non-isolated pairs appear.
+	adj = ConflictGraph(3, cs, CSCoupled)
+	if len(adj[1]) != 1 || len(adj[2]) != 2 {
+		t.Errorf("adjacency = %v", adj)
+	}
+	// Duplicate couplings (both directions) collapse to one edge.
+	dup := append(cs, Coupling{Interferer: 0, Victim: 2, Regime: Colliding})
+	adj = ConflictGraph(3, dup, Colliding)
+	if len(adj[0]) != 1 || len(adj[2]) != 1 {
+		t.Errorf("dup adjacency = %v", adj)
+	}
+}

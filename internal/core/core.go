@@ -1,0 +1,161 @@
+// Package core is the integrated 60 GHz measurement toolkit this
+// repository builds around the paper: it wires rooms, WiGig links, WiHD
+// systems, and Vubiq-style sniffers into runnable scenarios, and defines
+// the result types the per-figure experiment drivers emit.
+//
+// A Scenario owns one discrete-event scheduler and one radio medium;
+// devices and instruments attach to it. Experiments construct a
+// scenario, run it, analyze sniffer traces with the trace package, and
+// return a Result that pairs the paper's claim with the measured value.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/antenna"
+	"repro/internal/geom"
+	"repro/internal/mac/wigig"
+	"repro/internal/mac/wihd"
+	"repro/internal/rf"
+	"repro/internal/sim"
+	"repro/internal/sniffer"
+)
+
+// Scenario is one experiment environment.
+type Scenario struct {
+	// Sched drives all events.
+	Sched *sim.Scheduler
+	// Med is the shared radio medium.
+	Med *sim.Medium
+	// Room is the physical environment.
+	Room *geom.Room
+	// Seed reproduces the scenario exactly.
+	Seed uint64
+}
+
+// NewScenario builds a scenario over the room with the default link
+// budget at 60.48 GHz.
+func NewScenario(room *geom.Room, seed uint64) *Scenario {
+	s := sim.NewScheduler()
+	med := sim.NewMedium(s, room, rf.FreqChannel2Hz, rf.DefaultBudget(), seed)
+	return &Scenario{Sched: s, Med: med, Room: room, Seed: seed}
+}
+
+// Run advances simulation time by d.
+func (sc *Scenario) Run(d time.Duration) { sc.Sched.Run(sc.Sched.Now() + d) }
+
+// Now returns the current simulation time.
+func (sc *Scenario) Now() time.Duration { return sc.Sched.Now() }
+
+// AddWiGigLink creates, connects and starts a dock/station pair.
+func (sc *Scenario) AddWiGigLink(dock, station wigig.Config) *wigig.Link {
+	return wigig.NewLink(sc.Med, dock, station)
+}
+
+// AddWiHD creates, connects and starts a WiHD TX/RX pair (streaming).
+func (sc *Scenario) AddWiHD(tx, rx wihd.Config) *wihd.System {
+	return wihd.NewSystem(sc.Med, tx, rx)
+}
+
+// AddSniffer mounts a Vubiq-style sniffer.
+func (sc *Scenario) AddSniffer(name string, pos geom.Vec2, pat antenna.Pattern, boresightRad float64) *sniffer.Sniffer {
+	return sniffer.New(sc.Med, name, pos, pat, boresightRad)
+}
+
+// Series is one plottable data series of an experiment result.
+type Series struct {
+	// Label names the series (legend entry).
+	Label string
+	// XLabel and YLabel document the axes.
+	XLabel, YLabel string
+	// X and Y are index-aligned points.
+	X, Y []float64
+}
+
+// Check is one paper-vs-measured comparison.
+type Check struct {
+	// Name describes what is compared.
+	Name string
+	// Want is the paper's value or qualitative expectation.
+	Want string
+	// Got is the measured value.
+	Got string
+	// Pass reports whether the measurement matches the expectation.
+	Pass bool
+}
+
+// Result is the outcome of one reproduced table or figure.
+type Result struct {
+	// ID is the experiment identifier ("T1", "F9", ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// PaperClaim summarizes what the paper reports.
+	PaperClaim string
+	// Series holds plottable measurements.
+	Series []Series
+	// Checks pairs expectations with measurements.
+	Checks []Check
+	// Notes carries free-form commentary.
+	Notes []string
+}
+
+// Pass reports whether every check passed.
+func (r Result) Pass() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// AddCheck appends a comparison.
+func (r *Result) AddCheck(name, want, got string, pass bool) {
+	r.Checks = append(r.Checks, Check{Name: name, Want: want, Got: got, Pass: pass})
+}
+
+// CheckRange asserts lo ≤ v ≤ hi, formatting the measurement.
+func (r *Result) CheckRange(name string, v, lo, hi float64, unit string) {
+	r.AddCheck(name,
+		fmt.Sprintf("%.3g–%.3g %s", lo, hi, unit),
+		fmt.Sprintf("%.3g %s", v, unit),
+		v >= lo && v <= hi)
+}
+
+// CheckTrue asserts a qualitative condition.
+func (r *Result) CheckTrue(name, want string, got bool) {
+	r.AddCheck(name, want, fmt.Sprintf("%v", got), got)
+}
+
+// Note appends a commentary line.
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the result as the text report the mmsim CLI prints.
+func (r Result) String() string {
+	var b strings.Builder
+	status := "PASS"
+	if !r.Pass() {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "== %s: %s [%s]\n", r.ID, r.Title, status)
+	fmt.Fprintf(&b, "   paper: %s\n", r.PaperClaim)
+	for _, c := range r.Checks {
+		mark := "ok "
+		if !c.Pass {
+			mark = "BAD"
+		}
+		fmt.Fprintf(&b, "   [%s] %-42s want %-24s got %s\n", mark, c.Name, c.Want, c.Got)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "   series %q (%s vs %s): %d points\n", s.Label, s.YLabel, s.XLabel, len(s.X))
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section 4). Each driver builds a scenario on the
+// core toolkit, runs the measurement methodology the paper describes —
+// sniffer traces, angular profiles, iperf flows — and returns a
+// core.Result pairing the paper's reported numbers with the reproduced
+// ones. The drivers are deterministic given (seed, options).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Options tunes experiment cost. The defaults reproduce paper-like
+// durations scaled to simulation-friendly lengths; Quick cuts them
+// further for unit tests and benchmarks.
+type Options struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Quick trades statistical smoothness for speed.
+	Quick bool
+}
+
+// DefaultOptions returns the full-fidelity settings.
+func DefaultOptions() Options { return Options{Seed: 1} }
+
+// QuickOptions returns reduced settings for tests and benches.
+func QuickOptions() Options { return Options{Seed: 1, Quick: true} }
+
+// Runner is one experiment driver.
+type Runner struct {
+	// ID is the table/figure identifier.
+	ID string
+	// Title is a short description.
+	Title string
+	// Run executes the experiment.
+	Run func(Options) core.Result
+}
+
+var registry = map[string]Runner{}
+
+func register(r Runner) {
+	registry[r.ID] = r
+}
+
+// Get returns the runner for an ID ("T1", "F9", ...).
+func Get(id string) (Runner, bool) {
+	r, ok := registry[id]
+	return r, ok
+}
+
+// All returns every registered runner sorted by ID (tables first, then
+// figures by number).
+func All() []Runner {
+	out := make([]Runner, 0, len(registry))
+	for _, r := range registry {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+// orderKey sorts T1 before F3 before F10 before S41, with ablations
+// (A*) and extensions (X*) after the paper artifacts.
+func orderKey(id string) string {
+	if len(id) < 2 {
+		return id
+	}
+	prefixRank := map[byte]byte{'T': '0', 'F': '1', 'S': '2', 'A': '3', 'X': '4'}
+	rank, ok := prefixRank[id[0]]
+	if !ok {
+		rank = '9'
+	}
+	return fmt.Sprintf("%c%04s", rank, id[1:])
+}

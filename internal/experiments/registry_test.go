@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every artifact of the paper's evaluation plus the ablations.
+	want := []string{
+		"T1", "F3", "F8", "F9", "F10", "F11", "F12", "F13", "F14",
+		"F15", "F16", "F17", "F18", "F19", "F20", "F21", "F22", "F23",
+		"S41", "A1", "A2", "A3", "A4", "A5", "A6", "X1", "X2",
+	}
+	for _, id := range want {
+		r, ok := Get(id)
+		if !ok {
+			t.Errorf("experiment %s not registered", id)
+			continue
+		}
+		if r.Run == nil || r.Title == "" {
+			t.Errorf("experiment %s incomplete", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry size = %d, want %d", len(All()), len(want))
+	}
+}
+
+func TestRegistryOrdering(t *testing.T) {
+	all := All()
+	var ids []string
+	for _, r := range all {
+		ids = append(ids, r.ID)
+	}
+	order := strings.Join(ids, " ")
+	// Table first, figures in numeric order, section finding, ablations.
+	want := "T1 F3 F8 F9 F10 F11 F12 F13 F14 F15 F16 F17 F18 F19 F20 F21 F22 F23 S41 A1 A2 A3 A4 A5 A6 X1 X2"
+	if order != want {
+		t.Errorf("order:\n got %s\nwant %s", order, want)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := Get("Z9"); ok {
+		t.Error("phantom experiment")
+	}
+}
+
+func TestOptionConstructors(t *testing.T) {
+	if DefaultOptions().Quick {
+		t.Error("default should not be quick")
+	}
+	if !QuickOptions().Quick {
+		t.Error("quick should be quick")
+	}
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSeedRobustness re-runs a representative subset of the campaign at
+// seeds other than the canonical one: the reproduction must not hinge
+// on a lucky draw. The subset covers each methodology family: sniffer
+// periodicity (T1), frame-flow capture (F3), the load sweep (F9), the
+// pattern ablation (A1), and the coexistence planner loop (A4).
+func TestSeedRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	ids := []string{"T1", "F3", "F9", "A1", "A4"}
+	for _, seed := range []uint64{2, 5} {
+		for _, id := range ids {
+			id, seed := id, seed
+			t.Run(fmt.Sprintf("%s/seed%d", id, seed), func(t *testing.T) {
+				r, ok := Get(id)
+				if !ok {
+					t.Fatalf("unknown experiment %s", id)
+				}
+				res := r.Run(Options{Seed: seed, Quick: true})
+				if !res.Pass() {
+					t.Errorf("%s failed at seed %d:\n%s", id, seed, res)
+				}
+			})
+		}
+	}
+}

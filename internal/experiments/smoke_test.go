@@ -1,0 +1,185 @@
+package experiments
+
+import "testing"
+
+func TestTable1(t *testing.T) {
+	r := Table1(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("Table1 failed:\n%s", r)
+	}
+}
+
+func TestFig3(t *testing.T) {
+	r := Fig3(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("Fig3 failed:\n%s", r)
+	}
+}
+
+func TestFig8(t *testing.T) {
+	r := Fig8(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("Fig8 failed:\n%s", r)
+	}
+}
+
+func TestFig15(t *testing.T) {
+	r := Fig15(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("Fig15 failed:\n%s", r)
+	}
+}
+
+func TestFig9(t *testing.T) {
+	r := Fig9(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("Fig9 failed:\n%s", r)
+	}
+}
+
+func TestFig10(t *testing.T) {
+	r := Fig10(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("Fig10 failed:\n%s", r)
+	}
+}
+
+func TestFig11(t *testing.T) {
+	r := Fig11(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("Fig11 failed:\n%s", r)
+	}
+}
+
+func TestAggregationGain(t *testing.T) {
+	r := AggregationGain(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("AggregationGain failed:\n%s", r)
+	}
+}
+
+func TestFig12(t *testing.T) {
+	r := Fig12(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("Fig12 failed:\n%s", r)
+	}
+}
+
+func TestFig13(t *testing.T) {
+	r := Fig13(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("Fig13 failed:\n%s", r)
+	}
+}
+
+func TestFig14(t *testing.T) {
+	r := Fig14(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("Fig14 failed:\n%s", r)
+	}
+}
+
+func TestFig16(t *testing.T) {
+	r := Fig16(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("Fig16 failed:\n%s", r)
+	}
+}
+
+func TestFig17(t *testing.T) {
+	r := Fig17(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("Fig17 failed:\n%s", r)
+	}
+}
+
+func TestFig18(t *testing.T) {
+	r := Fig18(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("Fig18 failed:\n%s", r)
+	}
+}
+
+func TestFig19(t *testing.T) {
+	r := Fig19(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("Fig19 failed:\n%s", r)
+	}
+}
+
+func TestFig20(t *testing.T) {
+	r := Fig20(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("Fig20 failed:\n%s", r)
+	}
+}
+
+func TestFig21(t *testing.T) {
+	r := Fig21(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("Fig21 failed:\n%s", r)
+	}
+}
+
+func TestFig22(t *testing.T) {
+	r := Fig22(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("Fig22 failed:\n%s", r)
+	}
+}
+
+func TestFig23(t *testing.T) {
+	r := Fig23(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("Fig23 failed:\n%s", r)
+	}
+}
+
+func TestAblationQuantization(t *testing.T) {
+	r := AblationQuantization(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("A1 failed:\n%s", r)
+	}
+}
+
+func TestAblationCarrierSense(t *testing.T) {
+	r := AblationCarrierSense(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("A2 failed:\n%s", r)
+	}
+}
+
+func TestAblationAggregation(t *testing.T) {
+	r := AblationAggregation(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("A3 failed:\n%s", r)
+	}
+}
+
+func TestAblationReflectionOrder(t *testing.T) {
+	r := AblationReflectionOrder(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("A4 failed:\n%s", r)
+	}
+}
+
+func TestAblationPowerControl(t *testing.T) {
+	r := AblationPowerControl(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("A5 failed:\n%s", r)
+	}
+}
+
+func TestAblationChannelSeparation(t *testing.T) {
+	r := AblationChannelSeparation(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("A6 failed:\n%s", r)
+	}
+}
+
+func TestBlockageTransient(t *testing.T) {
+	r := BlockageTransient(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("X1 failed:\n%s", r)
+	}
+}

@@ -1,0 +1,10 @@
+package experiments
+
+import "testing"
+
+func TestDenseDeployment(t *testing.T) {
+	r := DenseDeployment(QuickOptions())
+	if !r.Pass() {
+		t.Errorf("X2 failed:\n%s", r)
+	}
+}

@@ -1,0 +1,341 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func vecAlmostEq(a, b Vec2, eps float64) bool {
+	return almostEq(a.X, b.X, eps) && almostEq(a.Y, b.Y, eps)
+}
+
+func TestVecBasicOps(t *testing.T) {
+	a := V(3, 4)
+	b := V(-1, 2)
+	if got := a.Add(b); got != V(2, 6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(4, 2) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 5 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != 10 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := a.Len(); got != 5 {
+		t.Errorf("Len = %v", got)
+	}
+	if got := a.LenSq(); got != 25 {
+		t.Errorf("LenSq = %v", got)
+	}
+	if got := a.Dist(b); !almostEq(got, math.Hypot(4, 2), 1e-12) {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestVecUnit(t *testing.T) {
+	u := V(3, 4).Unit()
+	if !almostEq(u.Len(), 1, 1e-12) {
+		t.Errorf("Unit length = %v", u.Len())
+	}
+	if z := V(0, 0).Unit(); z != V(0, 0) {
+		t.Errorf("Unit of zero vector = %v, want zero", z)
+	}
+}
+
+func TestVecAngle(t *testing.T) {
+	cases := []struct {
+		v    Vec2
+		want float64
+	}{
+		{V(1, 0), 0},
+		{V(0, 1), math.Pi / 2},
+		{V(-1, 0), math.Pi},
+		{V(0, -1), -math.Pi / 2},
+		{V(1, 1), math.Pi / 4},
+	}
+	for _, c := range cases {
+		if got := c.v.Angle(); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Angle(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestRotatePerp(t *testing.T) {
+	v := V(1, 0)
+	if got := v.Rotate(math.Pi / 2); !vecAlmostEq(got, V(0, 1), 1e-12) {
+		t.Errorf("Rotate 90 = %v", got)
+	}
+	if got := v.Perp(); got != V(0, 1) {
+		t.Errorf("Perp = %v", got)
+	}
+	if got := v.Rotate(math.Pi); !vecAlmostEq(got, V(-1, 0), 1e-12) {
+		t.Errorf("Rotate 180 = %v", got)
+	}
+}
+
+func TestFromPolar(t *testing.T) {
+	p := FromPolar(2, math.Pi/2)
+	if !vecAlmostEq(p, V(0, 2), 1e-12) {
+		t.Errorf("FromPolar = %v", p)
+	}
+	// Round trip: angle of FromPolar(r, theta) is theta for r > 0.
+	for _, theta := range []float64{-3, -1, 0, 0.5, 2, 3.1} {
+		got := FromPolar(1, theta).Angle()
+		if !almostEq(NormalizeAngle(got-theta), 0, 1e-9) {
+			t.Errorf("round trip theta=%v got %v", theta, got)
+		}
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-3 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := NormalizeAngle(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeAngleProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+			return true // skip pathological inputs
+		}
+		got := NormalizeAngle(x)
+		if got <= -math.Pi || got > math.Pi+1e-9 {
+			return false
+		}
+		// Must differ from x by a multiple of 2π.
+		k := (x - got) / (2 * math.Pi)
+		return almostEq(k, math.Round(k), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	if got := AngleDiff(0.1, -0.1); !almostEq(got, -0.2, 1e-12) {
+		t.Errorf("AngleDiff = %v", got)
+	}
+	if got := AngleDiff(3, -3); !almostEq(got, 2*math.Pi-6, 1e-12) {
+		t.Errorf("AngleDiff wrap = %v", got)
+	}
+}
+
+func TestDegRad(t *testing.T) {
+	if got := Deg(math.Pi); !almostEq(got, 180, 1e-12) {
+		t.Errorf("Deg = %v", got)
+	}
+	if got := Rad(90); !almostEq(got, math.Pi/2, 1e-12) {
+		t.Errorf("Rad = %v", got)
+	}
+}
+
+func TestSegmentIntersect(t *testing.T) {
+	s := Seg(V(0, 0), V(2, 0))
+	o := Seg(V(1, -1), V(1, 1))
+	tt, u, ok := s.Intersect(o)
+	if !ok || !almostEq(tt, 0.5, 1e-12) || !almostEq(u, 0.5, 1e-12) {
+		t.Errorf("Intersect = %v %v %v", tt, u, ok)
+	}
+	// Non-crossing.
+	if _, _, ok := s.Intersect(Seg(V(3, -1), V(3, 1))); ok {
+		t.Error("expected miss for parallel-offset segment")
+	}
+	// Parallel.
+	if _, _, ok := s.Intersect(Seg(V(0, 1), V(2, 1))); ok {
+		t.Error("expected miss for parallel segment")
+	}
+}
+
+func TestSegmentIntersectInterior(t *testing.T) {
+	s := Seg(V(0, 0), V(2, 0))
+	// Touching at an endpoint of o should not count as interior.
+	o := Seg(V(1, 0), V(1, 1))
+	if _, _, ok := s.IntersectInterior(o, 1e-9); ok {
+		t.Error("endpoint touch reported as interior intersection")
+	}
+	// Proper crossing does count.
+	o2 := Seg(V(1, -1), V(1, 1))
+	if _, _, ok := s.IntersectInterior(o2, 1e-9); !ok {
+		t.Error("proper crossing not reported")
+	}
+}
+
+func TestSegmentMirror(t *testing.T) {
+	s := Seg(V(0, 0), V(1, 0)) // the X axis
+	if got := s.Mirror(V(0.5, 2)); !vecAlmostEq(got, V(0.5, -2), 1e-12) {
+		t.Errorf("Mirror = %v", got)
+	}
+	// Mirroring across a diagonal line y = x swaps coordinates.
+	d := Seg(V(0, 0), V(1, 1))
+	if got := d.Mirror(V(2, 0)); !vecAlmostEq(got, V(0, 2), 1e-12) {
+		t.Errorf("Mirror diagonal = %v", got)
+	}
+}
+
+func TestMirrorInvolution(t *testing.T) {
+	// Mirroring twice across the same line is the identity.
+	f := func(ax, ay, bx, by, px, py float64) bool {
+		for _, v := range []float64{ax, ay, bx, by, px, py} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		s := Seg(V(ax, ay), V(bx, by))
+		if s.Len() < 1e-9 {
+			return true // degenerate segment
+		}
+		p := V(px, py)
+		q := s.Mirror(s.Mirror(p))
+		return vecAlmostEq(p, q, 1e-6*(1+p.Len()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosestPoint(t *testing.T) {
+	s := Seg(V(0, 0), V(10, 0))
+	p, tt := s.ClosestPoint(V(3, 4))
+	if !vecAlmostEq(p, V(3, 0), 1e-12) || !almostEq(tt, 0.3, 1e-12) {
+		t.Errorf("ClosestPoint = %v %v", p, tt)
+	}
+	// Beyond the end the closest point clamps to an endpoint.
+	p, tt = s.ClosestPoint(V(20, 5))
+	if !vecAlmostEq(p, V(10, 0), 1e-12) || tt != 1 {
+		t.Errorf("ClosestPoint clamp = %v %v", p, tt)
+	}
+	if got := s.DistanceTo(V(3, 4)); !almostEq(got, 4, 1e-12) {
+		t.Errorf("DistanceTo = %v", got)
+	}
+}
+
+func TestSameSide(t *testing.T) {
+	s := Seg(V(0, 0), V(1, 0))
+	if !s.SameSide(V(0, 1), V(5, 3)) {
+		t.Error("points above should be same side")
+	}
+	if s.SameSide(V(0, 1), V(0, -1)) {
+		t.Error("points straddling should differ")
+	}
+	if s.SameSide(V(0, 0), V(0, 1)) {
+		t.Error("point on the line is not strictly on a side")
+	}
+}
+
+func TestSegmentHelpers(t *testing.T) {
+	s := Seg(V(0, 0), V(4, 0))
+	if got := s.Len(); got != 4 {
+		t.Errorf("Len = %v", got)
+	}
+	if got := s.Midpoint(); got != V(2, 0) {
+		t.Errorf("Midpoint = %v", got)
+	}
+	if got := s.Dir(); got != V(1, 0) {
+		t.Errorf("Dir = %v", got)
+	}
+	if got := s.Normal(); got != V(0, 1) {
+		t.Errorf("Normal = %v", got)
+	}
+	if got := s.Point(0.25); got != V(1, 0) {
+		t.Errorf("Point = %v", got)
+	}
+}
+
+func TestBoxRoom(t *testing.T) {
+	r := Box(0, 0, 9, 3.25, "brick")
+	if len(r.Walls) != 4 {
+		t.Fatalf("Box walls = %d", len(r.Walls))
+	}
+	total := 0.0
+	for _, w := range r.Walls {
+		total += w.Len()
+		if w.Material != "brick" {
+			t.Errorf("material = %q", w.Material)
+		}
+		if w.Blocking {
+			t.Error("box walls should not be blocking")
+		}
+	}
+	if !almostEq(total, 2*(9+3.25), 1e-9) {
+		t.Errorf("perimeter = %v", total)
+	}
+}
+
+func TestConferenceRoom(t *testing.T) {
+	r := ConferenceRoom()
+	if len(r.Walls) != 5 {
+		t.Fatalf("walls = %d", len(r.Walls))
+	}
+	mats := map[string]int{}
+	for _, w := range r.Walls {
+		mats[w.Material]++
+	}
+	if mats["brick"] != 3 || mats["glass"] != 1 || mats["wood"] != 1 {
+		t.Errorf("materials = %v", mats)
+	}
+}
+
+func TestAddObstacle(t *testing.T) {
+	r := Open()
+	r.AddObstacle(V(0, 0), V(1, 0), "metal")
+	if len(r.Walls) != 1 || !r.Walls[0].Blocking {
+		t.Fatalf("obstacle not registered as blocking: %+v", r.Walls)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(V(0, 0), V(10, 20), 0.5); got != V(5, 10) {
+		t.Errorf("Lerp = %v", got)
+	}
+}
+
+func TestIntersectSymmetryProperty(t *testing.T) {
+	// s.Intersect(o) and o.Intersect(s) agree on the crossing point.
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		for _, v := range []float64{ax, ay, bx, by, cx, cy, dx, dy} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e4 {
+				return true
+			}
+		}
+		s := Seg(V(ax, ay), V(bx, by))
+		o := Seg(V(cx, cy), V(dx, dy))
+		if s.Len() < 1e-9 || o.Len() < 1e-9 {
+			return true
+		}
+		t1, u1, ok1 := s.Intersect(o)
+		u2, t2, ok2 := o.Intersect(s)
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		p1 := s.Point(t1)
+		p2 := o.Point(u2)
+		_ = u1
+		_ = t2
+		return p1.Dist(p2) < 1e-5*(1+p1.Len())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package geom
+
+// Wall is a segment tagged with the name of its surface material. The
+// material name is resolved against the material registry by the
+// propagation engine; keeping walls as plain data avoids an import cycle
+// between geometry and materials.
+type Wall struct {
+	Segment
+	Material string
+	// Blocking marks walls/obstacles that occlude the direct path
+	// entirely (e.g. the shielding elements in the paper's Fig. 7 setup).
+	// Non-blocking walls still reflect but also attenuate paths crossing
+	// them by the material's penetration loss.
+	Blocking bool
+}
+
+// Room is a collection of walls and free-standing obstacles describing a
+// measurement environment, e.g. the 9 m × 3.25 m conference room of the
+// paper's reflection study (Fig. 4).
+type Room struct {
+	Walls []Wall
+}
+
+// AddWall appends a reflecting wall made of the named material.
+func (r *Room) AddWall(a, b Vec2, material string) {
+	r.Walls = append(r.Walls, Wall{Segment: Seg(a, b), Material: material})
+}
+
+// AddObstacle appends a fully blocking obstacle (e.g. the paper's
+// line-of-sight blockage element or the metal shields of Fig. 7). The
+// obstacle still reflects with the named material.
+func (r *Room) AddObstacle(a, b Vec2, material string) {
+	r.Walls = append(r.Walls, Wall{Segment: Seg(a, b), Material: material, Blocking: true})
+}
+
+// Box builds a rectangular room with the given corner points and one
+// material for all four walls. The corners are (x0,y0) and (x1,y1).
+func Box(x0, y0, x1, y1 float64, material string) *Room {
+	r := &Room{}
+	r.AddWall(V(x0, y0), V(x1, y0), material)
+	r.AddWall(V(x1, y0), V(x1, y1), material)
+	r.AddWall(V(x1, y1), V(x0, y1), material)
+	r.AddWall(V(x0, y1), V(x0, y0), material)
+	return r
+}
+
+// Open returns an empty environment (no walls): the paper's outdoor
+// beam-pattern measurement rig uses a large open space precisely to avoid
+// reflections.
+func Open() *Room { return &Room{} }
+
+// ConferenceRoom builds the environment of the paper's reflection analysis
+// (Fig. 4): a 9 m × 3.25 m room whose long south wall is brick, the north
+// wall split into wood (west half) and glass (east half), with brick end
+// walls. The origin is the room's south-west corner; X runs east along the
+// 9 m side.
+func ConferenceRoom() *Room {
+	const (
+		w = 9.0
+		h = 3.25
+	)
+	r := &Room{}
+	r.AddWall(V(0, 0), V(w, 0), "brick")   // south wall
+	r.AddWall(V(w, 0), V(w, h), "brick")   // east wall
+	r.AddWall(V(w, h), V(w/2, h), "glass") // north-east: glass
+	r.AddWall(V(w/2, h), V(0, h), "wood")  // north-west: wood
+	r.AddWall(V(0, h), V(0, 0), "brick")   // west wall
+	return r
+}

@@ -1,0 +1,104 @@
+package geom
+
+import "math"
+
+// Segment is a finite line segment between two points, used for walls,
+// obstacles, and shielding elements.
+type Segment struct {
+	A, B Vec2
+}
+
+// Seg is shorthand for constructing a Segment.
+func Seg(a, b Vec2) Segment { return Segment{A: a, B: b} }
+
+// Len returns the length of the segment.
+func (s Segment) Len() float64 { return s.A.Dist(s.B) }
+
+// Dir returns the unit direction from A to B.
+func (s Segment) Dir() Vec2 { return s.B.Sub(s.A).Unit() }
+
+// Normal returns the unit normal of the segment (direction rotated 90° CCW).
+func (s Segment) Normal() Vec2 { return s.Dir().Perp() }
+
+// Midpoint returns the center of the segment.
+func (s Segment) Midpoint() Vec2 { return Lerp(s.A, s.B, 0.5) }
+
+// Point returns the point at parameter t along the segment; t=0 is A, t=1 is B.
+func (s Segment) Point(t float64) Vec2 { return Lerp(s.A, s.B, t) }
+
+const intersectEps = 1e-12
+
+// Intersect reports whether segments s and o cross, and if so returns the
+// parameters t (along s) and u (along o) of the intersection point.
+// Collinear overlaps are reported as non-intersecting: walls meeting at
+// shared endpoints must not self-occlude, and the ray tracer nudges its
+// query segments off endpoints instead.
+func (s Segment) Intersect(o Segment) (t, u float64, ok bool) {
+	r := s.B.Sub(s.A)
+	d := o.B.Sub(o.A)
+	denom := r.Cross(d)
+	if math.Abs(denom) < intersectEps {
+		return 0, 0, false
+	}
+	ao := o.A.Sub(s.A)
+	t = ao.Cross(d) / denom
+	u = ao.Cross(r) / denom
+	if t < -intersectEps || t > 1+intersectEps || u < -intersectEps || u > 1+intersectEps {
+		return 0, 0, false
+	}
+	return t, u, true
+}
+
+// IntersectInterior is like Intersect but only reports crossings that are
+// strictly inside both segments (excluding a small margin at the endpoints).
+// The propagation engine uses this to test blockage without a path being
+// occluded by the very wall it reflects off.
+func (s Segment) IntersectInterior(o Segment, eps float64) (t, u float64, ok bool) {
+	t, u, ok = s.Intersect(o)
+	if !ok {
+		return 0, 0, false
+	}
+	if t <= eps || t >= 1-eps || u <= eps || u >= 1-eps {
+		return 0, 0, false
+	}
+	return t, u, true
+}
+
+// Mirror returns the reflection of point p across the infinite line through
+// the segment. This is the core operation of the image-method ray tracer.
+func (s Segment) Mirror(p Vec2) Vec2 {
+	d := s.Dir()
+	ap := p.Sub(s.A)
+	// Project ap onto the line, then reflect the perpendicular component.
+	along := d.Scale(ap.Dot(d))
+	perp := ap.Sub(along)
+	return s.A.Add(along).Sub(perp)
+}
+
+// ClosestPoint returns the point on the segment closest to p and the
+// parameter t in [0,1] at which it occurs.
+func (s Segment) ClosestPoint(p Vec2) (Vec2, float64) {
+	d := s.B.Sub(s.A)
+	l2 := d.LenSq()
+	if l2 == 0 {
+		return s.A, 0
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	t = math.Max(0, math.Min(1, t))
+	return s.Point(t), t
+}
+
+// DistanceTo returns the distance from point p to the segment.
+func (s Segment) DistanceTo(p Vec2) float64 {
+	c, _ := s.ClosestPoint(p)
+	return c.Dist(p)
+}
+
+// SameSide reports whether points p and q lie strictly on the same side of
+// the infinite line through the segment. Points on the line return false.
+func (s Segment) SameSide(p, q Vec2) bool {
+	d := s.B.Sub(s.A)
+	cp := d.Cross(p.Sub(s.A))
+	cq := d.Cross(q.Sub(s.A))
+	return cp*cq > 0
+}

@@ -1,0 +1,97 @@
+// Package geom provides the 2-D geometric primitives used by the 60 GHz
+// propagation engine: vectors, segments, rays, and rooms built from
+// material walls. The simulator models the azimuthal plane only, matching
+// the paper's measurement methodology (beam patterns and angular profiles
+// are all captured in the horizontal plane).
+//
+// Conventions: distances are in meters, angles in radians measured
+// counter-clockwise from the positive X axis and normalized to (-π, π].
+package geom
+
+import "math"
+
+// Vec2 is a point or direction in the horizontal plane. Units are meters
+// when a Vec2 denotes a position.
+type Vec2 struct {
+	X, Y float64
+}
+
+// V is shorthand for constructing a Vec2.
+func V(x, y float64) Vec2 { return Vec2{X: x, Y: y} }
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v · w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the z component of the 3-D cross product v × w.
+func (v Vec2) Cross(w Vec2) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Len returns the Euclidean norm of v.
+func (v Vec2) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// LenSq returns the squared norm of v, avoiding the square root.
+func (v Vec2) LenSq() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Dist returns the distance between points v and w.
+func (v Vec2) Dist(w Vec2) float64 { return v.Sub(w).Len() }
+
+// Unit returns v scaled to unit length. The zero vector is returned
+// unchanged so callers never divide by zero.
+func (v Vec2) Unit() Vec2 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Angle returns the direction of v in radians in (-π, π].
+func (v Vec2) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// Perp returns v rotated 90° counter-clockwise.
+func (v Vec2) Perp() Vec2 { return Vec2{-v.Y, v.X} }
+
+// Rotate returns v rotated by theta radians counter-clockwise.
+func (v Vec2) Rotate(theta float64) Vec2 {
+	s, c := math.Sincos(theta)
+	return Vec2{v.X*c - v.Y*s, v.X*s + v.Y*c}
+}
+
+// FromPolar returns the point at distance r in direction theta.
+func FromPolar(r, theta float64) Vec2 {
+	s, c := math.Sincos(theta)
+	return Vec2{r * c, r * s}
+}
+
+// NormalizeAngle maps theta into (-π, π].
+func NormalizeAngle(theta float64) float64 {
+	theta = math.Mod(theta, 2*math.Pi)
+	if theta > math.Pi {
+		theta -= 2 * math.Pi
+	} else if theta <= -math.Pi {
+		theta += 2 * math.Pi
+	}
+	return theta
+}
+
+// AngleDiff returns the signed smallest rotation from a to b, in (-π, π].
+func AngleDiff(a, b float64) float64 { return NormalizeAngle(b - a) }
+
+// Deg converts radians to degrees.
+func Deg(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Rad converts degrees to radians.
+func Rad(deg float64) float64 { return deg * math.Pi / 180 }
+
+// Lerp linearly interpolates between a and b; t=0 yields a, t=1 yields b.
+func Lerp(a, b Vec2, t float64) Vec2 {
+	return Vec2{a.X + (b.X-a.X)*t, a.Y + (b.Y-a.Y)*t}
+}

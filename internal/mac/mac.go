@@ -1,0 +1,181 @@
+// Package mac holds the pieces shared by the WiGig (D5000) and WiHD
+// (Air-3c) protocol models: the MPDU abstraction handed down from the
+// transport layer, bounded transmit queues, per-link statistics, and the
+// probe-based sector selection both MACs use after their (timing-level)
+// association exchanges.
+package mac
+
+import (
+	"math"
+
+	"repro/internal/antenna"
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// MPDU is one upper-layer packet queued for transmission. The MAC may
+// aggregate several MPDUs into a single PHY frame (A-MPDU style); the
+// paper shows WiGig scales throughput 171→934 Mbps purely through this
+// aggregation (§4.1).
+type MPDU struct {
+	// Bytes is the MPDU length including MAC framing.
+	Bytes int
+	// OnDeliver runs on the receiving device when the MPDU arrives
+	// (once, even across retransmissions).
+	OnDeliver func()
+}
+
+// Queue is a bounded FIFO of MPDUs.
+type Queue struct {
+	items []MPDU
+	limit int
+	// Dropped counts MPDUs rejected because the queue was full.
+	Dropped int
+}
+
+// NewQueue returns a queue holding at most limit MPDUs.
+func NewQueue(limit int) *Queue { return &Queue{limit: limit} }
+
+// Push appends an MPDU; it reports false (and counts a drop) when full.
+func (q *Queue) Push(m MPDU) bool {
+	if len(q.items) >= q.limit {
+		q.Dropped++
+		return false
+	}
+	q.items = append(q.items, m)
+	return true
+}
+
+// Len returns the number of queued MPDUs.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Bytes returns the total queued payload.
+func (q *Queue) Bytes() int {
+	b := 0
+	for _, m := range q.items {
+		b += m.Bytes
+	}
+	return b
+}
+
+// Peek returns up to n MPDUs from the head without removing them.
+func (q *Queue) Peek(n int) []MPDU {
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	return q.items[:n]
+}
+
+// PeekAir returns the longest head run of MPDUs whose total size fits in
+// maxBytes, but at least one MPDU if any is queued — the aggregation
+// decision the transmitter makes when it wins the channel.
+func (q *Queue) PeekAir(maxBytes int) []MPDU {
+	if len(q.items) == 0 {
+		return nil
+	}
+	total := 0
+	n := 0
+	for _, m := range q.items {
+		if n > 0 && total+m.Bytes > maxBytes {
+			break
+		}
+		total += m.Bytes
+		n++
+	}
+	return q.items[:n]
+}
+
+// Pop removes the first n MPDUs.
+func (q *Queue) Pop(n int) {
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	q.items = q.items[n:]
+	if len(q.items) == 0 {
+		q.items = nil // let the backing array go
+	}
+}
+
+// Clear empties the queue (link break).
+func (q *Queue) Clear() { q.items = nil }
+
+// Stats aggregates what a device observed on its link; experiments read
+// these alongside the sniffer's independent measurements.
+type Stats struct {
+	// FramesSent counts transmitted data PPDUs (including retries).
+	FramesSent int
+	// Retries counts retransmitted data PPDUs.
+	Retries int
+	// MPDUsDelivered counts MPDUs handed to the upper layer at the
+	// receiver.
+	MPDUsDelivered int
+	// BytesDelivered sums their payload.
+	BytesDelivered int64
+	// AckTimeouts counts missing acknowledgements (the signature of the
+	// collisions in Fig. 21a).
+	AckTimeouts int
+	// Realignments counts beam re-training events after association
+	// (Fig. 14 ties rate changes to these).
+	Realignments int
+	// LinkBreaks counts full disassociations.
+	LinkBreaks int
+	// CSDefers counts transmission attempts deferred by carrier sensing
+	// (the D5000 behaviour in Fig. 21b).
+	CSDefers int
+	// TxAirTime accumulates time spent transmitting data frames.
+	TxAirTime sim.Time
+}
+
+// SelectSector evaluates every sector of the codebook as the transmit
+// pattern of dev towards peer (peer listening quasi-omni) and returns the
+// index with the highest received power, along with that power in dBm.
+//
+// This is the fixed point a sector-level sweep (SLS) converges to; both
+// MAC models run it after exchanging their association frames rather
+// than simulating each sweep frame. The paper does not measure training
+// airtime, so the shortcut trades nothing observable — but crucially the
+// choice still runs through the real channel: obstacles, reflections and
+// device orientation all influence which sector wins, which is exactly
+// how the misaligned-dock experiments (Figs. 17/22 "rotated") select a
+// boundary sector with degraded directionality.
+func SelectSector(med *sim.Medium, dev, peer *sim.Radio, cb *antenna.Codebook, boresight float64) (int, float64) {
+	savedTx := dev.TxGain
+	savedRx := peer.RxGain
+	defer func() {
+		dev.TxGain = savedTx
+		peer.RxGain = savedRx
+	}()
+	// Peer listens on a representative quasi-omni pattern.
+	peer.RxGain = antenna.Oriented{Pattern: cb.QuasiOmni[0], Boresight: peerBoresight(dev, peer)}.GainFunc()
+	bestIdx, bestP := -1, math.Inf(-1)
+	for i, s := range cb.Sectors {
+		dev.TxGain = antenna.Oriented{Pattern: s.Pattern, Boresight: boresight}.GainFunc()
+		if p := med.RxPowerDBm(dev, peer); p > bestP {
+			bestP = p
+			bestIdx = i
+		}
+	}
+	return bestIdx, bestP
+}
+
+// peerBoresight points the peer's quasi-omni listening pattern roughly
+// towards the device (devices physically face each other well enough for
+// discovery).
+func peerBoresight(dev, peer *sim.Radio) float64 {
+	return dev.Pos.Sub(peer.Pos).Angle()
+}
+
+// OrientSector returns the gain function of the given codebook sector
+// mounted at the device's boresight.
+func OrientSector(cb *antenna.Codebook, idx int, boresight float64) sim.GainFunc {
+	return antenna.Oriented{Pattern: cb.Sectors[idx].Pattern, Boresight: boresight}.GainFunc()
+}
+
+// OrientQuasiOmni returns the gain function of quasi-omni codeword idx at
+// the device's boresight.
+func OrientQuasiOmni(cb *antenna.Codebook, idx int, boresight float64) sim.GainFunc {
+	return antenna.Oriented{Pattern: cb.QuasiOmni[idx%len(cb.QuasiOmni)], Boresight: boresight}.GainFunc()
+}
+
+// Towards returns the global angle from a to b.
+func Towards(a, b geom.Vec2) float64 { return b.Sub(a).Angle() }

@@ -1,0 +1,91 @@
+package wigig
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/mac"
+)
+
+// TestDriverReportingAccessors exercises the read-only surface the
+// driver application exposes (the paper reads PHY rate and state from
+// exactly this kind of interface, Fig. 12).
+func TestDriverReportingAccessors(t *testing.T) {
+	s, _, l := newLink(t, 2, 31)
+	if l.Dock.State() == StateAssociated {
+		t.Error("associated before discovery ran")
+	}
+	if !l.WaitAssociated(s, time.Second) {
+		t.Fatal("no association")
+	}
+	if got := l.Dock.State(); got != StateAssociated {
+		t.Errorf("State() = %v", got)
+	}
+	if got, want := l.Dock.RateBps(), l.Dock.CurrentMCS().RateBps(); got != want {
+		t.Errorf("RateBps() = %.0f, MCS says %.0f", got, want)
+	}
+	if snr := l.Dock.SNREstimate(); snr < 5 || snr > 35 {
+		t.Errorf("SNREstimate() at 2 m = %.1f dB, outside plausible range", snr)
+	}
+	if q := l.Station.QueueLen(); q != 0 {
+		t.Errorf("idle QueueLen() = %d", q)
+	}
+	for i := 0; i < 40; i++ {
+		l.Station.Send(mac.MPDU{Bytes: 1500})
+	}
+	if q := l.Station.QueueLen(); q == 0 {
+		t.Error("QueueLen() = 0 right after queuing 40 MPDUs")
+	}
+	s.Run(50 * time.Millisecond)
+	if q := l.Station.QueueLen(); q != 0 {
+		t.Errorf("queue did not drain: %d MPDUs left", q)
+	}
+}
+
+// TestDebugBreaksHook: when the channel collapses under an associated
+// link, the break detector must fire and report through the hook with a
+// named device and reason.
+func TestDebugBreaksHook(t *testing.T) {
+	s, med, l := newLink(t, 2, 33)
+	if !l.WaitAssociated(s, time.Second) {
+		t.Fatal("no association")
+	}
+	type brk struct{ who, reason string }
+	var breaks []brk
+	DebugBreaks(func(who, reason string) { breaks = append(breaks, brk{who, reason}) })
+	defer DebugBreaks(nil)
+	// Kill the link outright: 80 dB of extra path loss in both directions.
+	med.SetLinkOffset(l.Dock.Radio().ID, l.Station.Radio().ID, -80)
+	s.Run(500 * time.Millisecond)
+	if len(breaks) == 0 {
+		t.Fatal("no break reported for a dead channel")
+	}
+	if breaks[0].who == "" || breaks[0].reason == "" {
+		t.Errorf("break hook got empty fields: %+v", breaks[0])
+	}
+	if l.Dock.Associated() && l.Station.Associated() {
+		t.Error("both ends still associated across a dead channel")
+	}
+}
+
+// TestSNREstimateTracksDistance: the reported SNR at 2 m must clearly
+// exceed the one at 12 m — the estimator has to follow the physics it
+// feeds the rate adaptation.
+func TestSNREstimateTracksDistance(t *testing.T) {
+	snrAt := func(dist float64, seed uint64) float64 {
+		s, _, l := newLink(t, dist, seed)
+		if !l.WaitAssociated(s, 2*time.Second) {
+			t.Fatalf("no association at %.0f m", dist)
+		}
+		s.Run(100 * time.Millisecond)
+		return l.Dock.SNREstimate()
+	}
+	near, far := snrAt(2, 35), snrAt(12, 37)
+	if math.IsNaN(near) || math.IsNaN(far) {
+		t.Fatalf("NaN SNR estimate: near %.1f far %.1f", near, far)
+	}
+	if near < far+5 {
+		t.Errorf("SNR at 2 m (%.1f dB) not clearly above 12 m (%.1f dB)", near, far)
+	}
+}

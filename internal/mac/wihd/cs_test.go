@@ -1,0 +1,79 @@
+package wihd
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/phy"
+	"repro/internal/rf"
+	"repro/internal/sim"
+)
+
+// TestCarrierSenseKnob: with sensing enabled, a strong foreign carrier
+// makes the transmitter defer (the stock device never does — see
+// TestNoCarrierSensing).
+func TestCarrierSenseKnob(t *testing.T) {
+	s := sim.NewScheduler()
+	med := sim.NewMedium(s, geom.Open(), rf.FreqChannel2Hz, rf.DefaultBudget(), 51)
+	med.Budget.ShadowingSigmaDB = 0
+	tx := NewDevice(med, Config{Name: "tx", Role: TX, Pos: geom.V(0, 0), Seed: 51, CarrierSense: true})
+	rx := NewDevice(med, Config{Name: "rx", Role: RX, Pos: geom.V(8, 0), BoresightDeg: 180, Seed: 52})
+	Connect(tx, rx)
+	tx.SetStreaming(true)
+	tx.Start()
+	sys := &System{TX: tx, RX: rx}
+	if !sys.WaitPaired(s, time.Second) {
+		t.Fatal("no pairing")
+	}
+	// A strong intermittent carrier right next to the transmitter.
+	blocker := med.AddRadio(&sim.Radio{Name: "carrier", Pos: geom.V(0.5, 0.3), TxPowerDBm: 20})
+	stop := false
+	var occupy func()
+	occupy = func() {
+		if stop {
+			return
+		}
+		med.Transmit(blocker, phy.Frame{Type: phy.FrameData, Src: blocker.ID, Dst: -1, MCS: phy.MCS4, PayloadBytes: 20000})
+		s.After(250*time.Microsecond, occupy)
+	}
+	s.After(0, occupy)
+	s.Run(s.Now() + 100*time.Millisecond)
+	stop = true
+	if tx.Stats.CSDefers == 0 {
+		t.Error("sensing transmitter never deferred")
+	}
+	// The stream must still make progress in the gaps.
+	if rx.Stats.BytesDelivered == 0 {
+		t.Error("no video delivered despite gaps")
+	}
+}
+
+// TestCarrierSenseDefaultOff: the stock Air-3c ignores the channel.
+func TestCarrierSenseDefaultOff(t *testing.T) {
+	s := sim.NewScheduler()
+	med := sim.NewMedium(s, geom.Open(), rf.FreqChannel2Hz, rf.DefaultBudget(), 53)
+	sys := NewSystem(med,
+		Config{Name: "tx", Pos: geom.V(0, 0), Seed: 53},
+		Config{Name: "rx", Pos: geom.V(8, 0), Seed: 54},
+	)
+	if !sys.WaitPaired(s, time.Second) {
+		t.Fatal("no pairing")
+	}
+	blocker := med.AddRadio(&sim.Radio{Name: "carrier", Pos: geom.V(0.5, 0.3), TxPowerDBm: 20})
+	stop := false
+	var occupy func()
+	occupy = func() {
+		if stop {
+			return
+		}
+		med.Transmit(blocker, phy.Frame{Type: phy.FrameData, Src: blocker.ID, Dst: -1, MCS: phy.MCS4, PayloadBytes: 20000})
+		s.After(250*time.Microsecond, occupy)
+	}
+	s.After(0, occupy)
+	s.Run(s.Now() + 100*time.Millisecond)
+	stop = true
+	if sys.TX.Stats.CSDefers != 0 {
+		t.Errorf("stock WiHD deferred %d times", sys.TX.Stats.CSDefers)
+	}
+}

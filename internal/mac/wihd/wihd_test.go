@@ -1,0 +1,235 @@
+package wihd
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/phy"
+	"repro/internal/rf"
+	"repro/internal/sim"
+)
+
+func newSystem(t *testing.T, dist float64, seed uint64) (*sim.Scheduler, *sim.Medium, *System) {
+	t.Helper()
+	s := sim.NewScheduler()
+	med := sim.NewMedium(s, geom.Open(), rf.FreqChannel2Hz, rf.DefaultBudget(), seed)
+	med.Budget.ShadowingSigmaDB = 0
+	sys := NewSystem(med,
+		Config{Name: "hdmi-tx", Pos: geom.V(0, 0), Seed: seed},
+		Config{Name: "hdmi-rx", Pos: geom.V(dist, 0), Seed: seed + 1},
+	)
+	return s, med, sys
+}
+
+func TestPairing(t *testing.T) {
+	s, _, sys := newSystem(t, 8, 1)
+	if !sys.WaitPaired(s, time.Second) {
+		t.Fatal("WiHD system did not pair at 8 m")
+	}
+}
+
+func TestVideoFlows(t *testing.T) {
+	s, _, sys := newSystem(t, 8, 2)
+	if !sys.WaitPaired(s, time.Second) {
+		t.Fatal("no pairing")
+	}
+	start := sys.RX.Stats.BytesDelivered
+	t0 := s.Now()
+	s.Run(s.Now() + 500*time.Millisecond)
+	bytes := sys.RX.Stats.BytesDelivered - start
+	elapsed := (s.Now() - t0).Seconds()
+	goodput := float64(bytes) * 8 / elapsed
+	// The stream should deliver ≈ the video rate over a clean 8 m link.
+	if goodput < 0.85*DefaultVideoRateBps || goodput > 1.1*DefaultVideoRateBps {
+		t.Errorf("video goodput = %.0f Mbps, want ≈%.0f", goodput/1e6, DefaultVideoRateBps/1e6)
+	}
+}
+
+func TestBeaconDensity(t *testing.T) {
+	// Table 1: WiHD beacons every 0.224 ms — roughly 5× denser than the
+	// D5000's.
+	s, med, sys := newSystem(t, 8, 3)
+	if !sys.WaitPaired(s, time.Second) {
+		t.Fatal("no pairing")
+	}
+	var beacons []sim.Time
+	probe := med.AddRadio(&sim.Radio{Name: "probe", Pos: geom.V(4, 0.5)})
+	probe.Handler = sim.HandlerFunc(func(f phy.Frame, rx sim.Reception) {
+		if f.Type == phy.FrameBeacon && f.Src == sys.RX.Radio().ID {
+			beacons = append(beacons, rx.Start)
+		}
+	})
+	s.Run(s.Now() + 100*time.Millisecond)
+	if len(beacons) < 400 {
+		t.Fatalf("beacons in 100 ms = %d, want ≈446", len(beacons))
+	}
+	gap := beacons[1] - beacons[0]
+	if gap < 220*time.Microsecond || gap > 230*time.Microsecond {
+		t.Errorf("beacon gap = %v, want 224 µs", gap)
+	}
+}
+
+func TestDiscoveryPeriod(t *testing.T) {
+	// Unpaired TX sweeps discovery every 20 ms with shuffled pattern
+	// order (§4.2 notes the order changes every frame).
+	s := sim.NewScheduler()
+	med := sim.NewMedium(s, geom.Open(), rf.FreqChannel2Hz, rf.DefaultBudget(), 4)
+	tx := NewDevice(med, Config{Name: "tx", Role: TX, Pos: geom.V(0, 0), Seed: 4})
+	tx.Start()
+	var metas [][]int
+	var cur []int
+	var last sim.Time
+	probe := med.AddRadio(&sim.Radio{Name: "probe", Pos: geom.V(1, 0)})
+	probe.Handler = sim.HandlerFunc(func(f phy.Frame, rx sim.Reception) {
+		if f.Type != phy.FrameDiscovery {
+			return
+		}
+		if rx.Start-last > time.Millisecond && len(cur) > 0 {
+			metas = append(metas, cur)
+			cur = nil
+		}
+		last = rx.Start
+		cur = append(cur, f.Meta)
+	})
+	s.Run(100 * time.Millisecond)
+	if len(cur) > 0 {
+		metas = append(metas, cur)
+	}
+	if len(metas) < 4 {
+		t.Fatalf("sweeps = %d, want ≈5 in 100 ms", len(metas))
+	}
+	// Pattern order differs between consecutive sweeps.
+	same := true
+	for i := range metas[0] {
+		if i >= len(metas[1]) || metas[0][i] != metas[1][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("discovery pattern order did not change between sweeps")
+	}
+}
+
+func TestIdleWhenNotStreaming(t *testing.T) {
+	s, med, sys := newSystem(t, 8, 5)
+	if !sys.WaitPaired(s, time.Second) {
+		t.Fatal("no pairing")
+	}
+	sys.TX.SetStreaming(false)
+	// Drain in-flight frames, then count.
+	s.Run(s.Now() + 50*time.Millisecond)
+	dataFrames, beaconFrames := 0, 0
+	probe := med.AddRadio(&sim.Radio{Name: "probe", Pos: geom.V(4, 0.5)})
+	probe.Handler = sim.HandlerFunc(func(f phy.Frame, rx sim.Reception) {
+		switch f.Type {
+		case phy.FrameData:
+			dataFrames++
+		case phy.FrameBeacon:
+			beaconFrames++
+		}
+	})
+	s.Run(s.Now() + 100*time.Millisecond)
+	if dataFrames != 0 {
+		t.Errorf("idle TX sent %d data frames", dataFrames)
+	}
+	if beaconFrames < 400 {
+		t.Errorf("beacons keep flowing when idle, got %d", beaconFrames)
+	}
+	// Restart streaming.
+	sys.TX.SetStreaming(true)
+	before := sys.RX.Stats.BytesDelivered
+	s.Run(s.Now() + 100*time.Millisecond)
+	if sys.RX.Stats.BytesDelivered == before {
+		t.Error("stream did not resume")
+	}
+}
+
+func TestNoCarrierSensing(t *testing.T) {
+	// The defining WiHD property (§3.2): it transmits blindly even while
+	// another radio occupies the channel. We saturate the air with a
+	// constant strong carrier and verify data frames keep flowing.
+	s, med, sys := newSystem(t, 8, 6)
+	if !sys.WaitPaired(s, time.Second) {
+		t.Fatal("no pairing")
+	}
+	blocker := med.AddRadio(&sim.Radio{Name: "carrier", Pos: geom.V(4, 0.3), TxPowerDBm: 20})
+	stop := false
+	var occupy func()
+	occupy = func() {
+		if stop {
+			return
+		}
+		med.Transmit(blocker, phy.Frame{Type: phy.FrameData, Src: blocker.ID, Dst: -1, MCS: phy.MCS1, PayloadBytes: 30000})
+		s.After(600*time.Microsecond, occupy)
+	}
+	s.After(0, occupy)
+	sent := sys.TX.Stats.FramesSent
+	s.Run(s.Now() + 100*time.Millisecond)
+	stop = true
+	if sys.TX.Stats.FramesSent-sent < 100 {
+		t.Errorf("WiHD deferred under a busy channel: %d frames", sys.TX.Stats.FramesSent-sent)
+	}
+}
+
+func TestPowerOffSilences(t *testing.T) {
+	s, med, sys := newSystem(t, 8, 7)
+	if !sys.WaitPaired(s, time.Second) {
+		t.Fatal("no pairing")
+	}
+	sys.PowerOff()
+	s.Run(s.Now() + 20*time.Millisecond) // drain
+	frames := 0
+	probe := med.AddRadio(&sim.Radio{Name: "probe", Pos: geom.V(4, 0.5)})
+	probe.Handler = sim.HandlerFunc(func(f phy.Frame, rx sim.Reception) { frames++ })
+	s.Run(s.Now() + 100*time.Millisecond)
+	if frames != 0 {
+		t.Errorf("powered-off system emitted %d frames", frames)
+	}
+	sys.PowerOn()
+	s.Run(s.Now() + 100*time.Millisecond)
+	if frames == 0 {
+		t.Error("power-on did not restart the link")
+	}
+}
+
+func TestFrameLengthsVariable(t *testing.T) {
+	// Fig. 15: WiHD data frames have variable length, unlike the D5000's
+	// bimodal short/long classes.
+	s, med, sys := newSystem(t, 8, 8)
+	if !sys.WaitPaired(s, time.Second) {
+		t.Fatal("no pairing")
+	}
+	seen := map[time.Duration]bool{}
+	probe := med.AddRadio(&sim.Radio{Name: "probe", Pos: geom.V(4, 0.5)})
+	probe.Handler = sim.HandlerFunc(func(f phy.Frame, rx sim.Reception) {
+		if f.Type == phy.FrameData {
+			seen[(rx.End-rx.Start)/(10*time.Microsecond)] = true
+		}
+	})
+	s.Run(s.Now() + 200*time.Millisecond)
+	if len(seen) < 2 {
+		t.Errorf("frame air-times cluster too tightly: %v", seen)
+	}
+}
+
+func TestLongRangeWiHD(t *testing.T) {
+	// §3.1: the Air-3c outperforms the D5000 in range — video flows at
+	// 15 m (the D5000's data link is marginal there).
+	s, _, sys := newSystem(t, 15, 9)
+	if !sys.WaitPaired(s, 2*time.Second) {
+		t.Fatal("no pairing at 15 m")
+	}
+	start := sys.RX.Stats.BytesDelivered
+	s.Run(s.Now() + 200*time.Millisecond)
+	if sys.RX.Stats.BytesDelivered == start {
+		t.Error("no video delivered at 15 m")
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	if TX.String() != "wihd-tx" || RX.String() != "wihd-rx" {
+		t.Error("role names")
+	}
+}

@@ -1,0 +1,115 @@
+package phy
+
+import (
+	"fmt"
+	"time"
+)
+
+// FrameType enumerates the over-the-air frame classes the sniffer can
+// distinguish by timing and amplitude (it cannot decode payloads — the
+// paper's Vubiq setup undersamples at 10⁸ S/s, well below the symbol
+// rate, and classifies frames exactly this way).
+type FrameType int
+
+// Frame classes observed from the devices under test.
+const (
+	FrameData FrameType = iota
+	FrameAck
+	FrameBeacon
+	FrameDiscovery
+	FrameRTS
+	FrameCTS
+	FrameAssocReq
+	FrameAssocResp
+)
+
+var frameTypeNames = [...]string{"data", "ack", "beacon", "discovery", "rts", "cts", "assoc-req", "assoc-resp"}
+
+// String returns the lowercase frame-class name.
+func (t FrameType) String() string {
+	if int(t) < 0 || int(t) >= len(frameTypeNames) {
+		return fmt.Sprintf("frame(%d)", int(t))
+	}
+	return frameTypeNames[t]
+}
+
+// Frame is one PPDU in flight. Frames are value types; the medium copies
+// them into each receiver's observation.
+type Frame struct {
+	// Type is the frame class.
+	Type FrameType
+	// Src and Dst are node IDs assigned by the simulator; Dst < 0 means
+	// broadcast (beacons, discovery sweeps).
+	Src, Dst int
+	// MCS is the modulation the payload is sent at; control frames use
+	// MCS0.
+	MCS MCS
+	// PayloadBytes is the aggregate MAC payload carried.
+	PayloadBytes int
+	// MPDUs is the number of aggregated subframes (1 = no aggregation).
+	// The paper's key §4.1 finding is that WiGig scales throughput purely
+	// by growing this number at fixed MCS.
+	MPDUs int
+	// Seq tags data frames for retransmission bookkeeping.
+	Seq int64
+	// Retry marks a retransmission.
+	Retry bool
+	// Meta carries free-form annotations for trace analysis (e.g. the
+	// discovery sub-element index).
+	Meta int
+	// NAV is the network-allocation-vector duration the frame announces:
+	// third parties that decode the frame must defer for this long after
+	// the frame ends (virtual carrier sensing). Zero announces nothing.
+	NAV time.Duration
+	// Payload carries opaque upper-layer content (the MAC's aggregated
+	// MPDU batch) through the medium to the receiver. The sniffer never
+	// inspects it — it works from timing and amplitude alone, like the
+	// paper's undersampled Vubiq traces.
+	Payload any
+}
+
+// Duration returns the frame's air-time.
+func (f Frame) Duration() time.Duration {
+	switch f.Type {
+	case FrameAck:
+		return AckDuration
+	case FrameRTS, FrameCTS, FrameAssocReq, FrameAssocResp:
+		// Control frames: short fixed payload at the control PHY.
+		return PreambleDuration + HeaderDuration + MCS0.PayloadDuration(20)
+	case FrameBeacon:
+		// A slim beacon/heartbeat frame at the control PHY.
+		return PreambleDuration + HeaderDuration + MCS0.PayloadDuration(40)
+	case FrameDiscovery:
+		// One sub-element of the discovery sweep: the MAC transmits the
+		// Fig. 3 frame as DiscoverySubElements of these back to back,
+		// each on its own quasi-omni pattern (Meta holds the index).
+		return DiscoverySubElementDuration
+	default:
+		return f.MCS.FrameDuration(f.PayloadBytes)
+	}
+}
+
+// Discovery frame structure (Fig. 3): 32 constant-amplitude sub-elements
+// spanning roughly 0.7 ms.
+const (
+	// DiscoverySubElements is the number of quasi-omni patterns swept in
+	// one discovery frame.
+	DiscoverySubElements = 32
+	// DiscoverySubElementDuration is the air-time of one sub-element.
+	DiscoverySubElementDuration = 22 * time.Microsecond
+	// DiscoveryFrameDuration is the whole sweep.
+	DiscoveryFrameDuration = DiscoverySubElements * DiscoverySubElementDuration
+)
+
+// String renders a compact human-readable frame description for trace
+// dumps.
+func (f Frame) String() string {
+	s := fmt.Sprintf("%s %d→%d", f.Type, f.Src, f.Dst)
+	if f.Type == FrameData {
+		s += fmt.Sprintf(" %dB x%d %s", f.PayloadBytes, f.MPDUs, f.MCS)
+		if f.Retry {
+			s += " retry"
+		}
+	}
+	return s
+}

@@ -1,0 +1,33 @@
+package phy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalHeader: arbitrary bytes must never panic the header
+// parser, and anything it accepts must re-marshal to the same bytes
+// (the codec has no don't-care bits).
+func FuzzUnmarshalHeader(f *testing.F) {
+	valid, _ := MarshalHeader(Frame{Type: FrameData, Src: 1, Dst: 2, MCS: MCS9,
+		PayloadBytes: 4096, MPDUs: 3, Seq: 77, Meta: 1, Retry: true})
+	f.Add(valid)
+	f.Add(bytes.Repeat([]byte{0xff}, HeaderSize))
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)-1] ^= 0x01 // CRC flip
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := UnmarshalHeader(data)
+		if err != nil {
+			return
+		}
+		back, err := MarshalHeader(fr)
+		if err != nil {
+			t.Fatalf("accepted frame does not re-marshal: %+v: %v", fr, err)
+		}
+		if !bytes.Equal(back, data[:HeaderSize]) {
+			t.Fatalf("round-trip mismatch:\n in  %x\n out %x", data[:HeaderSize], back)
+		}
+	})
+}

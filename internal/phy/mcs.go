@@ -1,0 +1,174 @@
+// Package phy models the 802.11ad/WiGig single-carrier physical layer:
+// the MCS ladder, SNR-dependent packet error rates, and frame air-time
+// arithmetic including aggregation. The paper reads the D5000's reported
+// PHY rates and maps them onto exactly this ladder (Fig. 12), observing
+// that the link runs 16-QAM 5/8 at short range but never the highest MCS,
+// and that all throughput scaling at a fixed MCS comes from aggregation.
+package phy
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// MCS identifies a single-carrier modulation and coding scheme. Index 0
+// is the control PHY (DBPSK spreading) used for control frames and
+// beacons; 1–12 are the SC data MCSs of IEEE 802.11ad.
+type MCS int
+
+// Control PHY plus the data MCS ladder.
+const (
+	MCS0 MCS = iota // control PHY
+	MCS1
+	MCS2
+	MCS3
+	MCS4
+	MCS5
+	MCS6
+	MCS7
+	MCS8
+	MCS9
+	MCS10
+	MCS11
+	MCS12
+	mcsCount
+)
+
+// Info describes one entry of the MCS table.
+type Info struct {
+	// Modulation is the constellation name.
+	Modulation string
+	// CodeRate is the LDPC code rate as a string (e.g. "5/8").
+	CodeRate string
+	// RateBps is the PHY data rate in bits per second.
+	RateBps float64
+	// MinSNRdB is the SNR at which the scheme starts to be usable; the
+	// PER model is a sigmoid around this threshold. Values are calibrated
+	// jointly with the default link budget so that the simulated D5000
+	// reproduces the paper's rate-vs-distance behaviour (see
+	// rf.DefaultBudget).
+	MinSNRdB float64
+}
+
+// table is indexed by MCS.
+var table = [mcsCount]Info{
+	MCS0:  {"π/2-DBPSK", "1/2", 27.5e6, -10}, // 32x spreading: decodes at negative SINR
+	MCS1:  {"π/2-BPSK", "1/2", 385e6, 1},
+	MCS2:  {"π/2-BPSK", "1/2", 770e6, 3},
+	MCS3:  {"π/2-BPSK", "5/8", 962.5e6, 4.5},
+	MCS4:  {"π/2-BPSK", "3/4", 1155e6, 5.5},
+	MCS5:  {"π/2-BPSK", "13/16", 1251.25e6, 6.3},
+	MCS6:  {"π/2-QPSK", "1/2", 1540e6, 7.0},
+	MCS7:  {"π/2-QPSK", "5/8", 1925e6, 8.5},
+	MCS8:  {"π/2-QPSK", "3/4", 2310e6, 10.0},
+	MCS9:  {"π/2-QPSK", "13/16", 2502.5e6, 11.5},
+	MCS10: {"π/2-16QAM", "1/2", 3080e6, 15.0},
+	MCS11: {"π/2-16QAM", "5/8", 3850e6, 17.5},
+	MCS12: {"π/2-16QAM", "3/4", 4620e6, 23.0},
+}
+
+// Lookup returns the table entry for m. It panics on out-of-range values;
+// MCS values only originate from this package's selection functions.
+func (m MCS) Lookup() Info {
+	if m < 0 || m >= mcsCount {
+		panic(fmt.Sprintf("phy: invalid MCS %d", int(m)))
+	}
+	return table[m]
+}
+
+// RateBps returns the PHY rate of m in bits per second.
+func (m MCS) RateBps() float64 { return m.Lookup().RateBps }
+
+// String renders e.g. "MCS11 (π/2-16QAM 5/8, 3850 Mbps)".
+func (m MCS) String() string {
+	i := m.Lookup()
+	return fmt.Sprintf("MCS%d (%s %s, %.0f Mbps)", int(m), i.Modulation, i.CodeRate, i.RateBps/1e6)
+}
+
+// MaxDataMCS is the top of the ladder (never observed in the paper's
+// measurements — the calibrated budget keeps short links just below its
+// threshold, matching that finding).
+const MaxDataMCS = MCS12
+
+// SelectMCS returns the fastest data MCS whose threshold is satisfied by
+// the given SNR with the given margin in dB, or (MCS0, false) when not
+// even MCS1 is usable — the link-break condition.
+func SelectMCS(snrDB, marginDB float64) (MCS, bool) {
+	best := MCS0
+	for m := MCS1; m <= MaxDataMCS; m++ {
+		if snrDB >= table[m].MinSNRdB+marginDB {
+			best = m
+		}
+	}
+	if best == MCS0 {
+		return MCS0, false
+	}
+	return best, true
+}
+
+// PER returns the packet error rate of a frame of lengthBits at the given
+// SNR for this MCS. The model is a logistic curve in SNR centered
+// slightly below the usability threshold, scaled with frame length
+// (longer frames see more symbol trials):
+//
+//	PER(snr) = 1 − (1 − p₀(snr))^(L/Lref)
+//	p₀(snr)  = 1/(1+exp(k·(snr−c)))
+//
+// with c = MinSNR − 0.5 dB and k = 3/dB: independent block trials over
+// the frame length, so PER ≈ 0.18·L/Lref at threshold, a fast waterfall
+// below it, and — crucially — even very short frames fail outright once
+// the SINR sits a couple of dB under the scheme's floor.
+func (m MCS) PER(snrDB float64, lengthBits int) float64 {
+	info := m.Lookup()
+	c := info.MinSNRdB - 0.5
+	base := 1 / (1 + math.Exp(3*(snrDB-c)))
+	lf := float64(lengthBits) / 8000 // reference: 1000-byte MPDU
+	if lf < 0.25 {
+		lf = 0.25
+	}
+	return 1 - math.Pow(1-base, lf)
+}
+
+// Frame timing constants of the single-carrier PHY. The preamble (short
+// training + channel estimation fields) and header occupy a fixed
+// air-time before payload symbols; the values below are the 802.11ad SC
+// figures rounded to nanoseconds.
+const (
+	// PreambleDuration covers STF + CEF.
+	PreambleDuration = 1891 * time.Nanosecond
+	// HeaderDuration is the PHY header at the base SC rate.
+	HeaderDuration = 582 * time.Nanosecond
+	// SIFS is the short interframe space.
+	SIFS = 3 * time.Microsecond
+	// SlotTime is the backoff slot duration.
+	SlotTime = 5 * time.Microsecond
+	// AckDuration approximates a block-ACK frame: preamble + header +
+	// a short control payload.
+	AckDuration = PreambleDuration + HeaderDuration + 500*time.Nanosecond
+)
+
+// PayloadDuration returns the air-time of payloadBytes at the MCS rate.
+func (m MCS) PayloadDuration(payloadBytes int) time.Duration {
+	bits := float64(payloadBytes * 8)
+	sec := bits / m.RateBps()
+	return time.Duration(sec * float64(time.Second))
+}
+
+// FrameDuration returns the total air-time of a PPDU carrying
+// payloadBytes: preamble + header + payload symbols.
+func (m MCS) FrameDuration(payloadBytes int) time.Duration {
+	return PreambleDuration + HeaderDuration + m.PayloadDuration(payloadBytes)
+}
+
+// MaxAggBytes returns the largest aggregate payload that fits in a frame
+// of at most maxAir air-time at this MCS, or 0 if even the preamble does
+// not fit.
+func (m MCS) MaxAggBytes(maxAir time.Duration) int {
+	budget := maxAir - PreambleDuration - HeaderDuration
+	if budget <= 0 {
+		return 0
+	}
+	bits := budget.Seconds() * m.RateBps()
+	return int(bits / 8)
+}

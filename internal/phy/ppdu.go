@@ -1,0 +1,143 @@
+package phy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// This file implements the byte-level PPDU header codec: the PLCP-style
+// header a transmitter serializes in front of the payload and a receiver
+// parses back. The simulator's medium passes phy.Frame values around for
+// speed, but the codec keeps the model honest — every field the MACs
+// depend on has a concrete wire representation with a checksum, and the
+// round-trip is property-tested. Tools can also use it to export traces
+// in a stable binary form.
+
+// HeaderSize is the serialized PPDU header length in bytes.
+const HeaderSize = 28
+
+// Wire-format offsets (all multi-byte fields are little-endian, matching
+// the bit-ordering convention of the 802.11 family).
+const (
+	offMagic   = 0  // uint16 magic
+	offVersion = 2  // uint8
+	offType    = 3  // uint8 frame type
+	offMCS     = 4  // uint8
+	offFlags   = 5  // uint8 (bit0: retry)
+	offSrc     = 6  // uint16
+	offDst     = 8  // uint16 (0xFFFF = broadcast)
+	offSeq     = 10 // uint64
+	offLen     = 18 // uint32 payload bytes
+	offMPDUs   = 22 // uint8
+	offMeta    = 23 // uint8
+	offCRC     = 24 // uint32 CRC-32C over bytes [0, offCRC)
+)
+
+// headerMagic identifies a PPDU header.
+const headerMagic = 0xAD60
+
+// headerVersion is bumped on incompatible format changes.
+const headerVersion = 1
+
+// Codec errors.
+var (
+	ErrShortHeader = errors.New("phy: buffer shorter than a PPDU header")
+	ErrBadMagic    = errors.New("phy: not a PPDU header")
+	ErrBadVersion  = errors.New("phy: unsupported PPDU header version")
+	ErrBadCRC      = errors.New("phy: PPDU header checksum mismatch")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// MarshalHeader serializes the frame's header fields into a fresh
+// HeaderSize-byte buffer. The opaque Payload and the NAV are not part of
+// the wire header (NAV rides in the MAC portion of real frames; our MACs
+// carry it in the frame value).
+func MarshalHeader(f Frame) ([]byte, error) {
+	if f.Src < 0 || f.Src > 0xFFFF {
+		return nil, fmt.Errorf("phy: source %d out of range", f.Src)
+	}
+	if f.Dst > 0xFFFF {
+		return nil, fmt.Errorf("phy: destination %d out of range", f.Dst)
+	}
+	if f.PayloadBytes < 0 || f.PayloadBytes > 1<<30 {
+		return nil, fmt.Errorf("phy: payload %d out of range", f.PayloadBytes)
+	}
+	if f.MPDUs < 0 || f.MPDUs > 255 {
+		return nil, fmt.Errorf("phy: MPDU count %d out of range", f.MPDUs)
+	}
+	if f.Meta < 0 || f.Meta > 255 {
+		return nil, fmt.Errorf("phy: meta %d out of range", f.Meta)
+	}
+	if f.MCS < 0 || f.MCS >= mcsCount {
+		return nil, fmt.Errorf("phy: invalid MCS %d", int(f.MCS))
+	}
+	b := make([]byte, HeaderSize)
+	binary.LittleEndian.PutUint16(b[offMagic:], headerMagic)
+	b[offVersion] = headerVersion
+	b[offType] = byte(f.Type)
+	b[offMCS] = byte(f.MCS)
+	if f.Retry {
+		b[offFlags] |= 1
+	}
+	binary.LittleEndian.PutUint16(b[offSrc:], uint16(f.Src))
+	dst := uint16(0xFFFF)
+	if f.Dst >= 0 {
+		dst = uint16(f.Dst)
+	}
+	binary.LittleEndian.PutUint16(b[offDst:], dst)
+	binary.LittleEndian.PutUint64(b[offSeq:], uint64(f.Seq))
+	binary.LittleEndian.PutUint32(b[offLen:], uint32(f.PayloadBytes))
+	b[offMPDUs] = byte(f.MPDUs)
+	b[offMeta] = byte(f.Meta)
+	binary.LittleEndian.PutUint32(b[offCRC:], crc32.Checksum(b[:offCRC], crcTable))
+	return b, nil
+}
+
+// UnmarshalHeader parses a PPDU header, validating magic, version and
+// checksum. The returned frame carries every MAC-visible field; Payload
+// and NAV are zero.
+func UnmarshalHeader(b []byte) (Frame, error) {
+	if len(b) < HeaderSize {
+		return Frame{}, ErrShortHeader
+	}
+	if binary.LittleEndian.Uint16(b[offMagic:]) != headerMagic {
+		return Frame{}, ErrBadMagic
+	}
+	if b[offVersion] != headerVersion {
+		return Frame{}, ErrBadVersion
+	}
+	if binary.LittleEndian.Uint32(b[offCRC:]) != crc32.Checksum(b[:offCRC], crcTable) {
+		return Frame{}, ErrBadCRC
+	}
+	f := Frame{
+		Type:         FrameType(b[offType]),
+		MCS:          MCS(b[offMCS]),
+		Retry:        b[offFlags]&1 != 0,
+		Src:          int(binary.LittleEndian.Uint16(b[offSrc:])),
+		Seq:          int64(binary.LittleEndian.Uint64(b[offSeq:])),
+		PayloadBytes: int(binary.LittleEndian.Uint32(b[offLen:])),
+		MPDUs:        int(b[offMPDUs]),
+		Meta:         int(b[offMeta]),
+	}
+	dst := binary.LittleEndian.Uint16(b[offDst:])
+	if dst == 0xFFFF {
+		f.Dst = -1
+	} else {
+		f.Dst = int(dst)
+	}
+	return f, nil
+}
+
+// AirBytes returns the PPDU's total serialized size: header plus
+// payload. The header rides at the control rate in real systems, which
+// the timing model accounts for separately (PreambleDuration +
+// HeaderDuration); this function sizes buffers and trace files.
+func AirBytes(f Frame) int { return HeaderSize + f.PayloadBytes }
+
+// HeaderAirTime returns the fixed air-time the serialized header
+// represents — preamble plus PLCP header.
+func HeaderAirTime() time.Duration { return PreambleDuration + HeaderDuration }

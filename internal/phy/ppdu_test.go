@@ -1,0 +1,140 @@
+package phy
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	in := Frame{
+		Type:         FrameData,
+		MCS:          MCS11,
+		Src:          3,
+		Dst:          7,
+		Seq:          123456789,
+		PayloadBytes: 11500,
+		MPDUs:        8,
+		Meta:         31,
+		Retry:        true,
+	}
+	b, err := MarshalHeader(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != HeaderSize {
+		t.Fatalf("header size = %d", len(b))
+	}
+	out, err := UnmarshalHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip:\n in %+v\nout %+v", in, out)
+	}
+}
+
+func TestHeaderBroadcast(t *testing.T) {
+	in := Frame{Type: FrameDiscovery, Src: 1, Dst: -1, Meta: 17}
+	b, err := MarshalHeader(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dst != -1 {
+		t.Errorf("broadcast Dst = %d", out.Dst)
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	good := Frame{Type: FrameData, MCS: MCS4, Src: 1, Dst: 2, PayloadBytes: 100, MPDUs: 1}
+	b, err := MarshalHeader(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short buffer.
+	if _, err := UnmarshalHeader(b[:HeaderSize-1]); err != ErrShortHeader {
+		t.Errorf("short: %v", err)
+	}
+	// Corrupt magic.
+	bad := bytes.Clone(b)
+	bad[0] ^= 0xFF
+	if _, err := UnmarshalHeader(bad); err != ErrBadMagic {
+		t.Errorf("magic: %v", err)
+	}
+	// Corrupt version.
+	bad = bytes.Clone(b)
+	bad[offVersion] = 99
+	if _, err := UnmarshalHeader(bad); err != ErrBadVersion {
+		t.Errorf("version: %v", err)
+	}
+	// Any single-byte flip inside the covered region breaks the CRC.
+	for i := offType; i < offCRC; i++ {
+		bad = bytes.Clone(b)
+		bad[i] ^= 0x10
+		if _, err := UnmarshalHeader(bad); err != ErrBadCRC {
+			t.Errorf("flip at %d: %v", i, err)
+		}
+	}
+}
+
+func TestMarshalRejectsOutOfRange(t *testing.T) {
+	cases := []Frame{
+		{Src: -1},
+		{Src: 70000},
+		{Dst: 70000},
+		{PayloadBytes: -1},
+		{MPDUs: 300},
+		{Meta: 300},
+		{MCS: MCS(99)},
+	}
+	for i, f := range cases {
+		if _, err := MarshalHeader(f); err == nil {
+			t.Errorf("case %d accepted: %+v", i, f)
+		}
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(typ uint8, mcs uint8, src, dst uint16, seq int64, plen uint16, mpdus, meta uint8, retry bool) bool {
+		in := Frame{
+			Type:         FrameType(typ % 8),
+			MCS:          MCS(mcs % uint8(mcsCount)),
+			Src:          int(src),
+			Dst:          int(dst),
+			Seq:          seq,
+			PayloadBytes: int(plen),
+			MPDUs:        int(mpdus),
+			Meta:         int(meta),
+			Retry:        retry,
+		}
+		if in.Dst == 0xFFFF {
+			in.Dst = -1 // the broadcast encoding is not a unicast ID
+		}
+		if in.Seq < 0 {
+			in.Seq = -in.Seq
+		}
+		b, err := MarshalHeader(in)
+		if err != nil {
+			return false
+		}
+		out, err := UnmarshalHeader(b)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAirBytes(t *testing.T) {
+	f := Frame{PayloadBytes: 1000}
+	if AirBytes(f) != HeaderSize+1000 {
+		t.Errorf("AirBytes = %d", AirBytes(f))
+	}
+	if HeaderAirTime() != PreambleDuration+HeaderDuration {
+		t.Error("HeaderAirTime mismatch")
+	}
+}

@@ -1,0 +1,76 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// The EVM ceiling is the single calibration choice that keeps MCS12 out
+// of every result (paper §4.1): the transmitter's own distortion adds
+// like noise, so effective SINR saturates at the floor.
+func TestEffectiveSINRCeiling(t *testing.T) {
+	b := DefaultBudget()
+	if b.EVMFloorDB <= 0 {
+		t.Fatal("default budget must carry an EVM floor")
+	}
+	cases := []struct{ raw, lo, hi float64 }{
+		{raw: 60, lo: b.EVMFloorDB - 0.05, hi: b.EVMFloorDB}, // saturated
+		{raw: b.EVMFloorDB, lo: b.EVMFloorDB - 3.1, hi: b.EVMFloorDB - 2.9}, // equal powers: −3 dB
+		{raw: 0, lo: -0.1, hi: 0}, // far below the floor: pass-through
+		{raw: -20, lo: -20.1, hi: -20},
+	}
+	for _, c := range cases {
+		got := b.EffectiveSINRdB(c.raw)
+		if got < c.lo || got > c.hi {
+			t.Errorf("EffectiveSINRdB(%.1f) = %.2f, want [%.2f, %.2f]", c.raw, got, c.lo, c.hi)
+		}
+	}
+	if got := b.EffectiveSINRdB(math.Inf(-1)); !math.IsInf(got, -1) {
+		t.Errorf("dead link should stay dead, got %.1f", got)
+	}
+	b.EVMFloorDB = 0
+	if got := b.EffectiveSINRdB(40); got != 40 {
+		t.Errorf("no floor must mean pass-through, got %.1f", got)
+	}
+}
+
+// Property: the EVM mapping is monotone, never exceeds the floor, and
+// never exceeds the raw SINR.
+func TestEffectiveSINRProperties(t *testing.T) {
+	b := DefaultBudget()
+	prop := func(a, step uint16) bool {
+		x := float64(a%800)/10 - 40 // −40..40 dB
+		y := x + float64(step%100)/10
+		fx, fy := b.EffectiveSINRdB(x), b.EffectiveSINRdB(y)
+		return fy >= fx-1e-12 && fx <= b.EVMFloorDB && fx <= x
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShadowingDraws(t *testing.T) {
+	rng := stats.NewRNG(9)
+	b := DefaultBudget()
+	b.ShadowingSigmaDB = 0
+	if d := b.DrawShadowingDB(rng); d != 0 {
+		t.Errorf("zero-sigma shadowing drew %.2f", d)
+	}
+	b.ShadowingSigmaDB = 2
+	var nonzero bool
+	for i := 0; i < 16; i++ {
+		d := b.DrawShadowingDB(rng)
+		if d != 0 {
+			nonzero = true
+		}
+		if math.Abs(d) > 5*b.ShadowingSigmaDB {
+			t.Errorf("shadowing draw %.1f dB implausibly far out", d)
+		}
+	}
+	if !nonzero {
+		t.Error("sigma=2 dB never drew a nonzero value")
+	}
+}

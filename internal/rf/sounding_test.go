@@ -1,0 +1,182 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func tapsFor(t *testing.T, room *geom.Room, d float64) []Tap {
+	t.Helper()
+	tr := NewTracer(room, FreqChannel2Hz)
+	paths, err := tr.Trace(geom.V(0, 0), geom.V(d, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return PowerDelayProfile(0, paths, Isotropic, Isotropic, 40)
+}
+
+func TestPDPSingleTapLOS(t *testing.T) {
+	taps := tapsFor(t, geom.Open(), 3)
+	if len(taps) != 1 {
+		t.Fatalf("taps = %d", len(taps))
+	}
+	// 3 m of air is 10 ns.
+	if math.Abs(taps[0].DelayNs-10.0) > 0.1 {
+		t.Errorf("delay = %v ns", taps[0].DelayNs)
+	}
+	if RMSDelaySpreadNs(taps) != 0 {
+		t.Errorf("single-tap spread = %v", RMSDelaySpreadNs(taps))
+	}
+	if !math.IsInf(RicianKdB(taps), 1) {
+		t.Errorf("single-tap K = %v", RicianKdB(taps))
+	}
+	if AngularSpreadRad(taps) > 1e-6 {
+		t.Errorf("single-tap angular spread = %v", AngularSpreadRad(taps))
+	}
+}
+
+func TestPDPConferenceRoom(t *testing.T) {
+	room := geom.ConferenceRoom()
+	tr := NewTracer(room, FreqChannel2Hz)
+	paths, err := tr.Trace(geom.V(1.85, 2.3), geom.V(7.3, 1.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	taps := PowerDelayProfile(0, paths, Isotropic, Isotropic, 40)
+	if len(taps) < 4 {
+		t.Fatalf("taps = %d, want multipath", len(taps))
+	}
+	// Delays sorted.
+	for i := 1; i < len(taps); i++ {
+		if taps[i].DelayNs < taps[i-1].DelayNs {
+			t.Fatal("taps not sorted")
+		}
+	}
+	// Indoor 60 GHz RMS delay spreads: a few to a few tens of ns.
+	tau := RMSDelaySpreadNs(taps)
+	if tau < 0.5 || tau > 60 {
+		t.Errorf("RMS delay spread = %.1f ns", tau)
+	}
+	// LOS-dominant: K positive.
+	if k := RicianKdB(taps); k < 0 || k > 40 {
+		t.Errorf("K = %.1f dB", k)
+	}
+	// Reflections spread arrivals.
+	if as := AngularSpreadRad(taps); as <= 0 {
+		t.Errorf("angular spread = %v", as)
+	}
+	// Coherence bandwidth finite and far below the 1.76 GHz channel for
+	// multipath-rich rooms — the frequency selectivity of §2's citations.
+	cb := CoherenceBandwidthMHz(taps)
+	if math.IsInf(cb, 1) || cb <= 0 {
+		t.Errorf("coherence bandwidth = %v", cb)
+	}
+}
+
+func TestPDPFloorCut(t *testing.T) {
+	room := geom.ConferenceRoom()
+	tr := NewTracer(room, FreqChannel2Hz)
+	paths, err := tr.Trace(geom.V(1.85, 2.3), geom.V(7.3, 1.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := PowerDelayProfile(0, paths, Isotropic, Isotropic, 0)
+	cut := PowerDelayProfile(0, paths, Isotropic, Isotropic, 10)
+	if len(cut) >= len(all) {
+		t.Errorf("10 dB floor kept %d of %d taps", len(cut), len(all))
+	}
+	// Every kept tap is within 10 dB of the strongest.
+	best := math.Inf(-1)
+	for _, tp := range cut {
+		if tp.PowerDBm > best {
+			best = tp.PowerDBm
+		}
+	}
+	for _, tp := range cut {
+		if tp.PowerDBm < best-10-1e-9 {
+			t.Errorf("tap below floor: %v vs best %v", tp.PowerDBm, best)
+		}
+	}
+}
+
+func TestDirectionalAntennaReducesSpread(t *testing.T) {
+	// A directional receiver suppresses off-axis reflections: both delay
+	// spread and angular spread must shrink versus isotropic reception —
+	// the Manabe et al. finding the paper cites in §2.
+	room := geom.ConferenceRoom()
+	tr := NewTracer(room, FreqChannel2Hz)
+	tx, rx := geom.V(1.85, 2.3), geom.V(7.3, 1.6)
+	paths, err := tr.Trace(tx, rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso := PowerDelayProfile(0, paths, Isotropic, Isotropic, 30)
+	aim := tx.Sub(rx).Angle()
+	horn := func(a float64) float64 {
+		d := geom.NormalizeAngle(a - aim)
+		g := 20 - 12*(d/geom.Rad(15))*(d/geom.Rad(15))
+		return math.Max(g, -10)
+	}
+	dir := PowerDelayProfile(0, paths, Isotropic, horn, 30)
+	if RMSDelaySpreadNs(dir) >= RMSDelaySpreadNs(iso) {
+		t.Errorf("directional spread %.2f ≥ isotropic %.2f",
+			RMSDelaySpreadNs(dir), RMSDelaySpreadNs(iso))
+	}
+	if AngularSpreadRad(dir) >= AngularSpreadRad(iso) {
+		t.Errorf("directional angular spread %.3f ≥ isotropic %.3f",
+			AngularSpreadRad(dir), AngularSpreadRad(iso))
+	}
+}
+
+func TestSoundingProperties(t *testing.T) {
+	f := func(delays []uint16, powers []int8) bool {
+		n := len(delays)
+		if len(powers) < n {
+			n = len(powers)
+		}
+		if n > 64 {
+			n = 64
+		}
+		taps := make([]Tap, 0, n)
+		for i := 0; i < n; i++ {
+			taps = append(taps, Tap{
+				DelayNs:  float64(delays[i]) / 100,
+				PowerDBm: float64(powers[i]) / 2,
+				AoARad:   float64(i),
+			})
+		}
+		tau := RMSDelaySpreadNs(taps)
+		if tau < 0 || math.IsNaN(tau) {
+			return false
+		}
+		as := AngularSpreadRad(taps)
+		if as < 0 || math.IsNaN(as) {
+			return false
+		}
+		if n > 0 {
+			k := RicianKdB(taps)
+			if math.IsNaN(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyProfiles(t *testing.T) {
+	if RMSDelaySpreadNs(nil) != 0 || AngularSpreadRad(nil) != 0 {
+		t.Error("empty profile metrics should be zero")
+	}
+	if !math.IsInf(RicianKdB(nil), -1) {
+		t.Error("empty K should be -Inf")
+	}
+	if !math.IsInf(CoherenceBandwidthMHz(nil), 1) {
+		t.Error("empty coherence bandwidth should be +Inf")
+	}
+}

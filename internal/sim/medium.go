@@ -1,0 +1,394 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/phy"
+	"repro/internal/rf"
+	"repro/internal/stats"
+)
+
+// GainFunc maps a global-frame angle to antenna gain in dBi; radios
+// expose their current transmit and receive patterns this way so beam
+// switches take effect immediately without invalidating channel caches
+// (which hold geometry only).
+type GainFunc = rf.GainFunc
+
+// Reception describes how one frame arrived at one radio.
+type Reception struct {
+	// From is the transmitting radio's ID.
+	From int
+	// PowerDBm is the received signal power of this frame.
+	PowerDBm float64
+	// InterferenceDBm is the overlap-weighted power of all other
+	// concurrent transmissions (-Inf when the frame had the air alone).
+	InterferenceDBm float64
+	// SINRdB is the resulting signal-to-interference-plus-noise ratio.
+	SINRdB float64
+	// OK reports whether the frame decoded (PER draw at the SINR).
+	OK bool
+	// Collided reports that interference overlapped this frame at all,
+	// whether or not it decoded — the sniffer uses this to annotate
+	// traces like Fig. 21.
+	Collided bool
+	// Start and End bound the frame on air.
+	Start, End Time
+}
+
+// Handler receives medium callbacks on the scheduler goroutine.
+type Handler interface {
+	// OnFrame fires at the end of every transmission whose received
+	// power is above the radio's listen floor, including frames destined
+	// elsewhere (60 GHz sniffing works exactly because the medium has no
+	// addressing).
+	OnFrame(f phy.Frame, rx Reception)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(f phy.Frame, rx Reception)
+
+// OnFrame implements Handler.
+func (h HandlerFunc) OnFrame(f phy.Frame, rx Reception) { h(f, rx) }
+
+// Radio is a transceiver at a fixed position with switchable beam
+// patterns.
+type Radio struct {
+	// ID is assigned by the medium at registration.
+	ID int
+	// Name labels the radio in traces ("dockA", "hdmiTX", "vubiq"...).
+	Name string
+	// Pos is the radio's position in meters.
+	Pos geom.Vec2
+	// TxGain and RxGain are the current patterns. They may be swapped at
+	// any time (beam steering); nil means isotropic.
+	TxGain, RxGain GainFunc
+	// TxPowerDBm is the conducted transmit power.
+	TxPowerDBm float64
+	// Channel selects one of the 60 GHz channels (0 = 60.48 GHz,
+	// 1 = 62.64 GHz). Radios on different channels neither receive nor
+	// carrier-sense each other beyond the adjacent-channel leakage
+	// floor — the isolation the two DUT systems would have enjoyed had
+	// they not been forced onto the same channel (§4.4).
+	Channel int
+	// Handler receives frame deliveries; nil radios are transmit-only.
+	Handler Handler
+	// ListenFloorDBm suppresses OnFrame callbacks for frames arriving
+	// weaker than this (they still contribute interference). Defaults to
+	// -90 dBm at registration if zero.
+	ListenFloorDBm float64
+
+	medium *Medium
+}
+
+func (r *Radio) txGain(a float64) float64 {
+	if r.TxGain == nil {
+		return 0
+	}
+	return r.TxGain(a)
+}
+
+func (r *Radio) rxGain(a float64) float64 {
+	if r.RxGain == nil {
+		return 0
+	}
+	return r.RxGain(a)
+}
+
+// transmission is one frame on air.
+type transmission struct {
+	frame      phy.Frame
+	tx         *Radio
+	start, end Time
+	// rxPowerDBm caches per-receiver power for this transmission,
+	// indexed by radio ID (computed once at start, since patterns are
+	// fixed for the duration of a frame).
+	rxPowerDBm []float64
+}
+
+// Medium connects radios through the propagation engine. All methods
+// must be called from the scheduler goroutine.
+type Medium struct {
+	Sched  *Scheduler
+	Budget rf.LinkBudget
+	tracer *rf.Tracer
+	radios []*Radio
+	// paths caches ray-traced channels keyed by radio ID pair.
+	paths map[[2]int][]rf.Path
+	// active transmissions currently on air.
+	active []*transmission
+	rng    *stats.RNG
+	// FadingSigmaDB adds a per-frame, per-receiver fast-fading jitter.
+	FadingSigmaDB float64
+	// linkOffsetDB holds per-pair slow shadowing offsets (symmetric).
+	linkOffsetDB map[[2]int]float64
+	// ExtraLossDB is a global margin (atmospheric conditions of the
+	// "experiment day", Fig. 13).
+	ExtraLossDB float64
+}
+
+// NewMedium creates a medium over the given room using the link budget
+// and a deterministic seed.
+func NewMedium(s *Scheduler, room *geom.Room, freqHz float64, budget rf.LinkBudget, seed uint64) *Medium {
+	return &Medium{
+		Sched:         s,
+		Budget:        budget,
+		tracer:        rf.NewTracer(room, freqHz),
+		paths:         make(map[[2]int][]rf.Path),
+		rng:           stats.NewRNG(seed),
+		FadingSigmaDB: 0.8,
+		linkOffsetDB:  make(map[[2]int]float64),
+	}
+}
+
+// Tracer exposes the underlying ray tracer (experiments use it to build
+// angular profiles without radios).
+func (m *Medium) Tracer() *rf.Tracer { return m.tracer }
+
+// RNG exposes the medium's random stream for co-seeded model decisions.
+func (m *Medium) RNG() *stats.RNG { return m.rng }
+
+// AddRadio registers the radio and assigns its ID.
+func (m *Medium) AddRadio(r *Radio) *Radio {
+	r.ID = len(m.radios)
+	if r.ListenFloorDBm == 0 {
+		r.ListenFloorDBm = -90
+	}
+	r.medium = m
+	m.radios = append(m.radios, r)
+	return r
+}
+
+// Radios returns the registered radios.
+func (m *Medium) Radios() []*Radio { return m.radios }
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// channel returns the ray-traced paths from tx to rx, cached per pair.
+// Paths are cached in canonical orientation (low ID → high ID) and
+// reversed on demand; reciprocity holds for loss and geometry.
+func (m *Medium) channel(tx, rx *Radio) []rf.Path {
+	key := pairKey(tx.ID, rx.ID)
+	ps, ok := m.paths[key]
+	if !ok {
+		var err error
+		from, to := tx, rx
+		if tx.ID > rx.ID {
+			from, to = rx, tx
+		}
+		ps, err = m.tracer.Trace(from.Pos, to.Pos)
+		if err != nil {
+			panic(fmt.Sprintf("sim: trace %s→%s: %v", from.Name, to.Name, err))
+		}
+		m.paths[key] = ps
+	}
+	if tx.ID > rx.ID {
+		// Reverse the stored direction.
+		rev := make([]rf.Path, len(ps))
+		for i, p := range ps {
+			rev[i] = p
+			rev[i].AoD, rev[i].AoA = p.AoA, p.AoD
+		}
+		return rev
+	}
+	return ps
+}
+
+// InvalidateChannels drops the path cache (call after moving a radio).
+func (m *Medium) InvalidateChannels() { m.paths = make(map[[2]int][]rf.Path) }
+
+// linkOffset returns the slow shadowing offset for a pair, drawing it on
+// first use.
+func (m *Medium) linkOffset(a, b int) float64 {
+	key := pairKey(a, b)
+	v, ok := m.linkOffsetDB[key]
+	if !ok {
+		v = m.Budget.DrawShadowingDB(m.rng)
+		m.linkOffsetDB[key] = v
+	}
+	return v
+}
+
+// SetLinkOffset pins the slow shadowing offset of a radio pair. The
+// long-run stability experiment (Fig. 14) drives a gentle random walk
+// through this to provoke beam realignments in an otherwise static
+// scene.
+func (m *Medium) SetLinkOffset(aID, bID int, db float64) {
+	m.linkOffsetDB[pairKey(aID, bID)] = db
+}
+
+// LinkOffset returns the current slow shadowing offset of a pair (drawing
+// it if the pair has not been used yet).
+func (m *Medium) LinkOffset(aID, bID int) float64 { return m.linkOffset(aID, bID) }
+
+// AdjacentChannelLeakageDB is the extra rejection applied between
+// radios tuned to different channels (filter stopband; the 2.16 GHz
+// channelization leaves essentially no co-channel energy).
+const AdjacentChannelLeakageDB = 45
+
+// RxPowerDBm computes the instantaneous received power at rx for a
+// transmission from tx with their current patterns (no fading draw).
+func (m *Medium) RxPowerDBm(tx, rx *Radio) float64 {
+	paths := m.channel(tx, rx)
+	p := rf.ReceivedPowerDBm(tx.TxPowerDBm, paths, tx.txGain, rx.rxGain)
+	if tx.Channel != rx.Channel {
+		p -= AdjacentChannelLeakageDB
+	}
+	return p - m.ExtraLossDB + m.linkOffset(tx.ID, rx.ID)
+}
+
+// EnergyDBm returns the total power currently on air at radio r,
+// excluding r's own transmissions — the energy-detect input to carrier
+// sensing. The D5000's observed deferral to WiHD frames (Fig. 21b) runs
+// through this.
+func (m *Medium) EnergyDBm(r *Radio) float64 {
+	now := m.Sched.Now()
+	total := 0.0
+	for _, t := range m.active {
+		if t.tx == r || t.end <= now || r.ID >= len(t.rxPowerDBm) {
+			continue
+		}
+		if p := t.rxPowerDBm[r.ID]; !math.IsInf(p, -1) {
+			total += math.Pow(10, p/10)
+		}
+	}
+	if total == 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(total)
+}
+
+// Busy reports whether the air at r carries energy above the threshold.
+func (m *Medium) Busy(r *Radio, thresholdDBm float64) bool {
+	return m.EnergyDBm(r) >= thresholdDBm
+}
+
+// Transmit puts the frame on air from radio r now. Reception callbacks
+// fire at the frame end on every other radio above its listen floor.
+func (m *Medium) Transmit(r *Radio, f phy.Frame) {
+	now := m.Sched.Now()
+	t := &transmission{
+		frame:      f,
+		tx:         r,
+		start:      now,
+		end:        now + f.Duration(),
+		rxPowerDBm: make([]float64, len(m.radios)),
+	}
+	for _, rx := range m.radios {
+		if rx == r {
+			t.rxPowerDBm[rx.ID] = math.Inf(-1)
+			continue
+		}
+		p := m.RxPowerDBm(r, rx)
+		if m.FadingSigmaDB > 0 {
+			p += m.rng.Norm(0, m.FadingSigmaDB)
+		}
+		t.rxPowerDBm[rx.ID] = p
+	}
+	m.active = append(m.active, t)
+	m.Sched.At(t.end, func() { m.finish(t) })
+}
+
+// pruneWindow keeps ended transmissions around long enough that frames
+// still in flight can account for their interference; no single PPDU in
+// either protocol lasts longer than a WiHD video burst (≤180 µs), so
+// 400 µs is ample while keeping the active list short — the list is
+// scanned per delivery, making this a hot path.
+const pruneWindow = 400 * time.Microsecond
+
+// finish completes a transmission: computes the outcome at every radio
+// and prunes stale entries. Ended transmissions stay in the list for
+// pruneWindow so that longer frames they overlapped still see their
+// interference contribution.
+func (m *Medium) finish(t *transmission) {
+	now := m.Sched.Now()
+	keep := m.active[:0]
+	for _, a := range m.active {
+		if a.end > now-pruneWindow {
+			keep = append(keep, a)
+		}
+	}
+	m.active = keep
+	for _, rx := range m.radios {
+		if rx == t.tx || rx.Handler == nil || rx.ID >= len(t.rxPowerDBm) {
+			continue
+		}
+		p := t.rxPowerDBm[rx.ID]
+		if math.IsInf(p, -1) || p < rx.ListenFloorDBm {
+			continue
+		}
+		intf, collided := m.interferenceDBm(t, rx)
+		sinr := m.Budget.EffectiveSINRdB(m.Budget.SINRdB(p, intf))
+		bits := t.frame.PayloadBytes * 8
+		if bits <= 0 {
+			bits = 160
+		}
+		per := t.frame.MCS.PER(sinr, bits)
+		ok := !m.rng.Bool(per)
+		rx.Handler.OnFrame(t.frame, Reception{
+			From:            t.tx.ID,
+			PowerDBm:        p,
+			InterferenceDBm: intf,
+			SINRdB:          sinr,
+			OK:              ok,
+			Collided:        collided,
+			Start:           t.start,
+			End:             t.end,
+		})
+	}
+}
+
+// interferenceDBm returns the overlap-weighted interference power seen by
+// rx while t was on air. Each interferer contributes its received power
+// scaled by the fraction of t's air-time it overlapped (bit errors are
+// proportional to exposure).
+func (m *Medium) interferenceDBm(t *transmission, rx *Radio) (float64, bool) {
+	totalMw := 0.0
+	collided := false
+	dur := float64(t.end - t.start)
+	if dur <= 0 {
+		return math.Inf(-1), false
+	}
+	for _, o := range m.active {
+		if o == t || o.tx == rx || o.tx == t.tx || rx.ID >= len(o.rxPowerDBm) {
+			continue
+		}
+		ovStart := maxTime(t.start, o.start)
+		ovEnd := minTime(t.end, o.end)
+		if ovEnd <= ovStart {
+			continue
+		}
+		p := o.rxPowerDBm[rx.ID]
+		if math.IsInf(p, -1) {
+			continue
+		}
+		frac := float64(ovEnd-ovStart) / dur
+		totalMw += math.Pow(10, p/10) * frac
+		collided = true
+	}
+	if totalMw == 0 {
+		return math.Inf(-1), false
+	}
+	return 10 * math.Log10(totalMw), collided
+}
+
+func maxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}

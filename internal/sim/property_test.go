@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestSchedulerOrderProperty: whatever order events are scheduled in,
+// they fire in nondecreasing time order, and same-time events fire in
+// scheduling (FIFO) order.
+func TestSchedulerOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		if len(offsets) > 200 {
+			offsets = offsets[:200]
+		}
+		s := NewScheduler()
+		type fired struct {
+			at  Time
+			seq int
+		}
+		var log []fired
+		for i, off := range offsets {
+			i := i
+			at := Time(off) * time.Microsecond
+			s.At(at, func() { log = append(log, fired{s.Now(), i}) })
+		}
+		s.Run(time.Second)
+		if len(log) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(log); i++ {
+			if log[i].at < log[i-1].at {
+				return false
+			}
+			if log[i].at == log[i-1].at && log[i].seq < log[i-1].seq {
+				return false
+			}
+		}
+		// The fired times must be exactly the scheduled multiset.
+		want := make([]int, len(offsets))
+		for i, off := range offsets {
+			want[i] = int(off)
+		}
+		got := make([]int, len(log))
+		for i, l := range log {
+			got[i] = int(l.at / time.Microsecond)
+		}
+		sort.Ints(want)
+		sort.Ints(got)
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSchedulerCancelProperty: canceling an arbitrary subset prevents
+// exactly that subset from firing.
+func TestSchedulerCancelProperty(t *testing.T) {
+	f := func(offsets []uint16, cancelMask []bool) bool {
+		if len(offsets) > 100 {
+			offsets = offsets[:100]
+		}
+		s := NewScheduler()
+		firedCount := 0
+		canceled := 0
+		var timers []*Timer
+		for i, off := range offsets {
+			timers = append(timers, s.At(Time(off)*time.Microsecond, func() { firedCount++ }))
+			if i < len(cancelMask) && cancelMask[i] {
+				timers[i].Cancel()
+				canceled++
+			}
+		}
+		s.Run(time.Second)
+		return firedCount == len(offsets)-canceled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package sim provides the discrete-event simulation engine that the
+// WiGig/WiHD protocol models run on: an event scheduler with cancelable
+// timers, radios bound to positions and beam patterns, and a shared
+// medium that converts every transmission into per-receiver power, SINR,
+// and decode outcomes using the rf propagation engine.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Time is simulation time, measured as a duration since the start of the
+// run. Nanosecond resolution comfortably covers both the sub-microsecond
+// PHY preambles and the 80-minute stability experiment of Fig. 14.
+type Time = time.Duration
+
+// Timer is a scheduled callback; it can be canceled before it fires.
+type Timer struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap position, -1 once popped
+}
+
+// Cancel prevents the timer from firing. Canceling an already-fired or
+// already-canceled timer is a no-op.
+func (t *Timer) Cancel() { t.canceled = true }
+
+// Canceled reports whether Cancel was called.
+func (t *Timer) Canceled() bool { return t.canceled }
+
+// At returns the scheduled fire time.
+func (t *Timer) At() Time { return t.at }
+
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among same-time events
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Scheduler is a single-threaded discrete-event executor. All simulation
+// code runs on the scheduler goroutine; the models need no locking.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	events  timerHeap
+	stopped bool
+}
+
+// NewScheduler returns a scheduler at time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current simulation time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// At schedules fn at absolute simulation time t. Scheduling in the past
+// fires at the current time (events never travel backwards).
+func (s *Scheduler) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	tm := &Timer{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, tm)
+	return tm
+}
+
+// After schedules fn after delay d.
+func (s *Scheduler) After(d Time, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Stop makes Run return after the current event.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Pending returns the number of queued (possibly canceled) events.
+func (s *Scheduler) Pending() int { return s.events.Len() }
+
+// Run executes events in time order until the queue is empty, the
+// horizon is passed, or Stop is called. It returns the simulation time
+// at exit; the clock is advanced to the horizon even if the queue
+// drained earlier, so back-to-back Run calls see a contiguous timeline.
+func (s *Scheduler) Run(until Time) Time {
+	s.stopped = false
+	for s.events.Len() > 0 && !s.stopped {
+		next := s.events[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.events)
+		if next.canceled {
+			continue
+		}
+		s.now = next.at
+		next.fn()
+	}
+	if s.now < until && !s.stopped {
+		s.now = until
+	}
+	return s.now
+}

@@ -1,0 +1,40 @@
+package sniffer
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/phy"
+)
+
+// FuzzReadTrace: arbitrary bytes must never panic the capture-file
+// parser or make it allocate past its declared record count, and any
+// file it accepts must survive a write/read round-trip.
+func FuzzReadTrace(f *testing.F) {
+	var valid bytes.Buffer
+	WriteTrace(&valid, []Observation{
+		{Start: 10, End: 20, PowerDBm: -50, Type: phy.FrameData, Src: 1, MPDUs: 2},
+		{Start: 30, End: 35, PowerDBm: -61, Type: phy.FrameBeacon, Src: 2, Retry: true},
+	})
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add(valid.Bytes()[:17])
+	huge := append([]byte(nil), valid.Bytes()...)
+	huge[8], huge[9], huge[10], huge[11] = 0xff, 0xff, 0xff, 0xff // record count lie
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		obs, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, obs); err != nil {
+			t.Fatalf("accepted capture does not re-encode: %v", err)
+		}
+		again, err := ReadTrace(&buf)
+		if err != nil || len(again) != len(obs) {
+			t.Fatalf("re-encoded capture does not parse: %v (%d vs %d records)",
+				err, len(again), len(obs))
+		}
+	})
+}

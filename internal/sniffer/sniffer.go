@@ -1,0 +1,169 @@
+// Package sniffer models the paper's measurement instrument: a Vubiq
+// 60 GHz down-converter with either a 25 dBi horn or an open waveguide,
+// feeding an oscilloscope that undersamples the analog envelope
+// (Section 3.1). The real setup cannot decode frames — all of the
+// paper's trace analyses work from frame timing and amplitude alone —
+// so the sniffer records exactly that: per-frame observations with
+// received power, start/end time, and collision annotations, plus
+// synthesized envelope samples for figure-style inspection.
+package sniffer
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/antenna"
+	"repro/internal/geom"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// Observation is one overheard frame: what the oscilloscope trace shows
+// after the paper's offline Matlab processing (timing + amplitude), with
+// ground-truth annotations alongside for validation.
+type Observation struct {
+	// Start and End bound the frame on air.
+	Start, End sim.Time
+	// PowerDBm is the received signal power at the sniffer.
+	PowerDBm float64
+	// AmplitudeV is the envelope amplitude in volts, as the scope
+	// displays it (√power with the frontend's fixed conversion gain).
+	AmplitudeV float64
+	// Type, Src, Meta, MPDUs mirror the frame's ground truth. The
+	// analyses in the trace package deliberately avoid these fields
+	// except where the paper also had side information (e.g. device
+	// positions for separating link directions by amplitude).
+	Type  phy.FrameType
+	Src   int
+	Meta  int
+	MPDUs int
+	// Retry and Collided annotate loss events (used to validate the
+	// Fig. 21 effects, not by the analyses themselves).
+	Retry    bool
+	Collided bool
+}
+
+// Duration returns the frame's air time.
+func (o Observation) Duration() sim.Time { return o.End - o.Start }
+
+// referencePowerDBm maps received power to scope volts: -30 dBm ≡ 1 V at
+// the ADC after the frontend's conversion gain.
+const referencePowerDBm = -30
+
+// AmplitudeFromPower converts dBm to envelope volts.
+func AmplitudeFromPower(dbm float64) float64 {
+	return math.Pow(10, (dbm-referencePowerDBm)/20)
+}
+
+// Sniffer is a receive-only radio that records every frame above its
+// sensitivity.
+type Sniffer struct {
+	radio *sim.Radio
+	// Obs accumulates observations in arrival order.
+	Obs []Observation
+	// SensitivityDBm drops frames weaker than this (the scope's noise
+	// floor); default -75 dBm.
+	SensitivityDBm float64
+	// GainOffsetDB models the adjustable receiver gain; the paper adds
+	// +10 dB when measuring the rotated dock's weak patterns (§4.2).
+	GainOffsetDB float64
+	// Capturing can be toggled to bound memory in long runs.
+	Capturing bool
+}
+
+// New mounts a sniffer at pos with the given antenna pattern oriented
+// towards boresight (radians). Use antenna.MeasurementHorn() for beam
+// pattern work or antenna.OpenWaveguide() for protocol analysis.
+func New(med *sim.Medium, name string, pos geom.Vec2, pat antenna.Pattern, boresight float64) *Sniffer {
+	sn := &Sniffer{SensitivityDBm: -75, Capturing: true}
+	sn.radio = med.AddRadio(&sim.Radio{
+		Name:           name,
+		Pos:            pos,
+		ListenFloorDBm: -95,
+	})
+	sn.SetPattern(pat, boresight)
+	sn.radio.Handler = sim.HandlerFunc(sn.onFrame)
+	return sn
+}
+
+// Radio exposes the underlying radio.
+func (s *Sniffer) Radio() *sim.Radio { return s.radio }
+
+// SetPattern re-aims the sniffer (the paper physically rotates the
+// Vubiq between measurement positions). A nil pattern selects isotropic
+// reception.
+func (s *Sniffer) SetPattern(pat antenna.Pattern, boresight float64) {
+	if pat == nil {
+		pat = antenna.Isotropic{}
+	}
+	s.radio.RxGain = antenna.Oriented{Pattern: pat, Boresight: boresight}.GainFunc()
+}
+
+// Move relocates the sniffer. The caller owns cache invalidation via
+// medium.InvalidateChannels.
+func (s *Sniffer) Move(med *sim.Medium, pos geom.Vec2) {
+	s.radio.Pos = pos
+	med.InvalidateChannels()
+}
+
+// Reset clears the recorded observations.
+func (s *Sniffer) Reset() { s.Obs = nil }
+
+func (s *Sniffer) onFrame(f phy.Frame, rx sim.Reception) {
+	if !s.Capturing {
+		return
+	}
+	p := rx.PowerDBm + s.GainOffsetDB
+	if p < s.SensitivityDBm {
+		return
+	}
+	s.Obs = append(s.Obs, Observation{
+		Start:      rx.Start,
+		End:        rx.End,
+		PowerDBm:   p,
+		AmplitudeV: AmplitudeFromPower(p),
+		Type:       f.Type,
+		Src:        f.Src,
+		Meta:       f.Meta,
+		MPDUs:      f.MPDUs,
+		Retry:      f.Retry,
+		Collided:   rx.Collided,
+	})
+}
+
+// Window returns the observations overlapping [from, to), sorted by
+// start time.
+func (s *Sniffer) Window(from, to sim.Time) []Observation {
+	var out []Observation
+	for _, o := range s.Obs {
+		if o.End > from && o.Start < to {
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Envelope synthesizes the undersampled scope trace of [from, to) at the
+// given sample rate: the amplitude at each sample instant is the root
+// sum of squares of all frames on air (plus nothing when idle). This is
+// the raw material of the paper's Figs. 3, 8, 15 and 21.
+func (s *Sniffer) Envelope(from, to sim.Time, sampleRate float64) []float64 {
+	n := int((to - from).Seconds() * sampleRate)
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	win := s.Window(from, to)
+	for i := range out {
+		t := from + sim.Time(float64(to-from)*float64(i)/float64(n))
+		sum := 0.0
+		for _, o := range win {
+			if o.Start <= t && t < o.End {
+				sum += o.AmplitudeV * o.AmplitudeV
+			}
+		}
+		out[i] = math.Sqrt(sum)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package sniffer
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// Trace-file format: a 16-byte file header followed by one record per
+// observation. Each record is a serialized PPDU header (the phy codec)
+// plus a fixed-size capture annex carrying what the instrument adds:
+// timing and received power. The format is deliberately append-friendly
+// so long captures can stream to disk.
+
+// traceMagic identifies a capture file.
+const traceMagic = 0x56554249 // "VUBI"
+
+// traceVersion is bumped on incompatible changes.
+const traceVersion = 1
+
+// annexSize is the capture annex length: start (8) + end (8) + power (8)
+// + flags (1) + reserved (3).
+const annexSize = 28
+
+// annex flag bits.
+const (
+	annexRetry    = 1 << 0
+	annexCollided = 1 << 1
+)
+
+// ErrBadTraceFile reports a malformed capture file.
+var ErrBadTraceFile = errors.New("sniffer: malformed trace file")
+
+// WriteTrace streams the observations to w in the binary capture format.
+func WriteTrace(w io.Writer, obs []Observation) error {
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(obs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, o := range obs {
+		f := phy.Frame{
+			Type:         o.Type,
+			Src:          o.Src,
+			Dst:          -1, // the instrument does not decode addressing
+			MPDUs:        clampByte(o.MPDUs),
+			Meta:         clampByte(o.Meta),
+			PayloadBytes: 0,
+		}
+		fb, err := phy.MarshalHeader(f)
+		if err != nil {
+			return fmt.Errorf("sniffer: record header: %w", err)
+		}
+		if _, err := bw.Write(fb); err != nil {
+			return err
+		}
+		var annex [annexSize]byte
+		binary.LittleEndian.PutUint64(annex[0:], uint64(o.Start))
+		binary.LittleEndian.PutUint64(annex[8:], uint64(o.End))
+		binary.LittleEndian.PutUint64(annex[16:], math.Float64bits(o.PowerDBm))
+		if o.Retry {
+			annex[24] |= annexRetry
+		}
+		if o.Collided {
+			annex[24] |= annexCollided
+		}
+		if _, err := bw.Write(annex[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a capture file written by WriteTrace.
+func ReadTrace(r io.Reader) ([]Observation, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTraceFile, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTraceFile)
+	}
+	if binary.LittleEndian.Uint32(hdr[4:]) != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version", ErrBadTraceFile)
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	if n > 1<<32 {
+		return nil, fmt.Errorf("%w: implausible record count %d", ErrBadTraceFile, n)
+	}
+	// Preallocate from the declared count, but never trust it for more
+	// than a bounded up-front allocation: a corrupt count must cost a
+	// parse error, not memory.
+	pre := n
+	if pre > 4096 {
+		pre = 4096
+	}
+	out := make([]Observation, 0, pre)
+	fb := make([]byte, phy.HeaderSize)
+	var annex [annexSize]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, fb); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrBadTraceFile, i, err)
+		}
+		f, err := phy.UnmarshalHeader(fb)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrBadTraceFile, i, err)
+		}
+		if _, err := io.ReadFull(br, annex[:]); err != nil {
+			return nil, fmt.Errorf("%w: record %d annex: %v", ErrBadTraceFile, i, err)
+		}
+		o := Observation{
+			Type:     f.Type,
+			Src:      f.Src,
+			Meta:     f.Meta,
+			MPDUs:    f.MPDUs,
+			Start:    sim.Time(binary.LittleEndian.Uint64(annex[0:])),
+			End:      sim.Time(binary.LittleEndian.Uint64(annex[8:])),
+			PowerDBm: math.Float64frombits(binary.LittleEndian.Uint64(annex[16:])),
+			Retry:    annex[24]&annexRetry != 0,
+			Collided: annex[24]&annexCollided != 0,
+		}
+		o.AmplitudeV = AmplitudeFromPower(o.PowerDBm)
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+func clampByte(v int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}

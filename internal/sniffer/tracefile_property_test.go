@@ -1,0 +1,76 @@
+package sniffer
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// Property: the capture format round-trips everything the instrument
+// records — for arbitrary observations within the format's documented
+// field ranges (Src 16-bit, Meta/MPDUs one byte).
+func TestTraceRoundTripProperty(t *testing.T) {
+	types := []phy.FrameType{phy.FrameData, phy.FrameBeacon, phy.FrameDiscovery, phy.FrameRTS, phy.FrameCTS}
+	prop := func(start, dur uint32, src uint16, meta, mpdus uint8, pw int16, tsel uint8, retry, collided bool) bool {
+		in := Observation{
+			Start:    sim.Time(start),
+			End:      sim.Time(start) + sim.Time(dur),
+			PowerDBm: float64(pw) / 100,
+			Type:     types[int(tsel)%len(types)],
+			Src:      int(src),
+			Meta:     int(meta),
+			MPDUs:    int(mpdus),
+			Retry:    retry,
+			Collided: collided,
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, []Observation{in}); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		out, err := ReadTrace(&buf)
+		if err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		if len(out) != 1 {
+			return false
+		}
+		o := out[0]
+		return o.Start == in.Start && o.End == in.End &&
+			o.PowerDBm == in.PowerDBm &&
+			o.Type == in.Type && o.Src == in.Src &&
+			o.Meta == in.Meta && o.MPDUs == in.MPDUs &&
+			o.Retry == in.Retry && o.Collided == in.Collided &&
+			math.Abs(o.AmplitudeV-AmplitudeFromPower(in.PowerDBm)) < 1e-15
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a truncated capture never round-trips silently — every
+// prefix of a valid file must either parse fewer records or error.
+func TestTraceTruncationProperty(t *testing.T) {
+	obs := []Observation{
+		{Start: 1000, End: 2000, PowerDBm: -55, Type: phy.FrameData, Src: 3, MPDUs: 4},
+		{Start: 3000, End: 3500, PowerDBm: -60, Type: phy.FrameBeacon, Src: 4},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, obs); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadTrace(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at byte %d of %d parsed without error", cut, len(full))
+		}
+	}
+	if got, err := ReadTrace(bytes.NewReader(full)); err != nil || len(got) != 2 {
+		t.Fatalf("full file: %v, %d records", err, len(got))
+	}
+}

@@ -1,0 +1,112 @@
+package sniffer
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/antenna"
+	"repro/internal/geom"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+func sampleObs() []Observation {
+	return []Observation{
+		{Type: phy.FrameData, Src: 1, Meta: 0, MPDUs: 7,
+			Start: 100 * time.Microsecond, End: 125 * time.Microsecond,
+			PowerDBm: -42.5, AmplitudeV: AmplitudeFromPower(-42.5), Retry: true, Collided: true},
+		{Type: phy.FrameBeacon, Src: 0,
+			Start: 200 * time.Microsecond, End: 214 * time.Microsecond,
+			PowerDBm: -51.25, AmplitudeV: AmplitudeFromPower(-51.25)},
+		{Type: phy.FrameDiscovery, Src: 2, Meta: 31,
+			Start: 300 * time.Microsecond, End: 322 * time.Microsecond,
+			PowerDBm: -60, AmplitudeV: AmplitudeFromPower(-60)},
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	in := sampleObs()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("records = %d", len(out))
+	}
+	for i := range in {
+		a, b := in[i], out[i]
+		if a.Type != b.Type || a.Src != b.Src || a.Meta != b.Meta || a.MPDUs != b.MPDUs ||
+			a.Start != b.Start || a.End != b.End || a.PowerDBm != b.PowerDBm ||
+			a.Retry != b.Retry || a.Collided != b.Collided {
+			t.Errorf("record %d mismatch:\n in %+v\nout %+v", i, a, b)
+		}
+		if b.AmplitudeV != AmplitudeFromPower(b.PowerDBm) {
+			t.Errorf("record %d amplitude not rederived", i)
+		}
+	}
+}
+
+func TestTraceFileEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrace(&buf)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty round trip: %v, %d", err, len(out))
+	}
+}
+
+func TestTraceFileCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, sampleObs()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Truncated.
+	if _, err := ReadTrace(bytes.NewReader(raw[:len(raw)-5])); err == nil {
+		t.Error("truncated file accepted")
+	}
+	// Bad magic.
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xFF
+	if _, err := ReadTrace(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Corrupted record header (CRC catches it).
+	bad = append([]byte(nil), raw...)
+	bad[16+3] ^= 0x01
+	if _, err := ReadTrace(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupted record accepted")
+	}
+}
+
+func TestTraceFileFromLiveCapture(t *testing.T) {
+	s, med := testMedium(77)
+	tx := med.AddRadio(&sim.Radio{Name: "tx", Pos: geom.V(0, 0), TxPowerDBm: 10})
+	sn := New(med, "vubiq", geom.V(2, 0), antenna.OpenWaveguide(), math.Pi)
+	for i := 0; i < 20; i++ {
+		at := sim.Time(i) * 50 * time.Microsecond
+		s.At(at, func() {
+			med.Transmit(tx, phy.Frame{Type: phy.FrameData, Src: tx.ID, MCS: phy.MCS8, PayloadBytes: 1500})
+		})
+	}
+	s.Run(5 * time.Millisecond)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, sn.Obs); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(sn.Obs) {
+		t.Fatalf("%d of %d records survived", len(out), len(sn.Obs))
+	}
+}

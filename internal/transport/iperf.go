@@ -1,0 +1,80 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Iperf mimics the paper's measurement tool: a TCP flow plus periodic
+// goodput sampling, so experiments can plot throughput-versus-time
+// series like Fig. 23 or distance sweeps like Fig. 13.
+type Iperf struct {
+	Flow *Flow
+	// Samples holds per-interval goodput readings in bits per second.
+	Samples []Sample
+
+	sched     *sim.Scheduler
+	interval  time.Duration
+	lastBytes int64
+	lastAt    sim.Time
+	stopped   bool
+}
+
+// Sample is one goodput reading.
+type Sample struct {
+	// At is the end of the sampling interval.
+	At sim.Time
+	// Bps is the goodput over the interval.
+	Bps float64
+}
+
+// NewIperf wraps a flow with interval sampling (iperf -i).
+func NewIperf(sched *sim.Scheduler, fwd, rev LinkSender, cfg Config, interval time.Duration) *Iperf {
+	ip := &Iperf{
+		Flow:     NewFlow(sched, fwd, rev, cfg),
+		sched:    sched,
+		interval: interval,
+	}
+	return ip
+}
+
+// Start launches the flow and the sampler.
+func (ip *Iperf) Start() {
+	ip.Flow.Start()
+	ip.lastAt = ip.sched.Now()
+	ip.sched.After(ip.interval, ip.sampleTick)
+}
+
+// Stop ends the flow and sampling.
+func (ip *Iperf) Stop() {
+	ip.stopped = true
+	ip.Flow.Stop()
+}
+
+func (ip *Iperf) sampleTick() {
+	if ip.stopped {
+		return
+	}
+	now := ip.sched.Now()
+	bytes := ip.Flow.Delivered - ip.lastBytes
+	el := (now - ip.lastAt).Seconds()
+	if el > 0 {
+		ip.Samples = append(ip.Samples, Sample{At: now, Bps: float64(bytes) * 8 / el})
+	}
+	ip.lastBytes = ip.Flow.Delivered
+	ip.lastAt = now
+	ip.sched.After(ip.interval, ip.sampleTick)
+}
+
+// AverageBps returns the mean of the collected samples.
+func (ip *Iperf) AverageBps() float64 {
+	if len(ip.Samples) == 0 {
+		return ip.Flow.GoodputBps()
+	}
+	s := 0.0
+	for _, v := range ip.Samples {
+		s += v.Bps
+	}
+	return s / float64(len(ip.Samples))
+}

@@ -1,0 +1,83 @@
+package transport
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// The token-bucket feed is the fix for the "self-licensing catch-up"
+// bug (a stalled flow bursting above line rate once the link recovers):
+// over any horizon the sender may never release more than rate×time plus
+// one socket buffer, no matter how fast the link drains.
+func TestPacingNeverExceedsRatePlusBurst(t *testing.T) {
+	for _, rate := range []float64{100e6, 300e6, 600e6} {
+		s := sim.NewScheduler()
+		fwd := &recordLink{sched: s, echo: true}
+		rev := &recordLink{sched: s, echo: true}
+		f := NewFlow(s, fwd, rev, Config{PacingBps: rate})
+		f.Start()
+		horizon := 80 * time.Millisecond
+		s.Run(horizon)
+		sent := float64(len(fwd.times) * MSS)
+		cap := rate*horizon.Seconds()/8 + 64<<10 + 4*MSS
+		if sent > cap {
+			t.Errorf("rate %.0f Mbps: released %.0f bytes > cap %.0f", rate/1e6, sent, cap)
+		}
+		// The link echoes instantly, so pacing is the only bottleneck:
+		// the flow must also come close to its configured rate.
+		if sent < 0.7*rate*horizon.Seconds()/8 {
+			t.Errorf("rate %.0f Mbps: released only %.0f bytes (pacing overthrottles)", rate/1e6, sent)
+		}
+	}
+}
+
+// Property: the coalescing batch size is always at least one segment and
+// never more than one coalescing interval of line-rate bytes (plus the
+// one-segment rounding).
+func TestBatchBytesProperty(t *testing.T) {
+	s := sim.NewScheduler()
+	prop := func(rateMbps, coalesceUs uint16) bool {
+		rate := 1e6 * (1 + float64(rateMbps%2000))
+		co := float64(coalesceUs % 500)
+		f := NewFlow(s, &recordLink{sched: s}, &recordLink{sched: s},
+			Config{PacingBps: rate, CoalesceUs: co})
+		b := f.batchBytes()
+		if b < MSS {
+			return false
+		}
+		eff := co
+		if eff == 0 {
+			eff = 60 // hardware default interrupt moderation
+		}
+		return b <= math.Max(rate*eff*1e-6/8, MSS)+1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Disabling pacing entirely must leave the flow window-limited, not
+// token-limited: available() may not constrain it.
+func TestUnpacedFlowIsNotTokenLimited(t *testing.T) {
+	s := sim.NewScheduler()
+	fwd := &recordLink{sched: s, echo: true}
+	rev := &recordLink{sched: s, echo: true}
+	f := NewFlow(s, fwd, rev, Config{})
+	f.Start()
+	s.Run(10 * time.Millisecond)
+	paced := len(fwd.times)
+	s2 := sim.NewScheduler()
+	fwd2 := &recordLink{sched: s2, echo: true}
+	rev2 := &recordLink{sched: s2, echo: true}
+	f2 := NewFlow(s2, fwd2, rev2, Config{PacingBps: 100e6})
+	f2.Start()
+	s2.Run(10 * time.Millisecond)
+	if paced <= len(fwd2.times) {
+		t.Errorf("unpaced flow (%d segs) not faster than 100 Mbps-paced flow (%d segs)",
+			paced, len(fwd2.times))
+	}
+}

@@ -1,0 +1,48 @@
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestFacadeIperf drives the sampling iperf session through the facade —
+// the measurement loop the paper's evaluation runs on every link.
+func TestFacadeIperf(t *testing.T) {
+	sc := repro.NewScenario(repro.OpenSpace(), 44)
+	link := sc.AddWiGigLink(
+		repro.WiGigConfig{Name: "dock", Pos: repro.XY(0, 0)},
+		repro.WiGigConfig{Name: "laptop", Pos: repro.XY(2, 0)},
+	)
+	if !link.WaitAssociated(sc.Sched, time.Second) {
+		t.Fatal("no association")
+	}
+	ip := repro.NewIperf(sc, link.Station, link.Dock,
+		repro.FlowConfig{PacingBps: 600e6}, 50*time.Millisecond)
+	ip.Start()
+	sc.Run(400 * time.Millisecond)
+	ip.Stop()
+	if avg := ip.AverageBps(); avg < 400e6 {
+		t.Errorf("iperf average = %.0f Mbps at 2 m", avg/1e6)
+	}
+	if len(ip.Samples) < 4 {
+		t.Errorf("samples = %d over 8 intervals", len(ip.Samples))
+	}
+}
+
+// TestExperimentOptionPresets: the two presets must differ only in cost,
+// never in seed determinism.
+func TestExperimentOptionPresets(t *testing.T) {
+	full := repro.DefaultExperimentOptions()
+	quick := repro.QuickExperimentOptions()
+	if full.Quick {
+		t.Error("default preset marked quick")
+	}
+	if !quick.Quick {
+		t.Error("quick preset not marked quick")
+	}
+	if full.Seed != quick.Seed {
+		t.Errorf("presets disagree on the seed: %d vs %d", full.Seed, quick.Seed)
+	}
+}
