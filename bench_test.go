@@ -7,9 +7,11 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/par"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -136,3 +138,29 @@ func BenchmarkBlockageTransient(b *testing.B) { benchExperiment(b, "X1") }
 // BenchmarkDenseDeployment exercises the dense-deployment extension:
 // N same-channel links vs the planner's two-channel assignment.
 func BenchmarkDenseDeployment(b *testing.B) { benchExperiment(b, "X2") }
+
+// benchCampaign replays the entire quick campaign sequentially at the
+// given sweep-pool width. Comparing the Workers1 and WorkersMax variants
+// measures the intra-experiment speedup in isolation (no inter-
+// experiment fan-out), on top of the determinism guarantee that both
+// produce bit-identical results.
+func benchCampaign(b *testing.B, workers int) {
+	b.Helper()
+	prev := par.SetWorkers(workers)
+	defer par.SetWorkers(prev)
+	pass := 1.0
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.All() {
+			if !r.Run(experiments.Options{Seed: 1, Quick: true}).Pass() {
+				pass = 0
+			}
+		}
+	}
+	b.ReportMetric(pass, "pass")
+}
+
+// BenchmarkCampaignWorkers1 is the serial baseline.
+func BenchmarkCampaignWorkers1(b *testing.B) { benchCampaign(b, 1) }
+
+// BenchmarkCampaignWorkersMax uses one sweep worker per CPU.
+func BenchmarkCampaignWorkersMax(b *testing.B) { benchCampaign(b, runtime.NumCPU()) }

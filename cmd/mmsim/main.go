@@ -8,7 +8,9 @@
 //	mmsim run all              # run everything
 //	mmsim -quick -seed 7 run all
 //	mmsim -parallel 8 run all  # fan the campaign across CPUs
+//	mmsim -workers 4 run F13   # sweep-point parallelism inside experiments
 //	mmsim -series run F13      # also dump the data series as TSV
+//	mmsim -cpuprofile cpu.pprof run all
 //
 // Each run prints a PASS/FAIL report comparing the paper's claim with
 // the reproduced measurement.
@@ -19,27 +21,68 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/par"
 )
 
 func main() {
+	// All work happens in run so the profile-flushing defers execute
+	// before the process exits.
+	os.Exit(run())
+}
+
+func run() int {
 	quick := flag.Bool("quick", false, "reduced-cost runs (CI settings)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	series := flag.Bool("series", false, "print data series as TSV after each report")
 	outDir := flag.String("out", "", "write each experiment's data series to TSV files in this directory")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "experiments to run concurrently")
+	workers := flag.Int("workers", par.Workers(),
+		"worker goroutines per intra-experiment sweep (results are identical for any value)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
+	par.SetWorkers(*workers)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mmsim:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mmsim:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mmsim:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the heap profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mmsim:", err)
+		}
+	}()
 
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	switch args[0] {
 	case "list":
@@ -49,7 +92,7 @@ func main() {
 	case "run":
 		if len(args) < 2 {
 			fmt.Fprintln(os.Stderr, "mmsim run <id>... | all")
-			os.Exit(2)
+			return 2
 		}
 		opts := experiments.Options{Seed: *seed, Quick: *quick}
 		ids := args[1:]
@@ -64,23 +107,24 @@ func main() {
 			r, ok := experiments.Get(strings.ToUpper(id))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q (try: mmsim list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			runners[i] = r
 		}
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, "mmsim:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		if runCampaign(runners, opts, *parallel, *series, *outDir) > 0 {
-			os.Exit(1)
+			return 1
 		}
 	default:
 		usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 // runCampaign executes the runners with bounded parallelism, printing
@@ -98,6 +142,7 @@ func runCampaign(runners []experiments.Runner, opts experiments.Options, paralle
 	for i := range results {
 		results[i] = make(chan outcome, 1)
 	}
+	campaignStart := time.Now()
 	sem := make(chan struct{}, parallel)
 	var wg sync.WaitGroup
 	for i, r := range runners {
@@ -138,9 +183,8 @@ func runCampaign(runners []experiments.Runner, opts experiments.Options, paralle
 			}
 		}
 	}
-	if failed > 0 {
-		fmt.Printf("%d experiment(s) FAILED\n", failed)
-	}
+	fmt.Printf("campaign: %d experiment(s), %d failed, total wall time %v (%d sweep workers)\n",
+		len(runners), failed, time.Since(campaignStart).Round(time.Millisecond), par.Workers())
 	return failed
 }
 

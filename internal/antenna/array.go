@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/rf"
@@ -51,7 +52,21 @@ type PhasedArray struct {
 	// codebook entry probed twice during training is not).
 	lut      []float64
 	lutCalls int
+	// lutKey, when non-empty, is a fingerprint identifying this pattern
+	// across array instances (codebook model + build parameters + entry
+	// index). Keyed patterns publish their built tables to a process-wide
+	// cache so every radio steering the same codebook entry shares one
+	// table instead of each paying the build. Any mutation clears the key:
+	// the table it names no longer describes the weights.
+	lutKey string
 }
+
+// lutCache maps lutKey → []float64 gain tables shared across all arrays
+// carrying the same fingerprint. Tables are immutable once stored, so
+// concurrent sweep workers can read them without coordination; the lazy
+// per-instance trigger (lutCalls) is untouched by sharing, keeping the
+// build crossover — and thus results — identical to unshared behaviour.
+var lutCache sync.Map
 
 // lutBins is the gain-table resolution: 4096 bins ≈ 0.088°, an order of
 // magnitude finer than any measurement sweep in the repository.
@@ -64,13 +79,26 @@ const lutBuildThreshold = 256
 func (a *PhasedArray) invalidateLUT() {
 	a.lut = nil
 	a.lutCalls = 0
+	a.lutKey = ""
 }
 
 func (a *PhasedArray) buildLUT() {
+	if a.lutKey != "" {
+		if v, ok := lutCache.Load(a.lutKey); ok {
+			a.lut = v.([]float64)
+			return
+		}
+	}
 	lut := make([]float64, lutBins)
 	for i := range lut {
 		theta := -math.Pi + 2*math.Pi*(float64(i)+0.5)/lutBins
 		lut[i] = a.gainExact(theta)
+	}
+	if a.lutKey != "" {
+		// LoadOrStore converges racing builders onto one canonical table;
+		// both sides computed identical values, so either slice is fine.
+		v, _ := lutCache.LoadOrStore(a.lutKey, lut)
+		lut = v.([]float64)
 	}
 	a.lut = lut
 }

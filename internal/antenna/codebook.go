@@ -1,6 +1,7 @@
 package antenna
 
 import (
+	"fmt"
 	"math"
 	"math/cmplx"
 	"sort"
@@ -93,6 +94,26 @@ func NewCodebook(a *PhasedArray, nSectors int, coverageDeg float64, nQuasiOmni i
 	return cb
 }
 
+// fingerprintLUTs tags every pattern in the codebook with a stable
+// identity derived from prefix (model + build parameters) and the entry
+// index. Codebooks are pure functions of those parameters, so two radios
+// of the same model and seed — e.g. every dock in a density sweep — form
+// byte-identical patterns; the tags let them share one gain table per
+// entry through the process-wide LUT cache instead of each building its
+// own. Tags survive Clone but not re-steering.
+func (cb *Codebook) fingerprintLUTs(prefix string) {
+	for i, s := range cb.Sectors {
+		if a, ok := s.Pattern.(*PhasedArray); ok {
+			a.lutKey = fmt.Sprintf("%s/s%d", prefix, i)
+		}
+	}
+	for i, q := range cb.QuasiOmni {
+		if a, ok := q.(*PhasedArray); ok {
+			a.lutKey = fmt.Sprintf("%s/q%d", prefix, i)
+		}
+	}
+}
+
 // clusterByY groups element indices whose projected steering-axis
 // positions coincide (within a small fraction of a wavelength), ordered
 // along the axis.
@@ -131,6 +152,7 @@ func D5000Codebook(freqHz float64, seed uint64) (*PhasedArray, *Codebook) {
 	// of the transmission area, where the paper measures degraded
 	// directionality (Fig. 17, "D5000 Rotated").
 	cb := NewCodebook(a, 22, 70, 32, seed)
+	cb.fingerprintLUTs(fmt.Sprintf("d5000/%g/%d", freqHz, seed))
 	return a, cb
 }
 
@@ -144,6 +166,7 @@ func WiHDCodebook(freqHz float64, seed uint64) (*PhasedArray, *Codebook) {
 	// Coarser phase control again widens beams.
 	a.PhaseBits = 2
 	cb := NewCodebook(a, 10, 75, 16, seed+1)
+	cb.fingerprintLUTs(fmt.Sprintf("wihd/%g/%d", freqHz, seed))
 	return a, cb
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/mac/wigig"
 	"repro/internal/mac/wihd"
+	"repro/internal/par"
 	"repro/internal/rf"
 	"repro/internal/sniffer"
 	"repro/internal/trace"
@@ -38,13 +39,16 @@ func AblationQuantization(o Options) core.Result {
 	// Average the peak side lobe across off-grid steering angles, where
 	// quantization error is non-trivial.
 	angles := []float64{-52, -23, 9, 37, 61}
-	var xs, ys []float64
-	for _, bits := range []int{0, 1, 2, 3, 4} {
+	bitsList := []int{0, 1, 2, 3, 4}
+	// Each resolution builds and analyzes its own arrays — pure
+	// computation, so the pool runs all resolutions at once.
+	type a1Point struct{ mean, worst float64 }
+	pts := par.Map(len(bitsList), func(bi int) a1Point {
 		worst := math.Inf(-1)
 		sum, n := 0.0, 0
 		for _, deg := range angles {
 			a := antenna.NewD5000Array(rf.FreqChannel2Hz)
-			a.PhaseBits = bits
+			a.PhaseBits = bitsList[bi]
 			a.Steer(geom.Rad(deg))
 			m := antenna.Analyze(a, 1440)
 			psl := m.PeakSideLobeDB()
@@ -57,10 +61,13 @@ func AblationQuantization(o Options) core.Result {
 				worst = psl
 			}
 		}
-		mean := sum / float64(n)
+		return a1Point{mean: sum / float64(n), worst: worst}
+	})
+	var xs, ys []float64
+	for bi, bits := range bitsList {
 		xs = append(xs, float64(bits))
-		ys = append(ys, mean)
-		res.Note("bits=%d: mean PSL %.1f dB, worst %.1f dB", bits, mean, worst)
+		ys = append(ys, pts[bi].mean)
+		res.Note("bits=%d: mean PSL %.1f dB, worst %.1f dB", bits, pts[bi].mean, pts[bi].worst)
 	}
 	res.Series = append(res.Series, core.Series{
 		Label: "mean peak side lobe", XLabel: "phase bits (0=ideal)", YLabel: "dB rel. main lobe",
@@ -119,9 +126,17 @@ func AblationCarrierSense(o Options) core.Result {
 		sc.Run(dur)
 		return l.Station.Stats.AckTimeouts + l.Dock.Stats.AckTimeouts, flow.GoodputBps(), true
 	}
-	baseTO, _, ok0 := run(false, false)
-	blindTO, blindTput, ok1 := run(true, false)
-	senseTO, senseTput, ok2 := run(true, true)
+	// Three independent scenarios: baseline, blind WiHD, sensing WiHD.
+	var (
+		baseTO, blindTO, senseTO int
+		blindTput, senseTput     float64
+		ok0, ok1, ok2            bool
+	)
+	par.Do(
+		func() { baseTO, _, ok0 = run(false, false) },
+		func() { blindTO, blindTput, ok1 = run(true, false) },
+		func() { senseTO, senseTput, ok2 = run(true, true) },
+	)
 	if !ok0 || !ok1 || !ok2 {
 		res.AddCheck("setup", "links come up", "failed", false)
 		return res
@@ -177,16 +192,24 @@ func AblationAggregation(o Options) core.Result {
 	}
 	caps := []time.Duration{7 * time.Microsecond, 25 * time.Microsecond}
 	labels := []string{"minimal (≈1 MPDU)", "paper cap (25 µs)"}
+	type a3Point struct {
+		busy, tput float64
+		ok         bool
+	}
+	cells := par.Map(len(caps), func(i int) a3Point {
+		b, tp, ok := run(caps[i])
+		return a3Point{busy: b, tput: tp, ok: ok}
+	})
 	var busies, tputs []float64
-	for i, c := range caps {
-		b, tp, ok := run(c)
-		if !ok {
+	for i := range caps {
+		c := cells[i]
+		if !c.ok {
 			res.AddCheck("setup", "link comes up", "failed", false)
 			return res
 		}
-		busies = append(busies, b*100)
-		tputs = append(tputs, tp/1e6)
-		res.Note("%s: busy %.0f%%, goodput %.0f mbps", labels[i], b*100, tp/1e6)
+		busies = append(busies, c.busy*100)
+		tputs = append(tputs, c.tput/1e6)
+		res.Note("%s: busy %.0f%%, goodput %.0f mbps", labels[i], c.busy*100, c.tput/1e6)
 	}
 	res.Series = append(res.Series, core.Series{
 		Label: "medium usage", XLabel: "aggregation cap (µs)", YLabel: "busy (%)",
@@ -228,14 +251,19 @@ func AblationReflectionOrder(o Options) core.Result {
 			B:    coexist.Endpoint{Pos: geom.V(5, 0), BoresightDeg: 180},
 		},
 	}
-	var worsts []float64
-	for order := 0; order <= 2; order++ {
+	// Each order builds its own analyzer over the shared (read-only) room;
+	// the three predictions run concurrently.
+	type a4Point struct {
+		worst  float64
+		regime coexist.Regime
+		err    error
+	}
+	orders := par.Map(3, func(order int) a4Point {
 		an := coexist.NewAnalyzer(room)
 		an.MaxReflections = order
 		cs, err := an.Analyze(links)
 		if err != nil {
-			res.AddCheck("analysis", "runs", err.Error(), false)
-			return res
+			return a4Point{err: err}
 		}
 		worst := math.Inf(-1)
 		regime := coexist.Isolated
@@ -247,8 +275,16 @@ func AblationReflectionOrder(o Options) core.Result {
 				regime = c.Regime
 			}
 		}
-		worsts = append(worsts, worst)
-		res.Note("order %d: worst coupling %.1f dBm, regime %v", order, worst, regime)
+		return a4Point{worst: worst, regime: regime}
+	})
+	var worsts []float64
+	for order, p := range orders {
+		if p.err != nil {
+			res.AddCheck("analysis", "runs", p.err.Error(), false)
+			return res
+		}
+		worsts = append(worsts, p.worst)
+		res.Note("order %d: worst coupling %.1f dBm, regime %v", order, p.worst, p.regime)
 	}
 	res.Series = append(res.Series, core.Series{
 		Label: "worst predicted coupling", XLabel: "max reflection order", YLabel: "dBm",
@@ -301,8 +337,15 @@ func AblationPowerControl(o Options) core.Result {
 		return vic.Station.Stats.AckTimeouts + vic.Dock.Stats.AckTimeouts,
 			fa.GoodputBps(), vic.Dock.RateBps(), true
 	}
-	fullTO, fullTput, fullRate, ok1 := run(0) // stock power
-	tpcTO, tpcTput, tpcRate, ok2 := run(-8)   // power-controlled: 8 dB back-off
+	var (
+		fullTO, tpcTO                        int
+		fullTput, fullRate, tpcTput, tpcRate float64
+		ok1, ok2                             bool
+	)
+	par.Do(
+		func() { fullTO, fullTput, fullRate, ok1 = run(0) }, // stock power
+		func() { tpcTO, tpcTput, tpcRate, ok2 = run(-8) },   // power-controlled: 8 dB back-off
+	)
 	if !ok1 || !ok2 {
 		res.AddCheck("setup", "links come up", "failed", false)
 		return res

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/mac/wigig"
+	"repro/internal/par"
 	"repro/internal/stats"
 	"repro/internal/transport"
 )
@@ -61,8 +62,9 @@ func BlockageTransient(o Options) core.Result {
 			if y > 1.0 {
 				return
 			}
-			room.Walls[walker].Segment = geom.Seg(geom.V(1.5, y), geom.V(1.5, y+0.5))
-			sc.Med.InvalidateChannels()
+			// MoveWall logs the edit; the medium picks it up lazily and
+			// re-traces only the pairs the walker can actually affect.
+			room.MoveWall(walker, geom.Seg(geom.V(1.5, y), geom.V(1.5, y+0.5)))
 			y += step
 			sc.Sched.After(50*time.Millisecond, walk)
 		}
@@ -95,8 +97,14 @@ func BlockageTransient(o Options) core.Result {
 		return stats.Min(rates), rec, moved, true
 	}
 
-	bareMin, bareRec, _, ok1 := run(false)
-	wallMin, wallRec, wallRetrained, ok2 := run(true)
+	var (
+		bareMin, bareRec, wallMin, wallRec float64
+		wallRetrained, ok1, ok2            bool
+	)
+	par.Do(
+		func() { bareMin, bareRec, _, ok1 = run(false) },
+		func() { wallMin, wallRec, wallRetrained, ok2 = run(true) },
+	)
 	if !ok1 || !ok2 {
 		res.AddCheck("setup", "links come up", "failed", false)
 		return res

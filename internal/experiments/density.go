@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/mac/wigig"
+	"repro/internal/par"
 	"repro/internal/transport"
 )
 
@@ -96,24 +97,41 @@ func DenseDeployment(o Options) core.Result {
 		return assign
 	}
 
+	// Flatten the counts × {same-channel, planned} grid; each cell is an
+	// independent scenario, and planFor is a pure function of n, so the
+	// whole grid runs concurrently. Even cells are same-channel, odd ones
+	// planned.
+	type x2Cell struct {
+		agg      float64
+		timeouts int
+		plan     []int
+		ok       bool
+	}
+	cells := par.Map(2*len(counts), func(k int) x2Cell {
+		n := counts[k/2]
+		var plan []int
+		if k%2 == 1 {
+			plan = planFor(n)
+		}
+		agg, to, ok := run(n, plan)
+		return x2Cell{agg: agg, timeouts: to, plan: plan, ok: ok}
+	})
 	var sameX, sameY, planY []float64
-	for _, n := range counts {
-		same, sameTO, ok1 := run(n, nil)
-		if !ok1 {
+	for ci, n := range counts {
+		same, planned := cells[2*ci], cells[2*ci+1]
+		if !same.ok {
 			res.AddCheck(fmt.Sprintf("bring-up n=%d same-channel", n), "associates", "failed", false)
 			return res
 		}
-		plan := planFor(n)
-		planned, planTO, ok2 := run(n, plan)
-		if !ok2 {
+		if !planned.ok {
 			res.AddCheck(fmt.Sprintf("bring-up n=%d planned", n), "associates", "failed", false)
 			return res
 		}
 		sameX = append(sameX, float64(n))
-		sameY = append(sameY, same/1e6)
-		planY = append(planY, planned/1e6)
+		sameY = append(sameY, same.agg/1e6)
+		planY = append(planY, planned.agg/1e6)
 		res.Note("n=%d: same-channel %.0f mbps (%d timeouts), planned %v → %.0f mbps (%d timeouts)",
-			n, same/1e6, sameTO, plan, planned/1e6, planTO)
+			n, same.agg/1e6, same.timeouts, planned.plan, planned.agg/1e6, planned.timeouts)
 	}
 	res.Series = append(res.Series,
 		core.Series{Label: "same channel", XLabel: "links", YLabel: "aggregate goodput (mbps)", X: sameX, Y: sameY},

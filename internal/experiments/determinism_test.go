@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// fingerprint hashes everything observable about a result — checks,
+// notes, and every sample of every series at full float precision — so
+// two runs compare bit-for-bit, not just pass-for-pass.
+func fingerprint(r core.Result) uint64 {
+	h := fnv.New64a()
+	add := func(s string) { h.Write([]byte(s)); h.Write([]byte{0}) }
+	add(r.ID)
+	add(r.Title)
+	for _, c := range r.Checks {
+		add(c.Name)
+		add(c.Want)
+		add(c.Got)
+		add(fmt.Sprintf("%t", c.Pass))
+	}
+	for _, n := range r.Notes {
+		add(n)
+	}
+	for _, s := range r.Series {
+		add(s.Label)
+		add(s.XLabel)
+		add(s.YLabel)
+		for i := range s.X {
+			add(fmt.Sprintf("%x/%x", math.Float64bits(s.X[i]), math.Float64bits(s.Y[i])))
+		}
+	}
+	return h.Sum64()
+}
+
+// The sweep engine's core promise: every experiment in the campaign
+// produces bit-identical results whether its sweeps run on one worker or
+// many. A single differing float anywhere fails this.
+func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign fingerprinting is not a -short test")
+	}
+	opts := Options{Seed: 3, Quick: true}
+
+	runAll := func(workers int) map[string]uint64 {
+		prev := par.SetWorkers(workers)
+		defer par.SetWorkers(prev)
+		out := make(map[string]uint64)
+		for _, r := range All() {
+			out[r.ID] = fingerprint(r.Run(opts))
+		}
+		return out
+	}
+
+	serial := runAll(1)
+	parallel := runAll(4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("experiment counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for _, r := range All() {
+		if serial[r.ID] != parallel[r.ID] {
+			t.Errorf("%s: result differs between 1 and 4 sweep workers", r.ID)
+		}
+	}
+}
+
+// Distinct experiments must be safe to run concurrently — the shared
+// state (LUT cache, worker pool) is either immutable or synchronized.
+// Run under -race this doubles as the data-race stress test.
+func TestExperimentsConcurrently(t *testing.T) {
+	prev := par.SetWorkers(4)
+	defer par.SetWorkers(prev)
+	ids := []string{"F12", "A1", "A3", "A4", "X1"}
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		r, ok := Get(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := r.Run(Options{Seed: 5, Quick: true})
+			if res.ID == "" {
+				t.Errorf("%s returned an empty result", r.ID)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/mac/wigig"
+	"repro/internal/par"
 	"repro/internal/sniffer"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -39,15 +40,18 @@ type loadPoint struct {
 // iperf pacing knob, the stand-in for the paper's TCP window control)
 // and captures sniffer traces.
 func runLoadSweep(o Options, loads []float64) []loadPoint {
-	var out []loadPoint
-	for i, load := range loads {
+	// Every operating point is its own scenario with derived seeds; the
+	// sweep pool runs them concurrently and par.Map keeps the results in
+	// load order regardless of completion order.
+	slots := par.Map(len(loads), func(i int) *loadPoint {
+		load := loads[i]
 		sc := core.NewScenario(geom.Open(), o.Seed+uint64(i)*7)
 		l := sc.AddWiGigLink(
 			wigig.Config{Name: "dock", Pos: geom.V(0, 0), Seed: o.Seed + uint64(i)*7},
 			wigig.Config{Name: "sta", Pos: geom.V(2, 0), Seed: o.Seed + uint64(i)*7 + 1},
 		)
 		if !l.WaitAssociated(sc.Sched, time.Second) {
-			continue
+			return nil
 		}
 		sn := sc.AddSniffer("vubiq", geom.V(1, 0.4), antenna.OpenWaveguide(), -math.Pi/2)
 		flow := transport.NewFlow(sc.Sched, l.Station, l.Dock, transport.Config{PacingBps: load})
@@ -75,13 +79,19 @@ func runLoadSweep(o Options, loads []float64) []loadPoint {
 				sc.Run(500 * time.Millisecond)
 			}
 		}
-		out = append(out, loadPoint{
+		return &loadPoint{
 			OfferedBps:  load,
 			Obs:         sn.Obs,
 			CaptureFrom: from,
 			CaptureTo:   sc.Now(),
 			GoodputBps:  flow.GoodputBps(),
-		})
+		}
+	})
+	var out []loadPoint
+	for _, p := range slots {
+		if p != nil {
+			out = append(out, *p)
+		}
 	}
 	return out
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/mac/wigig"
+	"repro/internal/par"
 	"repro/internal/phy"
 	"repro/internal/stats"
 	"repro/internal/transport"
@@ -36,8 +37,15 @@ func Fig12(o Options) core.Result {
 		dur = 4 * time.Second
 	}
 	distances := []float64{2, 8, 14}
-	rates := map[float64][]float64{}
-	for i, d := range distances {
+	// Each distance is an independent scenario; run them through the
+	// sweep pool and assemble by index so output order never depends on
+	// which worker finishes first.
+	type distTrace struct {
+		xs, ys []float64
+		failed bool
+	}
+	traces := par.Map(len(distances), func(i int) distTrace {
+		d := distances[i]
 		sc := core.NewScenario(geom.Open(), o.Seed+uint64(i)*13)
 		sc.Med.Budget.AtmosphericSigmaDB = 0
 		l := sc.AddWiGigLink(
@@ -45,8 +53,7 @@ func Fig12(o Options) core.Result {
 			wigig.Config{Name: "sta", Pos: geom.V(d, 0), Seed: o.Seed + uint64(i)*13 + 1},
 		)
 		if !l.WaitAssociated(sc.Sched, 2*time.Second) {
-			res.AddCheck(fmt.Sprintf("association at %.0f m", d), "associates", "failed", false)
-			continue
+			return distTrace{failed: true}
 		}
 		// Low traffic: a trickle flow, as in the paper's MCS readings.
 		flow := transport.NewFlow(sc.Sched, l.Station, l.Dock, transport.Config{PacingBps: 1e6})
@@ -61,10 +68,19 @@ func Fig12(o Options) core.Result {
 			xs = append(xs, sc.Now().Seconds())
 			ys = append(ys, l.Dock.RateBps()/1e9)
 		}
-		rates[d] = ys
+		return distTrace{xs: xs, ys: ys}
+	})
+	rates := map[float64][]float64{}
+	for i, tr := range traces {
+		d := distances[i]
+		if tr.failed {
+			res.AddCheck(fmt.Sprintf("association at %.0f m", d), "associates", "failed", false)
+			continue
+		}
+		rates[d] = tr.ys
 		res.Series = append(res.Series, core.Series{
 			Label: fmt.Sprintf("%.0f m", d), XLabel: "time (s)", YLabel: "PHY rate (Gbps)",
-			X: xs, Y: ys,
+			X: tr.xs, Y: tr.ys,
 		})
 	}
 	if ys := rates[2]; len(ys) > 0 {
@@ -106,37 +122,44 @@ func Fig13(o Options) core.Result {
 	for r := 0; r < runs; r++ {
 		perRun[r] = make([]float64, len(distances))
 	}
-	for r := 0; r < runs; r++ {
-		// One atmospheric draw per "day".
-		dayRng := stats.NewRNG(o.Seed + uint64(r)*101)
-		dayOffset := rf2AtmosphericDraw(dayRng)
-		cliff := math.NaN()
-		for di, d := range distances {
-			sc := core.NewScenario(geom.Open(), o.Seed+uint64(r)*101+uint64(di))
-			sc.Med.ExtraLossDB = dayOffset
-			l := sc.AddWiGigLink(
-				wigig.Config{Name: "dock", Pos: geom.V(0, 0), Seed: o.Seed + uint64(r*100+di)},
-				wigig.Config{Name: "sta", Pos: geom.V(d, 0), Seed: o.Seed + uint64(r*100+di) + 1},
-			)
-			tput := 0.0
-			if l.WaitAssociated(sc.Sched, time.Second) {
-				flow := transport.NewFlow(sc.Sched, l.Station, l.Dock,
-					transport.Config{PacingBps: 940e6})
-				flow.Start()
-				sc.Run(dur)
-				tput = flow.GoodputBps()
-				if !l.Dock.Associated() {
-					// Link broke mid-run: unstable regime.
-					tput = math.Min(tput, 100e6)
-				}
-			}
-			perRun[r][di] = tput / 1e6
-			if math.IsNaN(cliff) && tput < 400e6 && d >= 6 {
-				cliff = d
+	// One atmospheric draw per "day", hoisted so every grid cell can run
+	// independently of run order.
+	dayOffsets := make([]float64, runs)
+	for r := range dayOffsets {
+		dayOffsets[r] = rf2AtmosphericDraw(stats.NewRNG(o.Seed + uint64(r)*101))
+	}
+	// Flatten the runs × distances grid: every cell builds its own
+	// scenario from derived seeds, so the pool chews through all of them
+	// at once and each worker writes only its own perRun cell.
+	par.Sweep(runs*len(distances), func(k int) {
+		r, di := k/len(distances), k%len(distances)
+		d := distances[di]
+		sc := core.NewScenario(geom.Open(), o.Seed+uint64(r)*101+uint64(di))
+		sc.Med.ExtraLossDB = dayOffsets[r]
+		l := sc.AddWiGigLink(
+			wigig.Config{Name: "dock", Pos: geom.V(0, 0), Seed: o.Seed + uint64(r*100+di)},
+			wigig.Config{Name: "sta", Pos: geom.V(d, 0), Seed: o.Seed + uint64(r*100+di) + 1},
+		)
+		tput := 0.0
+		if l.WaitAssociated(sc.Sched, time.Second) {
+			flow := transport.NewFlow(sc.Sched, l.Station, l.Dock,
+				transport.Config{PacingBps: 940e6})
+			flow.Start()
+			sc.Run(dur)
+			tput = flow.GoodputBps()
+			if !l.Dock.Associated() {
+				// Link broke mid-run: unstable regime.
+				tput = math.Min(tput, 100e6)
 			}
 		}
-		if !math.IsNaN(cliff) {
-			cliffs = append(cliffs, cliff)
+		perRun[r][di] = tput / 1e6
+	})
+	for r := 0; r < runs; r++ {
+		for di, d := range distances {
+			if perRun[r][di] < 400 && d >= 6 {
+				cliffs = append(cliffs, d)
+				break
+			}
 		}
 	}
 	for di, d := range distances {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/mac/wigig"
 	"repro/internal/mac/wihd"
+	"repro/internal/par"
 	"repro/internal/sniffer"
 	"repro/internal/transport"
 )
@@ -32,6 +33,10 @@ var (
 		"E": geom.V(5.0, 0.7),
 		"F": geom.V(7.6, 0.55),
 	}
+	// figRoomOrder fixes the visiting order: the sniffer moves through one
+	// live scenario, so iterating the map directly would make measurement
+	// times — and thus results — vary run to run.
+	figRoomOrder = []string{"A", "B", "C", "D", "E", "F"}
 )
 
 // reflectionProfiles runs the Fig. 4 methodology for one system type and
@@ -79,8 +84,8 @@ func reflectionProfiles(o Options, useWiHD bool) (map[string]sniffer.AngularProf
 	profiles := map[string]sniffer.AngularProfile{}
 	sn := sniffer.New(sc.Med, "vubiq", figRoomLocations["A"], nil, 0)
 	sn.SensitivityDBm = -92
-	for name, pos := range figRoomLocations {
-		sn.Move(sc.Med, pos)
+	for _, name := range figRoomOrder {
+		sn.Move(sc.Med, figRoomLocations[name])
 		sn.Reset()
 		profiles[name] = sn.MeasureAngularProfile(sc.Med, steps, dwell)
 	}
@@ -98,7 +103,8 @@ func analyzeRoomProfiles(res *core.Result, profiles map[string]sniffer.AngularPr
 	// direct lobe (no furniture or metallic clutter in the model), so
 	// the analysis floor sits at -14 dB.
 	const floor = -14
-	for name, pos := range figRoomLocations {
+	for _, name := range figRoomOrder {
+		pos := figRoomLocations[name]
 		p, ok := profiles[name]
 		if !ok {
 			continue
@@ -139,7 +145,8 @@ func Fig18(o Options) core.Result {
 	both, extra, _ := analyzeRoomProfiles(&res, profiles)
 	res.CheckTrue("locations hearing both devices", "≥ 3 of 6", both >= 3)
 	res.CheckTrue("locations with reflection lobes", "≥ 2 of 6", extra >= 2)
-	for name, p := range profiles {
+	for _, name := range figRoomOrder {
+		p := profiles[name]
 		res.Series = append(res.Series, core.Series{
 			Label: "location " + name, XLabel: "angle (rad)", YLabel: "relative power (dB)",
 			X: p.AnglesRad, Y: p.Normalized(),
@@ -151,7 +158,19 @@ func Fig18(o Options) core.Result {
 // Fig19 repeats the measurement with the WiHD system; its wider beams
 // must produce at least as many (typically more) reflection lobes.
 func Fig19(o Options) core.Result {
-	profiles, res, ok := reflectionProfiles(o, true)
+	// The WiHD measurement and the comparative D5000 run are independent
+	// scenarios; overlap them on the sweep pool.
+	var (
+		profiles, d5000Profiles map[string]sniffer.AngularProfile
+		res                     core.Result
+		ok, ok2                 bool
+	)
+	par.Do(
+		func() { profiles, res, ok = reflectionProfiles(o, true) },
+		func() {
+			d5000Profiles, _, ok2 = reflectionProfiles(Options{Seed: o.Seed, Quick: o.Quick}, false)
+		},
+	)
 	res.PaperClaim = "WiHD profiles show more and larger lobes than the D5000's (less directional TX)"
 	if !ok {
 		return res
@@ -164,7 +183,6 @@ func Fig19(o Options) core.Result {
 	// coverage (fraction of directions within 14 dB of the peak) against
 	// a D5000 run in the same room. Wider transmit beams spill more
 	// energy into more directions.
-	d5000Profiles, _, ok2 := reflectionProfiles(Options{Seed: o.Seed, Quick: o.Quick}, false)
 	if ok2 {
 		var dummy core.Result
 		_, _, totalD := analyzeRoomProfiles(&dummy, d5000Profiles)
@@ -180,7 +198,8 @@ func Fig19(o Options) core.Result {
 		res.Note("lobe coverage: WiHD %.2f vs D5000 %.2f; lobe counts %d vs %d",
 			covW, covD, totalW, totalD)
 	}
-	for name, p := range profiles {
+	for _, name := range figRoomOrder {
+		p := profiles[name]
 		res.Series = append(res.Series, core.Series{
 			Label: "location " + name, XLabel: "angle (rad)", YLabel: "relative power (dB)",
 			X: p.AnglesRad, Y: p.Normalized(),
@@ -193,7 +212,12 @@ func Fig19(o Options) core.Result {
 // normalized power is within 14 dB of the location's peak.
 func profileCoverage(profiles map[string]sniffer.AngularProfile) float64 {
 	total, n := 0.0, 0
-	for _, p := range profiles {
+	// Fixed order: float accumulation must not depend on map iteration.
+	for _, name := range figRoomOrder {
+		p, ok := profiles[name]
+		if !ok {
+			continue
+		}
 		norm := p.Normalized()
 		if len(norm) == 0 {
 			continue
@@ -227,70 +251,90 @@ func Fig20(o Options) core.Result {
 	}
 	// Geometry of Fig. 5: laptop and dock 2.5 m apart on a line 1 m from
 	// a wall; an obstacle blocks the direct path.
-	room := geom.Open()
-	room.AddWall(geom.V(-2, 0), geom.V(6, 0), "glass") // the reflecting wall (a window front)
-	room.AddObstacle(geom.V(1.25, 0.6), geom.V(1.25, 1.6), "absorber")
 	dockPos := geom.V(0, 1)
 	laptopPos := geom.V(2.5, 1)
-
-	sc := core.NewScenario(room, o.Seed)
-	l := sc.AddWiGigLink(
-		wigig.Config{Name: "dock", Pos: dockPos, Seed: o.Seed},
-		wigig.Config{Name: "sta", Pos: laptopPos, Seed: o.Seed + 1},
-	)
-	if !l.WaitAssociated(sc.Sched, 3*time.Second) {
-		res.AddCheck("NLOS association", "associates via reflection", "failed", false)
-		return res
-	}
-	// TCP throughput over the reflection, laptop → dock (Fig. 5 flow).
 	dur := 1500 * time.Millisecond
 	if o.Quick {
 		dur = 500 * time.Millisecond
 	}
-	flow := transport.NewFlow(sc.Sched, l.Station, l.Dock, transport.Config{PacingBps: 940e6})
-	flow.Start()
-	sc.Run(dur)
-	nlos := flow.GoodputBps()
-
-	// Angular profile at the dock while the laptop transmits.
-	sn := sniffer.New(sc.Med, "vubiq", dockPos.Add(geom.V(0, 0.05)), nil, 0)
-	sn.SensitivityDBm = -92
 	steps := 72
 	if o.Quick {
 		steps = 48
 	}
-	prof := sn.MeasureAngularProfile(sc.Med, steps, 3*time.Millisecond)
+
+	// The NLOS measurement and its LOS baseline are separate scenarios;
+	// run both on the sweep pool and assemble afterwards.
+	type nlosOut struct {
+		assocFailed           bool
+		nlos                  float64
+		prof                  sniffer.AngularProfile
+		dockSector, staSector int
+	}
+	var nl nlosOut
+	losTput := 0.0
+	par.Do(
+		func() {
+			room := geom.Open()
+			room.AddWall(geom.V(-2, 0), geom.V(6, 0), "glass") // the reflecting wall (a window front)
+			room.AddObstacle(geom.V(1.25, 0.6), geom.V(1.25, 1.6), "absorber")
+			sc := core.NewScenario(room, o.Seed)
+			l := sc.AddWiGigLink(
+				wigig.Config{Name: "dock", Pos: dockPos, Seed: o.Seed},
+				wigig.Config{Name: "sta", Pos: laptopPos, Seed: o.Seed + 1},
+			)
+			if !l.WaitAssociated(sc.Sched, 3*time.Second) {
+				nl.assocFailed = true
+				return
+			}
+			// TCP throughput over the reflection, laptop → dock (Fig. 5 flow).
+			flow := transport.NewFlow(sc.Sched, l.Station, l.Dock, transport.Config{PacingBps: 940e6})
+			flow.Start()
+			sc.Run(dur)
+			nl.nlos = flow.GoodputBps()
+
+			// Angular profile at the dock while the laptop transmits.
+			sn := sniffer.New(sc.Med, "vubiq", dockPos.Add(geom.V(0, 0.05)), nil, 0)
+			sn.SensitivityDBm = -92
+			nl.prof = sn.MeasureAngularProfile(sc.Med, steps, 3*time.Millisecond)
+			nl.dockSector, nl.staSector = l.Dock.Sector(), l.Station.Sector()
+		},
+		func() {
+			// LOS baseline for the >50% comparison.
+			base := core.NewScenario(geom.Open(), o.Seed+9)
+			bl := base.AddWiGigLink(
+				wigig.Config{Name: "dock", Pos: dockPos, Seed: o.Seed + 9},
+				wigig.Config{Name: "sta", Pos: laptopPos, Seed: o.Seed + 10},
+			)
+			if bl.WaitAssociated(base.Sched, time.Second) {
+				bf := transport.NewFlow(base.Sched, bl.Station, bl.Dock, transport.Config{PacingBps: 940e6})
+				bf.Start()
+				base.Run(dur)
+				losTput = bf.GoodputBps()
+			}
+		},
+	)
+	if nl.assocFailed {
+		res.AddCheck("NLOS association", "associates via reflection", "failed", false)
+		return res
+	}
 	res.Series = append(res.Series, core.Series{
 		Label: "dock angular profile", XLabel: "angle (rad)", YLabel: "relative power (dB)",
-		X: prof.AnglesRad, Y: prof.Normalized(),
+		X: nl.prof.AnglesRad, Y: nl.prof.Normalized(),
 	})
 	towardLaptop := laptopPos.Sub(dockPos).Angle()
-	losLobe := prof.HasLobeTowards(towardLaptop, geom.Rad(12), -8)
+	losLobe := nl.prof.HasLobeTowards(towardLaptop, geom.Rad(12), -8)
 	res.CheckTrue("no LOS lobe at the dock", "absent", !losLobe)
 	// All energy via the wall: the peak points into the lower half-plane
 	// (towards the wall at y=0).
-	peak := prof.PeakAngle()
+	peak := nl.prof.PeakAngle()
 	res.CheckTrue("peak points at the wall", "below horizon", math.Sin(peak) < 0)
 
-	// LOS baseline for the >50% comparison.
-	base := core.NewScenario(geom.Open(), o.Seed+9)
-	bl := base.AddWiGigLink(
-		wigig.Config{Name: "dock", Pos: dockPos, Seed: o.Seed + 9},
-		wigig.Config{Name: "sta", Pos: laptopPos, Seed: o.Seed + 10},
-	)
-	losTput := 0.0
-	if bl.WaitAssociated(base.Sched, time.Second) {
-		bf := transport.NewFlow(base.Sched, bl.Station, bl.Dock, transport.Config{PacingBps: 940e6})
-		bf.Start()
-		base.Run(dur)
-		losTput = bf.GoodputBps()
-	}
-	res.CheckRange("NLOS TCP throughput", nlos/1e6, 300, 800, "mbps")
+	res.CheckRange("NLOS TCP throughput", nl.nlos/1e6, 300, 800, "mbps")
 	if losTput > 0 {
 		res.CheckTrue("more than half of LOS", fmt.Sprintf("LOS %.0f mbps", losTput/1e6),
-			nlos > losTput/2)
+			nl.nlos > losTput/2)
 	}
 	res.Note("NLOS %.0f mbps vs LOS %.0f mbps; dock sector %d, station sector %d",
-		nlos/1e6, losTput/1e6, l.Dock.Sector(), l.Station.Sector())
+		nl.nlos/1e6, losTput/1e6, nl.dockSector, nl.staSector)
 	return res
 }

@@ -17,13 +17,75 @@ type Wall struct {
 // Room is a collection of walls and free-standing obstacles describing a
 // measurement environment, e.g. the 9 m × 3.25 m conference room of the
 // paper's reflection study (Fig. 4).
+//
+// Rooms carry a mutation epoch so channel caches built over the geometry
+// can detect changes without being told: structural edits (AddWall,
+// AddObstacle) advance the epoch anonymously, while MoveWall also logs
+// the old and new segments, letting caches invalidate only the paths a
+// moving obstacle can actually touch instead of re-tracing every pair.
 type Room struct {
 	Walls []Wall
+
+	// epoch counts mutations since construction. Zero means pristine.
+	epoch uint64
+	// moves logs recent MoveWall edits (newest last). Structural edits
+	// are not logged, so a cache comparing len(moves-since) against the
+	// epoch delta detects them and falls back to a full rebuild.
+	moves []WallMove
+}
+
+// WallMove records one MoveWall edit for selective cache invalidation.
+type WallMove struct {
+	// Epoch is the room epoch after this move was applied.
+	Epoch uint64
+	// Index is the moved wall's position in Walls.
+	Index int
+	// Old and New are the wall's segment before and after the move.
+	Old, New Segment
+}
+
+// maxMoveLog bounds the move log; caches that fall further behind than
+// this rebuild wholesale (MovesSince reports incomplete).
+const maxMoveLog = 64
+
+// Epoch returns the room's mutation counter. Caches snapshot it and
+// compare on later queries to detect geometry changes.
+func (r *Room) Epoch() uint64 { return r.epoch }
+
+// MoveWall relocates wall i, advancing the epoch and logging the edit so
+// channel caches can invalidate selectively. This is the supported way
+// to animate an obstacle (e.g. the blockage walker crossing a link);
+// mutating Walls[i].Segment directly leaves caches stale.
+func (r *Room) MoveWall(i int, s Segment) {
+	old := r.Walls[i].Segment
+	r.Walls[i].Segment = s
+	r.epoch++
+	r.moves = append(r.moves, WallMove{Epoch: r.epoch, Index: i, Old: old, New: s})
+	if len(r.moves) > maxMoveLog {
+		r.moves = r.moves[len(r.moves)-maxMoveLog:]
+	}
+}
+
+// MovesSince returns the logged moves applied after the given epoch,
+// oldest first. complete reports whether the returned moves account for
+// every mutation since then; false means structural edits happened or
+// the log was trimmed, and the caller must rebuild its cache entirely.
+func (r *Room) MovesSince(epoch uint64) (moves []WallMove, complete bool) {
+	if epoch > r.epoch {
+		return nil, false
+	}
+	for _, m := range r.moves {
+		if m.Epoch > epoch {
+			moves = append(moves, m)
+		}
+	}
+	return moves, uint64(len(moves)) == r.epoch-epoch
 }
 
 // AddWall appends a reflecting wall made of the named material.
 func (r *Room) AddWall(a, b Vec2, material string) {
 	r.Walls = append(r.Walls, Wall{Segment: Seg(a, b), Material: material})
+	r.epoch++
 }
 
 // AddObstacle appends a fully blocking obstacle (e.g. the paper's
@@ -31,6 +93,7 @@ func (r *Room) AddWall(a, b Vec2, material string) {
 // obstacle still reflects with the named material.
 func (r *Room) AddObstacle(a, b Vec2, material string) {
 	r.Walls = append(r.Walls, Wall{Segment: Seg(a, b), Material: material, Blocking: true})
+	r.epoch++
 }
 
 // Box builds a rectangular room with the given corner points and one

@@ -1,0 +1,117 @@
+// Package par is the intra-experiment parallel sweep engine: a bounded
+// worker pool with ordered, deterministic fan-out helpers. Experiment
+// drivers hand it the independent points of a sweep — distances,
+// interferer positions, link counts, quantization bits — and it executes
+// them across cores while guaranteeing that the assembled results are
+// identical to a sequential run.
+//
+// Determinism contract: every helper dispatches work by point index, and
+// any per-point randomness must come from stats.RNG.ForkAt(i) on a base
+// stream (SweepRNG does this for the caller). Because the substream of
+// point i depends only on (base state, i) — never on worker count,
+// scheduling order, or completion order — the campaign produces
+// bit-identical results whether it runs on one worker or on NumCPU.
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// EnvWorkers names the environment variable that overrides the default
+// worker count (the CLI's -workers flag takes precedence by calling
+// SetWorkers explicitly).
+const EnvWorkers = "MMSIM_SWEEP_WORKERS"
+
+var workers atomic.Int64
+
+func init() {
+	workers.Store(int64(defaultWorkers()))
+}
+
+func defaultWorkers() int {
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return runtime.NumCPU()
+}
+
+// Workers returns the current pool width used by Sweep and friends.
+func Workers() int { return int(workers.Load()) }
+
+// SetWorkers sets the pool width (minimum 1) and returns the previous
+// value, so tests and the CLI can scope an override.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(workers.Swap(int64(n)))
+}
+
+// Sweep runs fn(i) for every i in [0, n) on the worker pool and returns
+// once all points completed. Points must be independent; fn typically
+// writes its result into the caller's index-addressed slice, which keeps
+// assembly order fixed regardless of completion order. With one worker
+// (or n ≤ 1) the sweep degenerates to a plain loop with no goroutine
+// overhead.
+func Sweep(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// SweepRNG runs fn(i, rng) for every i in [0, n), handing each point the
+// i-th indexed substream of base (stats.RNG.ForkAt). All substreams are
+// derived before dispatch, so the base generator advances by exactly
+// zero steps and the per-point streams are independent of worker count.
+func SweepRNG(base *stats.RNG, n int, fn func(i int, rng *stats.RNG)) {
+	Sweep(n, func(i int) { fn(i, base.ForkAt(uint64(i))) })
+}
+
+// Map runs fn(i) for every i in [0, n) on the worker pool and returns
+// the results in index order.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	Sweep(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Do runs the given independent tasks on the worker pool and waits for
+// all of them — the two-or-three-scenario fan-out (baseline vs variant
+// runs) that many ablations use.
+func Do(tasks ...func()) {
+	Sweep(len(tasks), func(i int) { tasks[i]() })
+}

@@ -1,0 +1,110 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// setWorkers scopes a pool-width override to the test.
+func setWorkers(t *testing.T, n int) {
+	t.Helper()
+	prev := SetWorkers(n)
+	t.Cleanup(func() { SetWorkers(prev) })
+}
+
+// Sweep must visit every index exactly once, for any pool width.
+func TestSweepCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8, 64} {
+		setWorkers(t, w)
+		const n = 500
+		counts := make([]atomic.Int64, n)
+		Sweep(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestSweepDegenerateSizes(t *testing.T) {
+	setWorkers(t, 8)
+	ran := 0
+	Sweep(0, func(int) { ran++ })
+	Sweep(-3, func(int) { ran++ })
+	if ran != 0 {
+		t.Errorf("empty sweeps ran %d points", ran)
+	}
+	Sweep(1, func(i int) { ran += i + 1 })
+	if ran != 1 {
+		t.Errorf("single-point sweep wrong: %d", ran)
+	}
+}
+
+// Map must return results in index order regardless of completion order.
+func TestMapIndexOrder(t *testing.T) {
+	setWorkers(t, 8)
+	out := Map(257, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// SweepRNG's determinism contract: the values each point draws are
+// identical for every pool width, and the base generator never advances.
+func TestSweepRNGDeterministicAcrossWorkerCounts(t *testing.T) {
+	const n = 200
+	draw := func(w int) ([]float64, uint64) {
+		setWorkers(t, w)
+		base := stats.NewRNG(99)
+		out := make([]float64, n)
+		SweepRNG(base, n, func(i int, rng *stats.RNG) {
+			v := 0.0
+			for k := 0; k <= i%7; k++ { // uneven per-point consumption
+				v = rng.Float64()
+			}
+			out[i] = v
+		})
+		return out, base.Uint64()
+	}
+	ref, refNext := draw(1)
+	for _, w := range []int{2, 4, 16} {
+		got, gotNext := draw(w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: point %d drew %v, want %v", w, i, got[i], ref[i])
+			}
+		}
+		if gotNext != refNext {
+			t.Fatalf("workers=%d: base stream advanced differently", w)
+		}
+	}
+}
+
+func TestDoRunsAllTasks(t *testing.T) {
+	setWorkers(t, 4)
+	var a, b, c atomic.Int64
+	Do(
+		func() { a.Add(1) },
+		func() { b.Add(2) },
+		func() { c.Add(3) },
+	)
+	if a.Load() != 1 || b.Load() != 2 || c.Load() != 3 {
+		t.Errorf("tasks ran wrong: %d %d %d", a.Load(), b.Load(), c.Load())
+	}
+}
+
+func TestSetWorkersClampsAndReturnsPrevious(t *testing.T) {
+	prev := SetWorkers(5)
+	defer SetWorkers(prev)
+	if got := SetWorkers(0); got != 5 {
+		t.Errorf("SetWorkers returned %d, want previous 5", got)
+	}
+	if Workers() != 1 {
+		t.Errorf("SetWorkers(0) should clamp to 1, got %d", Workers())
+	}
+}

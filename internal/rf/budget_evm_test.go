@@ -17,9 +17,9 @@ func TestEffectiveSINRCeiling(t *testing.T) {
 		t.Fatal("default budget must carry an EVM floor")
 	}
 	cases := []struct{ raw, lo, hi float64 }{
-		{raw: 60, lo: b.EVMFloorDB - 0.05, hi: b.EVMFloorDB}, // saturated
+		{raw: 60, lo: b.EVMFloorDB - 0.05, hi: b.EVMFloorDB},                // saturated
 		{raw: b.EVMFloorDB, lo: b.EVMFloorDB - 3.1, hi: b.EVMFloorDB - 2.9}, // equal powers: −3 dB
-		{raw: 0, lo: -0.1, hi: 0}, // far below the floor: pass-through
+		{raw: 0, lo: -0.1, hi: 0},                                           // far below the floor: pass-through
 		{raw: -20, lo: -20.1, hi: -20},
 	}
 	for _, c := range cases {

@@ -235,6 +235,114 @@ func (t *Tracer) traceSecondOrder(tx, rx geom.Vec2, keep func(Path)) error {
 	return nil
 }
 
+// PairAffected reports whether the channel between tx and rx can have
+// changed as a result of the given wall moves. It is the selective
+// invalidation predicate behind sim.Medium's channel cache: when an
+// obstacle moves (the blockage walker of experiment X1), only pairs for
+// which this returns true are re-traced; static pairs keep their paths.
+//
+// The test is conservative — it may report an unaffected pair as
+// affected (costing one redundant re-trace) but never the reverse. It
+// enumerates the pair's candidate path geometry (LOS and reflections up
+// to MaxOrder) while IGNORING blocking, because a blocked path is
+// exactly the kind of candidate a retreating obstacle can resurrect,
+// and flags the pair if any candidate path
+//
+//   - reflects off a moved wall, at its old or new position (the bounce
+//     geometry itself changed), or
+//   - has a leg crossing a moved segment, old or new (penetration loss
+//     or blockage along the leg changed).
+func (t *Tracer) PairAffected(tx, rx geom.Vec2, moves []geom.WallMove) bool {
+	if len(moves) == 0 {
+		return false
+	}
+	// Extended wall set: every wall at its current position, plus one
+	// phantom copy per move holding the old segment. Phantoms (and moved
+	// walls themselves) are tagged so that any candidate path bouncing
+	// off them marks the pair affected.
+	movedIdx := make(map[int]bool, len(moves))
+	segs := make([]geom.Segment, 0, 2*len(moves))
+	for _, m := range moves {
+		movedIdx[m.Index] = true
+		segs = append(segs, m.Old, m.New)
+	}
+	type extWall struct {
+		seg   geom.Segment
+		moved bool
+	}
+	ext := make([]extWall, 0, len(t.Room.Walls)+len(moves))
+	for i, w := range t.Room.Walls {
+		ext = append(ext, extWall{seg: w.Segment, moved: movedIdx[i]})
+	}
+	for _, m := range moves {
+		ext = append(ext, extWall{seg: m.Old, moved: true})
+	}
+
+	legTouches := func(a, b geom.Vec2) bool {
+		leg := geom.Seg(a, b)
+		for _, s := range segs {
+			if _, _, ok := leg.IntersectInterior(s, blockEps); ok {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Line of sight.
+	if legTouches(tx, rx) {
+		return true
+	}
+	if t.MaxOrder < 1 {
+		return false
+	}
+	// First-order candidates.
+	for _, w := range ext {
+		if !w.seg.SameSide(tx, rx) {
+			continue
+		}
+		img := w.seg.Mirror(tx)
+		_, u, ok := geom.Seg(img, rx).Intersect(w.seg)
+		if !ok || u <= 0 || u >= 1 {
+			continue
+		}
+		p := w.seg.Point(u)
+		if w.moved || legTouches(tx, p) || legTouches(p, rx) {
+			return true
+		}
+	}
+	if t.MaxOrder < 2 {
+		return false
+	}
+	// Second-order candidates.
+	for i, w1 := range ext {
+		img1 := w1.seg.Mirror(tx)
+		for j, w2 := range ext {
+			if i == j {
+				continue
+			}
+			img2 := w2.seg.Mirror(img1)
+			_, u2, ok := geom.Seg(img2, rx).Intersect(w2.seg)
+			if !ok || u2 <= 0 || u2 >= 1 {
+				continue
+			}
+			p2 := w2.seg.Point(u2)
+			_, u1, ok := geom.Seg(img1, p2).Intersect(w1.seg)
+			if !ok || u1 <= 0 || u1 >= 1 {
+				continue
+			}
+			p1 := w1.seg.Point(u1)
+			if !w1.seg.SameSide(tx, p2) || !w2.seg.SameSide(p1, rx) {
+				continue
+			}
+			if w1.moved || w2.moved ||
+				legTouches(tx, p1) || legTouches(p1, p2) || legTouches(p2, rx) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // GainFunc maps a global-frame angle (radians) to an antenna gain in dBi.
 // The rf package takes gain functions rather than antenna types to avoid
 // a dependency on the antenna package; the sim layer binds the two.

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rf"
+)
+
+func testMedium(room *geom.Room, n int) (*Medium, []*Radio) {
+	s := NewScheduler()
+	m := NewMedium(s, room, rf.FreqChannel2Hz, rf.DefaultBudget(), 11)
+	radios := make([]*Radio, n)
+	for i := range radios {
+		radios[i] = m.AddRadio(&Radio{Name: string(rune('a' + i))})
+	}
+	return m, radios
+}
+
+// The cached canonical channel, read in the reverse direction, must be
+// the exact mirror of the forward one: same loss and geometry, departure
+// and arrival angles swapped, reflection points walked back to front.
+func TestChannelReciprocity(t *testing.T) {
+	room := geom.Open()
+	room.AddWall(geom.V(-3, 2), geom.V(8, 2), "metal")
+	room.AddWall(geom.V(-3, -1.5), geom.V(8, -1.5), "glass")
+	m, r := testMedium(room, 2)
+	r[0].Pos = geom.V(0, 0)
+	r[1].Pos = geom.V(5, 0.7)
+
+	fwd := m.channel(r[0], r[1])
+	rev := m.channel(r[1], r[0])
+	if len(fwd) == 0 || len(fwd) != len(rev) {
+		t.Fatalf("path counts: fwd %d, rev %d", len(fwd), len(rev))
+	}
+	for i := range fwd {
+		f, b := fwd[i], rev[i]
+		if f.LossDB != b.LossDB || f.Length != b.Length || f.Order != b.Order {
+			t.Errorf("path %d: loss/length/order not reciprocal: %+v vs %+v", i, f, b)
+		}
+		if f.AoD != b.AoA || f.AoA != b.AoD {
+			t.Errorf("path %d: angles not swapped: fwd AoD=%v AoA=%v, rev AoD=%v AoA=%v",
+				i, f.AoD, f.AoA, b.AoD, b.AoA)
+		}
+		if len(f.Points) != len(b.Points) {
+			t.Fatalf("path %d: point counts differ", i)
+		}
+		for j := range f.Points {
+			if f.Points[j] != b.Points[len(b.Points)-1-j] {
+				t.Errorf("path %d: points not reversed: %v vs %v", i, f.Points, b.Points)
+			}
+		}
+	}
+	// Reciprocity at the power level with isotropic patterns: identical.
+	pf := m.RxPowerDBm(r[0], r[1])
+	pb := m.RxPowerDBm(r[1], r[0])
+	if math.Abs(pf-pb) > 1e-9 {
+		t.Errorf("received power not reciprocal: %v vs %v dBm", pf, pb)
+	}
+}
+
+// InvalidateRadio must drop exactly the pairs touching that radio.
+func TestInvalidateRadioSelective(t *testing.T) {
+	m, r := testMedium(geom.Open(), 3)
+	r[0].Pos, r[1].Pos, r[2].Pos = geom.V(0, 0), geom.V(3, 0), geom.V(0, 4)
+	m.channel(r[0], r[1])
+	m.channel(r[0], r[2])
+	m.channel(r[1], r[2])
+	if len(m.paths) != 3 {
+		t.Fatalf("cache primed with %d pairs, want 3", len(m.paths))
+	}
+	m.InvalidateRadio(r[0].ID)
+	if len(m.paths) != 1 {
+		t.Fatalf("cache holds %d pairs after InvalidateRadio, want 1", len(m.paths))
+	}
+	if _, ok := m.paths[pairKey(r[1].ID, r[2].ID)]; !ok {
+		t.Error("the pair not touching the moved radio was dropped")
+	}
+}
+
+// A logged wall move must invalidate only the pairs the moved segment
+// can affect; a structural edit must drop the whole cache.
+func TestSyncRoomSelectiveInvalidation(t *testing.T) {
+	room := geom.Open()
+	room.AddObstacle(geom.V(1.5, -1), geom.V(1.5, -0.5), "human")
+	walker := len(room.Walls) - 1
+	m, r := testMedium(room, 4)
+	// Pair (0,1) straddles the walker's track; pair (2,3) lives far away.
+	r[0].Pos, r[1].Pos = geom.V(0, 0), geom.V(3, 0)
+	r[2].Pos, r[3].Pos = geom.V(40, 40), geom.V(43, 40)
+	m.channel(r[0], r[1])
+	m.channel(r[2], r[3])
+	if len(m.paths) != 2 {
+		t.Fatalf("cache primed with %d pairs, want 2", len(m.paths))
+	}
+
+	// Walk the blocker onto the near pair's line of sight.
+	room.MoveWall(walker, geom.Seg(geom.V(1.5, -0.2), geom.V(1.5, 0.3)))
+	m.syncRoom()
+	if _, ok := m.paths[pairKey(r[0].ID, r[1].ID)]; ok {
+		t.Error("pair crossed by the moved blocker survived the move")
+	}
+	if _, ok := m.paths[pairKey(r[2].ID, r[3].ID)]; !ok {
+		t.Error("distant pair was needlessly invalidated")
+	}
+
+	// The re-traced channel must reflect the new geometry: the blocker
+	// now sits on the LOS, so the direct path is heavily attenuated.
+	before := m.RxPowerDBm(r[0], r[1])
+	room.MoveWall(walker, geom.Seg(geom.V(1.5, 5), geom.V(1.5, 5.5)))
+	after := m.RxPowerDBm(r[0], r[1])
+	if after <= before+10 {
+		t.Errorf("moving the blocker off the LOS should restore the link: %v -> %v dBm", before, after)
+	}
+
+	// Structural edit: everything goes.
+	m.channel(r[2], r[3])
+	room.AddWall(geom.V(-5, 50), geom.V(5, 50), "glass")
+	m.syncRoom()
+	if len(m.paths) != 0 {
+		t.Errorf("structural edit left %d cached pairs", len(m.paths))
+	}
+}
+
+// InvalidateChannels still works as the blunt instrument and resyncs the
+// epoch so a pending room change is not double-processed.
+func TestInvalidateChannelsResyncsEpoch(t *testing.T) {
+	room := geom.Open()
+	room.AddObstacle(geom.V(1, -1), geom.V(1, 1), "human")
+	m, r := testMedium(room, 2)
+	r[0].Pos, r[1].Pos = geom.V(0, 0), geom.V(3, 0)
+	m.channel(r[0], r[1])
+	room.MoveWall(0, geom.Seg(geom.V(1.2, -1), geom.V(1.2, 1)))
+	m.InvalidateChannels()
+	if len(m.paths) != 0 {
+		t.Fatal("InvalidateChannels left cached pairs")
+	}
+	if m.roomEpoch != room.Epoch() {
+		t.Error("InvalidateChannels did not resync the room epoch")
+	}
+}

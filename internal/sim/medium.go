@@ -117,6 +117,10 @@ type Medium struct {
 	radios []*Radio
 	// paths caches ray-traced channels keyed by radio ID pair.
 	paths map[[2]int][]rf.Path
+	// roomEpoch is the geometry epoch the path cache was built against;
+	// channel() resyncs lazily when the room mutates (geom.Room.MoveWall
+	// et al.), invalidating only the pairs a move can affect.
+	roomEpoch uint64
 	// active transmissions currently on air.
 	active []*transmission
 	rng    *stats.RNG
@@ -137,6 +141,7 @@ func NewMedium(s *Scheduler, room *geom.Room, freqHz float64, budget rf.LinkBudg
 		Budget:        budget,
 		tracer:        rf.NewTracer(room, freqHz),
 		paths:         make(map[[2]int][]rf.Path),
+		roomEpoch:     room.Epoch(),
 		rng:           stats.NewRNG(seed),
 		FadingSigmaDB: 0.8,
 		linkOffsetDB:  make(map[[2]int]float64),
@@ -173,8 +178,11 @@ func pairKey(a, b int) [2]int {
 
 // channel returns the ray-traced paths from tx to rx, cached per pair.
 // Paths are cached in canonical orientation (low ID → high ID) and
-// reversed on demand; reciprocity holds for loss and geometry.
+// reversed on demand; reciprocity holds for loss and geometry, while
+// every direction-dependent field (AoD/AoA and the point sequence) is
+// mirrored consistently.
 func (m *Medium) channel(tx, rx *Radio) []rf.Path {
+	m.syncRoom()
 	key := pairKey(tx.ID, rx.ID)
 	ps, ok := m.paths[key]
 	if !ok {
@@ -190,19 +198,65 @@ func (m *Medium) channel(tx, rx *Radio) []rf.Path {
 		m.paths[key] = ps
 	}
 	if tx.ID > rx.ID {
-		// Reverse the stored direction.
+		// Reverse the stored direction: swap departure and arrival angles
+		// and walk the reflection points back to front.
 		rev := make([]rf.Path, len(ps))
 		for i, p := range ps {
 			rev[i] = p
 			rev[i].AoD, rev[i].AoA = p.AoA, p.AoD
+			pts := make([]geom.Vec2, len(p.Points))
+			for j, pt := range p.Points {
+				pts[len(pts)-1-j] = pt
+			}
+			rev[i].Points = pts
 		}
 		return rev
 	}
 	return ps
 }
 
-// InvalidateChannels drops the path cache (call after moving a radio).
-func (m *Medium) InvalidateChannels() { m.paths = make(map[[2]int][]rf.Path) }
+// syncRoom reconciles the path cache with the room's mutation epoch.
+// Logged wall moves invalidate only the pairs whose candidate paths the
+// moved segments can touch (rf.Tracer.PairAffected); structural edits or
+// a trimmed move log drop the whole cache.
+func (m *Medium) syncRoom() {
+	room := m.tracer.Room
+	epoch := room.Epoch()
+	if epoch == m.roomEpoch {
+		return
+	}
+	moves, complete := room.MovesSince(m.roomEpoch)
+	if !complete {
+		m.paths = make(map[[2]int][]rf.Path)
+	} else {
+		for key := range m.paths {
+			a, b := m.radios[key[0]], m.radios[key[1]]
+			if m.tracer.PairAffected(a.Pos, b.Pos, moves) {
+				delete(m.paths, key)
+			}
+		}
+	}
+	m.roomEpoch = epoch
+}
+
+// InvalidateChannels drops the entire path cache. Prefer the selective
+// routes: InvalidateRadio after moving a radio, and geom.Room.MoveWall
+// (picked up automatically) after moving an obstacle.
+func (m *Medium) InvalidateChannels() {
+	m.paths = make(map[[2]int][]rf.Path)
+	m.roomEpoch = m.tracer.Room.Epoch()
+}
+
+// InvalidateRadio drops only the cached pairs touching the given radio —
+// the correct invalidation after moving that radio, leaving every other
+// pair's ray-traced channel intact.
+func (m *Medium) InvalidateRadio(id int) {
+	for key := range m.paths {
+		if key[0] == id || key[1] == id {
+			delete(m.paths, key)
+		}
+	}
+}
 
 // linkOffset returns the slow shadowing offset for a pair, drawing it on
 // first use.

@@ -99,11 +99,13 @@ func (s *Sniffer) SetPattern(pat antenna.Pattern, boresight float64) {
 	s.radio.RxGain = antenna.Oriented{Pattern: pat, Boresight: boresight}.GainFunc()
 }
 
-// Move relocates the sniffer. The caller owns cache invalidation via
-// medium.InvalidateChannels.
+// Move relocates the sniffer, invalidating only the channel-cache pairs
+// that involve its radio — every other link's ray-traced paths survive
+// the move (the paper's Fig. 18/19 methodology repositions the Vubiq six
+// times through an otherwise static room).
 func (s *Sniffer) Move(med *sim.Medium, pos geom.Vec2) {
 	s.radio.Pos = pos
-	med.InvalidateChannels()
+	med.InvalidateRadio(s.radio.ID)
 }
 
 // Reset clears the recorded observations.

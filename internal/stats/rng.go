@@ -105,3 +105,18 @@ func (r *RNG) Perm(n int) []int {
 func (r *RNG) Fork() *RNG {
 	return NewRNG(r.Uint64() | 1)
 }
+
+// ForkAt returns the i-th indexed substream of this generator without
+// advancing it: the same (state, i) always yields the same stream, and
+// distinct indices yield decorrelated streams. Parallel sweeps fork one
+// substream per sweep point so results do not depend on worker count or
+// completion order. The derivation runs the mixed (state, index) pair
+// through a SplitMix64 finalizer, whose full-avalanche output keeps
+// adjacent indices statistically independent.
+func (r *RNG) ForkAt(i uint64) *RNG {
+	z := r.state + 0x9E3779B97F4A7C15*(i+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return NewRNG(z | 1)
+}

@@ -1,0 +1,59 @@
+package stats
+
+import "testing"
+
+// ForkAt must be a pure function of (parent state, index): equal parents
+// produce equal substreams for equal indices.
+func TestForkAtDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for _, idx := range []uint64{0, 1, 2, 1 << 40} {
+		fa, fb := a.ForkAt(idx), b.ForkAt(idx)
+		for i := 0; i < 64; i++ {
+			if va, vb := fa.Uint64(), fb.Uint64(); va != vb {
+				t.Fatalf("ForkAt(%d) diverges at draw %d: %x vs %x", idx, i, va, vb)
+			}
+		}
+	}
+}
+
+// ForkAt must not consume parent state — a sweep forking one substream
+// per point leaves the parent exactly where it was, regardless of how
+// many points were forked.
+func TestForkAtDoesNotAdvanceParent(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := uint64(0); i < 100; i++ {
+		a.ForkAt(i)
+	}
+	for i := 0; i < 32; i++ {
+		if va, vb := a.Uint64(), b.Uint64(); va != vb {
+			t.Fatalf("parent stream advanced by ForkAt: draw %d %x vs %x", i, va, vb)
+		}
+	}
+}
+
+// Distinct indices must yield distinct streams (the SplitMix64 finalizer
+// is a bijection, so first outputs cannot collide across indices of one
+// parent).
+func TestForkAtIndicesDistinct(t *testing.T) {
+	r := NewRNG(1)
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 4096; i++ {
+		v := r.ForkAt(i).Uint64()
+		if j, dup := seen[v]; dup {
+			t.Fatalf("substreams %d and %d share their first output", j, i)
+		}
+		seen[v] = i
+	}
+}
+
+// The substream depends on the parent's current state, not only its
+// seed: forking after consuming the parent yields a different stream.
+func TestForkAtTracksParentState(t *testing.T) {
+	r := NewRNG(5)
+	before := r.ForkAt(1).Uint64()
+	r.Uint64()
+	after := r.ForkAt(1).Uint64()
+	if before == after {
+		t.Error("ForkAt ignores the parent's position in its stream")
+	}
+}

@@ -1,0 +1,73 @@
+#!/bin/sh
+# bench_snapshot.sh — capture a benchmark snapshot of the measurement
+# campaign into BENCH_campaign.json at the repository root.
+#
+# For every per-experiment benchmark it records ns/op, B/op, allocs/op
+# and the pass metric (1 = the reproduced artifact matched the paper's
+# claim on every check). It then times the quick campaign end to end
+# with 1 sweep worker and with one worker per CPU, so the speedup of the
+# intra-experiment sweep engine is part of the snapshot.
+#
+# Usage: scripts/bench_snapshot.sh [benchtime]
+#   benchtime defaults to 1x (one campaign replay per benchmark).
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-1x}"
+out=BENCH_campaign.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "running benchmarks (-benchtime $benchtime)..." >&2
+go test -run '^$' -bench '^Benchmark' -benchmem -benchtime "$benchtime" . | tee "$raw" >&2
+
+time_campaign() {
+    # Prints the wall-clock seconds of a quick single-threaded campaign
+    # run at the given sweep-worker count.
+    workers="$1"
+    start=$(date +%s.%N)
+    go run ./cmd/mmsim -quick -parallel 1 -workers "$workers" run all >/dev/null
+    end=$(date +%s.%N)
+    echo "$start $end" | awk '{printf "%.3f", $2 - $1}'
+}
+
+echo "timing quick campaign with 1 sweep worker..." >&2
+t1=$(time_campaign 1)
+ncpu=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)
+echo "timing quick campaign with $ncpu sweep worker(s)..." >&2
+tn=$(time_campaign "$ncpu")
+
+awk -v t1="$t1" -v tn="$tn" -v ncpu="$ncpu" '
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""; pass = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "pass")      pass = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    if (pass != "")   printf ", \"pass\": %s", pass
+    printf "}"
+}
+END {
+    printf "\n  ],\n"
+    printf "  \"ncpu\": %s,\n", ncpu
+    printf "  \"campaign_quick_seconds\": {\"workers_1\": %s, \"workers_ncpu\": %s},\n", t1, tn
+    printf "  \"speedup\": %.2f", t1 / tn
+    if (ncpu + 0 == 1)
+        printf ",\n  \"note\": \"single-CPU host: the sweep pool cannot show a speedup here; run on a multi-core machine to measure it\""
+    printf "\n}\n"
+}
+BEGIN {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", strftime("%Y-%m-%d")
+    printf "  \"benchmarks\": [\n"
+}' "$raw" > "$out"
+
+echo "wrote $out" >&2
