@@ -10,6 +10,7 @@
 //	mmsim -parallel 8 run all  # fan the campaign across CPUs
 //	mmsim -workers 4 run F13   # sweep-point parallelism inside experiments
 //	mmsim -series run F13      # also dump the data series as TSV
+//	mmsim -capture caps run F8 # stream raw sniffer captures to caps/<ID>.vubiq
 //	mmsim -cpuprofile cpu.pprof run all
 //
 // Each run prints a PASS/FAIL report comparing the paper's claim with
@@ -42,6 +43,7 @@ func run() int {
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	series := flag.Bool("series", false, "print data series as TSV after each report")
 	outDir := flag.String("out", "", "write each experiment's data series to TSV files in this directory")
+	captureDir := flag.String("capture", "", "stream sniffer captures to binary .vubiq trace files in this directory")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "experiments to run concurrently")
 	workers := flag.Int("workers", par.Workers(),
 		"worker goroutines per intra-experiment sweep (results are identical for any value)")
@@ -94,7 +96,13 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "mmsim run <id>... | all")
 			return 2
 		}
-		opts := experiments.Options{Seed: *seed, Quick: *quick}
+		opts := experiments.Options{Seed: *seed, Quick: *quick, CaptureDir: *captureDir}
+		if *captureDir != "" {
+			if err := os.MkdirAll(*captureDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "mmsim:", err)
+				return 1
+			}
+		}
 		ids := args[1:]
 		if len(ids) == 1 && strings.EqualFold(ids[0], "all") {
 			ids = nil

@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strings"
@@ -87,26 +88,39 @@ func main() {
 		fatal(fmt.Sprintf("unknown mode %q (wigig|wihd|both)", mode))
 	}
 
-	// Warm up, then capture the excerpt.
+	// Warm up, then capture the excerpt. With -o the capture streams to
+	// disk through the v2 trace writer as frames are overheard: records
+	// hit the file incrementally, and a crash mid-run leaves a
+	// recoverable prefix instead of nothing.
 	sc.Run(100 * time.Millisecond)
 	sn.Reset()
-	dur := time.Duration(*ms * float64(time.Millisecond))
-	from := sc.Now()
-	sc.Run(dur)
-
-	obs := sn.Window(from, sc.Now())
+	var tw *sniffer.TraceWriter
 	if *outFile != "" {
 		f, err := os.Create(*outFile)
 		if err != nil {
 			fatal(err.Error())
 		}
-		if err := sniffer.WriteTrace(f, obs); err != nil {
+		tw, err = sniffer.NewTraceWriter(f)
+		if err != nil {
 			fatal(err.Error())
 		}
-		if err := f.Close(); err != nil {
+		defer f.Close()
+		sn.Sink = tw
+	}
+	dur := time.Duration(*ms * float64(time.Millisecond))
+	from := sc.Now()
+	sc.Run(dur)
+
+	obs := sn.Window(from, sc.Now())
+	if tw != nil {
+		if err := tw.Close(); err != nil {
 			fatal(err.Error())
 		}
-		fmt.Printf("saved %d records to %s\n", len(obs), *outFile)
+		st := tw.Stats()
+		fmt.Printf("streamed %d records (%d bytes) to %s\n", st.Records, st.Bytes, *outFile)
+		if st.Drops > 0 {
+			fmt.Printf("warning: %d observations dropped as invalid\n", st.Drops)
+		}
 	}
 	fmt.Printf("%d frames in %.1f ms:\n", len(obs), *ms)
 	fmt.Println("  t(µs)   dur(µs)  type        src  amp(V)  flags")
@@ -174,20 +188,29 @@ func printEnvelope(sn *repro.Sniffer, from, to time.Duration) {
 	fmt.Printf("0%sms\n", strings.Repeat(" ", cols-3))
 }
 
-// readAndPrint loads a saved capture and prints its records.
+// readAndPrint iterates a saved capture record by record — constant
+// memory regardless of capture size — and warns when the file is a
+// crash-recovered prefix.
 func readAndPrint(path string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err.Error())
 	}
 	defer f.Close()
-	obs, err := sniffer.ReadTrace(f)
+	tr, err := sniffer.NewTraceReader(f)
 	if err != nil {
 		fatal(err.Error())
 	}
-	fmt.Printf("%d records in %s:\n", len(obs), path)
+	fmt.Printf("records in %s (format v%d):\n", path, tr.Version())
 	fmt.Println("  t(µs)   dur(µs)  type        src  power(dBm)  flags")
-	for _, o := range obs {
+	for {
+		o, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err.Error())
+		}
 		flags := ""
 		if o.Retry {
 			flags += " retry"
@@ -199,6 +222,10 @@ func readAndPrint(path string) {
 			float64(o.Start)/float64(time.Microsecond),
 			float64(o.Duration())/float64(time.Microsecond),
 			o.Type, o.Src, o.PowerDBm, flags)
+	}
+	fmt.Printf("%d records\n", tr.Records())
+	if tr.Truncated() {
+		fmt.Println("warning: capture is truncated (crash-recovered prefix; the trailing record and footer were lost)")
 	}
 }
 

@@ -185,10 +185,12 @@ func AblationAggregation(o Options) core.Result {
 		}
 		sc.Run(100 * time.Millisecond)
 		sn.Reset()
-		from := sc.Now()
+		m := trace.NewBusyMeter(sniffer.AmplitudeFromPower(-72), 0)
+		m.From = sc.Now()
+		sn.Sink = m
+		sn.SinkOnly = true
 		sc.Run(dur)
-		busy = trace.BusyRatio(sn.Obs, from, sc.Now(), sniffer.AmplitudeFromPower(-72))
-		return busy, flow.GoodputBps(), true
+		return m.Ratio(sc.Now()), flow.GoodputBps(), true
 	}
 	caps := []time.Duration{7 * time.Microsecond, 25 * time.Microsecond}
 	labels := []string{"minimal (≈1 MPDU)", "paper cap (25 µs)"}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/sniffer"
+)
+
+// attachCapture streams the sniffer's observations to
+// <CaptureDir>/<id>.vubiq while the experiment runs, teeing into any
+// sink the driver already attached. Records hit the disk incrementally
+// through the v2 trace writer, so even hour-long captures cost constant
+// memory, and a crash mid-run leaves a recoverable file. The returned
+// function finalizes the capture and notes its stats; call it after the
+// run. With CaptureDir empty it is a no-op.
+func attachCapture(o Options, id string, sn *sniffer.Sniffer, res *core.Result) func() {
+	if o.CaptureDir == "" {
+		return func() {}
+	}
+	path := filepath.Join(o.CaptureDir, id+".vubiq")
+	f, err := os.Create(path)
+	if err != nil {
+		res.Note("capture disabled: %v", err)
+		return func() {}
+	}
+	tw, err := sniffer.NewTraceWriter(f)
+	if err != nil {
+		f.Close()
+		res.Note("capture disabled: %v", err)
+		return func() {}
+	}
+	if sn.Sink != nil {
+		sn.Sink = sniffer.Tee(sn.Sink, tw)
+	} else {
+		sn.Sink = tw
+	}
+	return func() {
+		closeErr := tw.Close()
+		if err := f.Close(); closeErr == nil {
+			closeErr = err
+		}
+		if closeErr != nil {
+			res.Note("capture %s failed: %v", path, closeErr)
+			return
+		}
+		st := tw.Stats()
+		res.Note("capture: %d records (%d bytes) → %s", st.Records, st.Bytes, path)
+	}
+}

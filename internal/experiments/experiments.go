@@ -21,6 +21,10 @@ type Options struct {
 	Seed uint64
 	// Quick trades statistical smoothness for speed.
 	Quick bool
+	// CaptureDir, when non-empty, makes the sniffer-based drivers
+	// stream their raw capture to <CaptureDir>/<ID>.vubiq as binary v2
+	// trace files (mmsim -capture). Captures do not affect results.
+	CaptureDir string
 }
 
 // DefaultOptions returns the full-fidelity settings.

@@ -102,6 +102,20 @@ func Fig8(o Options) core.Result {
 		return res
 	}
 	sn := sc.AddSniffer("vubiq", geom.V(1, 0.4), antenna.OpenWaveguide(), -math.Pi/2)
+	// All three analyses fold into streaming trackers fed straight from
+	// the sniffer; no observations are retained, so the capture length
+	// no longer bounds memory.
+	var bursts burstTracker
+	acks := ackTracker{gap: 20 * time.Microsecond, horizon: trace.DefaultReorderHorizon}
+	beacons := 0
+	sn.Sink = sniffer.Tee(&bursts, &acks, sniffer.SinkFunc(func(ob sniffer.Observation) error {
+		if ob.Type == phy.FrameBeacon {
+			beacons++
+		}
+		return nil
+	}))
+	sn.SinkOnly = true
+	finish := attachCapture(o, "F8", sn, &res)
 	flow := transport.NewFlow(sc.Sched, l.Station, l.Dock, transport.Config{PacingBps: 600e6})
 	flow.Start()
 	dur := 300 * time.Millisecond
@@ -109,90 +123,111 @@ func Fig8(o Options) core.Result {
 		dur = 80 * time.Millisecond
 	}
 	sc.Run(dur)
+	finish()
 
-	// A TXOP burst runs from one RTS to the frame before the next RTS:
-	// under a backlogged sender consecutive TXOPs are separated only by
-	// DIFS+backoff, so gap-based segmentation would merge them.
-	flowObs := dataAndControl(sn.Obs)
-	var maxBurst time.Duration
-	dataBursts := 0
-	controlOpened := 0
-	var burstStart time.Time
-	_ = burstStart
-	var curStart time.Duration = -1
-	var curEnd time.Duration
-	var curHasData, curOpenedByControl bool
-	flush := func() {
-		if curStart < 0 || !curHasData {
-			return
-		}
-		dataBursts++
-		if curOpenedByControl {
-			controlOpened++
-		}
-		if d := curEnd - curStart; d > maxBurst {
-			maxBurst = d
-		}
-	}
-	for _, ob := range flowObs {
-		if ob.Type == phy.FrameRTS || curStart < 0 {
-			flush()
-			curStart = ob.Start
-			curEnd = ob.End
-			curHasData = ob.Type == phy.FrameData
-			curOpenedByControl = ob.Type == phy.FrameRTS
-			continue
-		}
-		curEnd = ob.End
-		if ob.Type == phy.FrameData {
-			curHasData = true
-		}
-	}
-	flush()
-	res.CheckTrue("bursts observed", "> 3", dataBursts > 3)
-	res.CheckRange("max burst length", maxBurst.Seconds()*1000, 0.02, 2.1, "ms")
+	bursts.finish()
+	res.CheckTrue("bursts observed", "> 3", bursts.dataBursts > 3)
+	res.CheckRange("max burst length", bursts.maxBurst.Seconds()*1000, 0.02, 2.1, "ms")
 	res.CheckTrue("bursts open with control frames",
-		"most", controlOpened*10 >= dataBursts*7)
-
-	// Data frames are followed by ACKs within a SIFS-scale gap.
-	acked := 0
-	data := 0
-	obs := sn.Window(0, sc.Now())
-	for i, ob := range obs {
-		if ob.Type != phy.FrameData {
-			continue
-		}
-		data++
-		for j := i + 1; j < len(obs) && obs[j].Start < ob.End+20*time.Microsecond; j++ {
-			if obs[j].Type == phy.FrameAck {
-				acked++
-				break
-			}
-		}
-	}
-	res.CheckTrue("data frames followed by ACK", "≥ 90%", data > 0 && acked*10 >= data*9)
-
-	// Beacons persist during the transfer.
-	beacons := 0
-	for _, ob := range sn.Obs {
-		if ob.Type == phy.FrameBeacon {
-			beacons++
-		}
-	}
+		"most", bursts.controlOpened*10 >= bursts.dataBursts*7)
+	res.CheckTrue("data frames followed by ACK", "≥ 90%",
+		acks.data > 0 && acks.acked*10 >= acks.data*9)
 	res.CheckTrue("beacons present", "> 0", beacons > 0)
-	res.Note("%d bursts, %d data frames, %d beacons in %v", dataBursts, data, beacons, dur)
+	res.Note("%d bursts, %d data frames, %d beacons in %v", bursts.dataBursts, acks.data, beacons, dur)
 	return res
 }
 
-func dataAndControl(obs []sniffer.Observation) []sniffer.Observation {
-	var out []sniffer.Observation
-	for _, o := range obs {
-		switch o.Type {
-		case phy.FrameData, phy.FrameAck, phy.FrameRTS, phy.FrameCTS:
-			out = append(out, o)
+// burstTracker reconstructs TXOP bursts from the live frame stream. A
+// burst runs from one RTS to the frame before the next RTS: under a
+// backlogged sender consecutive TXOPs are separated only by
+// DIFS+backoff, so gap-based segmentation would merge them.
+type burstTracker struct {
+	dataBursts    int
+	controlOpened int
+	maxBurst      time.Duration
+
+	started            bool
+	curStart, curEnd   time.Duration
+	curHasData         bool
+	curOpenedByControl bool
+}
+
+// Capture implements sniffer.Sink over the flow-relevant frame types.
+func (b *burstTracker) Capture(ob sniffer.Observation) error {
+	switch ob.Type {
+	case phy.FrameData, phy.FrameAck, phy.FrameRTS, phy.FrameCTS:
+	default:
+		return nil
+	}
+	if ob.Type == phy.FrameRTS || !b.started {
+		b.finish()
+		b.started = true
+		b.curStart, b.curEnd = ob.Start, ob.End
+		b.curHasData = ob.Type == phy.FrameData
+		b.curOpenedByControl = ob.Type == phy.FrameRTS
+		return nil
+	}
+	b.curEnd = ob.End
+	if ob.Type == phy.FrameData {
+		b.curHasData = true
+	}
+	return nil
+}
+
+// finish closes the burst in progress; call once after the run.
+func (b *burstTracker) finish() {
+	if !b.started || !b.curHasData {
+		return
+	}
+	b.dataBursts++
+	if b.curOpenedByControl {
+		b.controlOpened++
+	}
+	if d := b.curEnd - b.curStart; d > b.maxBurst {
+		b.maxBurst = d
+	}
+}
+
+// ackTracker pairs data frames with the acknowledgement that follows
+// within a SIFS-scale gap, keeping only a bounded pending list: frames
+// arrive in end order, so once the stream has advanced one reorder
+// horizon past a data frame's ACK window, no future ACK can match it.
+type ackTracker struct {
+	gap     time.Duration
+	horizon time.Duration
+
+	pending []sniffer.Observation
+	data    int
+	acked   int
+}
+
+// Capture implements sniffer.Sink.
+func (a *ackTracker) Capture(ob sniffer.Observation) error {
+	// Expire data frames no future arrival can acknowledge: a later
+	// frame ends at or after ob.End, hence starts after ob.End−horizon.
+	keep := a.pending[:0]
+	for _, d := range a.pending {
+		if ob.End-a.horizon < d.End+a.gap {
+			keep = append(keep, d)
 		}
 	}
-	return out
+	a.pending = keep
+	if ob.Type == phy.FrameAck {
+		keep := a.pending[:0]
+		for _, d := range a.pending {
+			if ob.Start < d.End+a.gap {
+				a.acked++
+			} else {
+				keep = append(keep, d)
+			}
+		}
+		a.pending = keep
+	}
+	if ob.Type == phy.FrameData {
+		a.data++
+		a.pending = append(a.pending, ob)
+	}
+	return nil
 }
 
 // Fig15 captures the WiHD frame flow: dense receiver beacons every
@@ -214,6 +249,7 @@ func Fig15(o Options) core.Result {
 		return res
 	}
 	sn := sc.AddSniffer("vubiq", geom.V(1, 0.4), antenna.OpenWaveguide(), -math.Pi/2)
+	finish := attachCapture(o, "F15", sn, &res)
 	activeDur := 60 * time.Millisecond
 	sc.Run(activeDur)
 	activeEnd := sc.Now()
@@ -221,6 +257,7 @@ func Fig15(o Options) core.Result {
 	sc.Run(2 * time.Millisecond) // drain in-flight
 	idleStart := sc.Now()
 	sc.Run(40 * time.Millisecond)
+	finish()
 
 	active := sn.Window(0, activeEnd)
 	idle := sn.Window(idleStart, sc.Now())

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mac/wigig"
 	"repro/internal/par"
 	"repro/internal/sniffer"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -27,13 +28,24 @@ var paperLoadsBps = []float64{
 	9.7e3, 40e3, 171e6, 183e6, 372e6, 601e6, 806e6, 831e6, 930e6, 934e6,
 }
 
-// loadPoint is one operating point of the Figs. 9–11 sweep.
+// occupancyWindow is the trace-window size of the Fig. 11 medium-usage
+// metric (one oscilloscope capture per window).
+const occupancyWindow = time.Millisecond
+
+// loadPoint is one operating point of the Figs. 9–11 sweep. The sweep
+// streams every capture through sniffer sinks, so a point carries only
+// the folded metrics (plus the frame-length sample for the CDFs), not
+// the raw observations.
 type loadPoint struct {
-	OfferedBps  float64
-	Obs         []sniffer.Observation
-	CaptureFrom time.Duration
-	CaptureTo   time.Duration
-	GoodputBps  float64
+	OfferedBps float64
+	// LengthsUs are the data-frame air times (µs) — the Fig. 9 sample.
+	LengthsUs []float64
+	// Occupancy is the occupancyWindow trace-window occupancy (Fig. 11).
+	Occupancy float64
+	// LongFrac is the fraction of data frames over LongFrameThreshold.
+	LongFrac   float64
+	MeanMPDUs  float64
+	GoodputBps float64
 }
 
 // runLoadSweep drives a 2 m WiGig link at each offered load (via the
@@ -69,22 +81,27 @@ func runLoadSweep(o Options, loads []float64) []loadPoint {
 		sc.Run(warm)
 		from := sc.Now()
 		sn.Reset()
+		var ds trace.DataSampler
+		om := trace.NewOccupancyMeter(from, occupancyWindow)
+		sn.Sink = sniffer.Tee(&ds, om)
+		sn.SinkOnly = true
 		sc.Run(capture)
 		// Kilobit-scale loads produce a frame every second or more; keep
 		// capturing (the paper records minutes-long traces) until the
 		// CDF has something to work with.
 		if load < 1e6 {
 			deadline := sc.Now() + 8*time.Second
-			for len(trace.DataFrames(sn.Obs)) < 4 && sc.Now() < deadline {
+			for ds.Count() < 4 && sc.Now() < deadline {
 				sc.Run(500 * time.Millisecond)
 			}
 		}
 		return &loadPoint{
-			OfferedBps:  load,
-			Obs:         sn.Obs,
-			CaptureFrom: from,
-			CaptureTo:   sc.Now(),
-			GoodputBps:  flow.GoodputBps(),
+			OfferedBps: load,
+			LengthsUs:  ds.LengthsUs,
+			Occupancy:  om.Occupancy(sc.Now()),
+			LongFrac:   ds.LongFraction(),
+			MeanMPDUs:  ds.MeanMPDUs(),
+			GoodputBps: flow.GoodputBps(),
 		}
 	})
 	var out []loadPoint
@@ -127,11 +144,11 @@ func Fig9(o Options) core.Result {
 	var lowShortQ, highLongFrac float64
 	var maxLen float64
 	for _, p := range points {
-		lens := trace.FrameLengthsUs(p.Obs)
+		lens := p.LengthsUs
 		if len(lens) == 0 {
 			continue
 		}
-		cdf := trace.FrameLengthCDF(p.Obs)
+		cdf := stats.NewCDF(lens)
 		xs, ps := cdf.Points(60)
 		res.Series = append(res.Series, core.Series{
 			Label: mbpsLabel(p.OfferedBps), XLabel: "frame length (µs)", YLabel: "CDF",
@@ -166,9 +183,8 @@ func Fig10(o Options) core.Result {
 	points := runLoadSweep(o, sweepLoads(o))
 	var xs, ys []float64
 	for _, p := range points {
-		frac := trace.LongFrameFraction(p.Obs)
 		xs = append(xs, p.OfferedBps/1e6)
-		ys = append(ys, frac*100)
+		ys = append(ys, p.LongFrac*100)
 	}
 	res.Series = append(res.Series, core.Series{
 		Label: "long frames", XLabel: "offered load (mbps)", YLabel: "long frames (%)",
@@ -207,11 +223,9 @@ func Fig11(o Options) core.Result {
 	}
 	points := runLoadSweep(o, sweepLoads(o))
 	var xs, ys []float64
-	window := time.Millisecond
 	for _, p := range points {
-		occ := trace.WindowOccupancy(p.Obs, p.CaptureFrom, p.CaptureTo, window)
 		xs = append(xs, p.OfferedBps/1e6)
-		ys = append(ys, occ*100)
+		ys = append(ys, p.Occupancy*100)
 	}
 	res.Series = append(res.Series, core.Series{
 		Label: "medium usage", XLabel: "offered load (mbps)", YLabel: "windows with data (%)",
@@ -251,24 +265,11 @@ func AggregationGain(o Options) core.Result {
 	res.CheckRange("throughput gain", gain, 3.5, 7, "x")
 
 	// Mean MPDUs per frame must grow while frame air time stays ≤25 µs.
-	meanAgg := func(p loadPoint) float64 {
-		total, n := 0, 0
-		for _, ob := range trace.DataFrames(p.Obs) {
-			total += ob.MPDUs
-			n++
-		}
-		if n == 0 {
-			return 0
-		}
-		return float64(total) / float64(n)
-	}
-	aggLo, aggHi := meanAgg(lo), meanAgg(hi)
+	aggLo, aggHi := lo.MeanMPDUs, hi.MeanMPDUs
 	res.CheckTrue("aggregation grows", fmt.Sprintf("%.1f → more", aggLo), aggHi > aggLo*1.5)
 	// Occupancy saturated at both points.
-	occLo := trace.WindowOccupancy(lo.Obs, lo.CaptureFrom, lo.CaptureTo, time.Millisecond)
-	occHi := trace.WindowOccupancy(hi.Obs, hi.CaptureFrom, hi.CaptureTo, time.Millisecond)
-	res.CheckRange("occupancy at 171 mbps", occLo*100, 90, 100, "%")
-	res.CheckRange("occupancy at 934 mbps", occHi*100, 90, 100, "%")
+	res.CheckRange("occupancy at 171 mbps", lo.Occupancy*100, 90, 100, "%")
+	res.CheckRange("occupancy at 934 mbps", hi.Occupancy*100, 90, 100, "%")
 	res.Note("mean MPDUs/frame: %.1f at 171 mbps, %.1f at 934 mbps", aggLo, aggHi)
 	return res
 }

@@ -14,9 +14,11 @@
 package par
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -35,12 +37,32 @@ func init() {
 }
 
 func defaultWorkers() int {
-	if s := os.Getenv(EnvWorkers); s != "" {
-		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
-			return n
-		}
+	s := os.Getenv(EnvWorkers)
+	if s == "" {
+		return runtime.NumCPU()
 	}
-	return runtime.NumCPU()
+	n, err := ParseWorkers(s)
+	if err != nil {
+		// A mistyped override must not be silently ignored: warn and
+		// fall back so a campaign never runs with a surprise width.
+		fmt.Fprintf(os.Stderr, "par: ignoring %s=%q: %v (falling back to %d workers)\n",
+			EnvWorkers, s, err, runtime.NumCPU())
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// ParseWorkers parses a worker-count override (the MMSIM_SWEEP_WORKERS
+// environment variable or a CLI flag value): a positive decimal integer.
+func ParseWorkers(s string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("not an integer")
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("worker count %d out of range (want ≥ 1)", n)
+	}
+	return n, nil
 }
 
 // Workers returns the current pool width used by Sweep and friends.

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -106,5 +107,45 @@ func TestSetWorkersClampsAndReturnsPrevious(t *testing.T) {
 	}
 	if Workers() != 1 {
 		t.Errorf("SetWorkers(0) should clamp to 1, got %d", Workers())
+	}
+}
+
+func TestParseWorkers(t *testing.T) {
+	valid := map[string]int{
+		"1":    1,
+		"8":    8,
+		" 12 ": 12,
+		"128":  128,
+	}
+	for in, want := range valid {
+		n, err := ParseWorkers(in)
+		if err != nil || n != want {
+			t.Errorf("ParseWorkers(%q) = %d, %v; want %d", in, n, err, want)
+		}
+	}
+	invalid := []string{"", "0", "-3", "four", "2.5", "8x", "0x10"}
+	for _, in := range invalid {
+		if n, err := ParseWorkers(in); err == nil {
+			t.Errorf("ParseWorkers(%q) = %d, accepted; want error", in, n)
+		}
+	}
+}
+
+// An invalid MMSIM_SWEEP_WORKERS must not silently shrink or grow the
+// pool: defaultWorkers falls back to NumCPU with a warning.
+func TestDefaultWorkersFallsBackOnBadEnv(t *testing.T) {
+	for _, bad := range []string{"banana", "0", "-1"} {
+		t.Setenv(EnvWorkers, bad)
+		if got, want := defaultWorkers(), runtime.NumCPU(); got != want {
+			t.Errorf("env=%q: defaultWorkers() = %d, want NumCPU fallback %d", bad, got, want)
+		}
+	}
+	t.Setenv(EnvWorkers, "3")
+	if got := defaultWorkers(); got != 3 {
+		t.Errorf("env=3: defaultWorkers() = %d, want 3", got)
+	}
+	t.Setenv(EnvWorkers, "")
+	if got, want := defaultWorkers(), runtime.NumCPU(); got != want {
+		t.Errorf("env unset: defaultWorkers() = %d, want %d", got, want)
 	}
 }

@@ -22,11 +22,22 @@ type Timer struct {
 	fn       func()
 	canceled bool
 	index    int // heap position, -1 once popped
+	sched    *Scheduler
 }
 
-// Cancel prevents the timer from firing. Canceling an already-fired or
-// already-canceled timer is a no-op.
-func (t *Timer) Cancel() { t.canceled = true }
+// Cancel prevents the timer from firing and releases its slot in the
+// event queue immediately — a canceled timer does not linger until its
+// fire time. Canceling an already-fired or already-canceled timer is a
+// no-op.
+func (t *Timer) Cancel() {
+	if t.canceled {
+		return
+	}
+	t.canceled = true
+	if t.index >= 0 && t.sched != nil {
+		heap.Remove(&t.sched.events, t.index)
+	}
+}
 
 // Canceled reports whether Cancel was called.
 func (t *Timer) Canceled() bool { return t.canceled }
@@ -85,7 +96,7 @@ func (s *Scheduler) At(t Time, fn func()) *Timer {
 		t = s.now
 	}
 	s.seq++
-	tm := &Timer{at: t, seq: s.seq, fn: fn}
+	tm := &Timer{at: t, seq: s.seq, fn: fn, sched: s}
 	heap.Push(&s.events, tm)
 	return tm
 }
@@ -98,7 +109,8 @@ func (s *Scheduler) After(d Time, fn func()) *Timer {
 // Stop makes Run return after the current event.
 func (s *Scheduler) Stop() { s.stopped = true }
 
-// Pending returns the number of queued (possibly canceled) events.
+// Pending returns the number of live queued events. Canceled timers are
+// removed from the queue at Cancel time and never counted.
 func (s *Scheduler) Pending() int { return s.events.Len() }
 
 // Run executes events in time order until the queue is empty, the

@@ -69,6 +69,73 @@ func TestSchedulerCancel(t *testing.T) {
 	}
 }
 
+// TestSchedulerCancelReleasesHeapSlot: canceled timers leave the event
+// queue immediately instead of occupying it until their fire time, and
+// Pending reports live events only.
+func TestSchedulerCancelReleasesHeapSlot(t *testing.T) {
+	s := NewScheduler()
+	var timers []*Timer
+	for i := 1; i <= 10; i++ {
+		timers = append(timers, s.After(Time(i)*time.Second, func() {}))
+	}
+	if s.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", s.Pending())
+	}
+	// Cancel from the middle, the head, and the tail of the heap.
+	timers[4].Cancel()
+	timers[0].Cancel()
+	timers[9].Cancel()
+	if s.Pending() != 7 {
+		t.Errorf("Pending after 3 cancels = %d, want 7", s.Pending())
+	}
+	// Double-cancel must not remove someone else's slot.
+	timers[4].Cancel()
+	if s.Pending() != 7 {
+		t.Errorf("Pending after double cancel = %d, want 7", s.Pending())
+	}
+	// The survivors still fire, in time order.
+	fired := 0
+	last := Time(-1)
+	for _, tm := range timers {
+		if tm.Canceled() {
+			continue
+		}
+		at := tm.At()
+		tm.fn = func() {
+			fired++
+			if at < last {
+				t.Errorf("out-of-order fire at %v after %v", at, last)
+			}
+			last = at
+		}
+	}
+	s.Run(time.Minute)
+	if fired != 7 {
+		t.Errorf("fired = %d, want 7", fired)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending after run = %d", s.Pending())
+	}
+}
+
+// TestSchedulerCancelDuringRun: canceling a queued timer from inside an
+// event callback removes it before it fires.
+func TestSchedulerCancelDuringRun(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	victim := s.After(2*time.Millisecond, func() { fired = true })
+	s.After(time.Millisecond, func() {
+		victim.Cancel()
+		if s.Pending() != 0 {
+			t.Errorf("Pending inside callback = %d, want 0", s.Pending())
+		}
+	})
+	s.Run(time.Second)
+	if fired {
+		t.Error("timer canceled mid-run still fired")
+	}
+}
+
 func TestSchedulerNestedScheduling(t *testing.T) {
 	s := NewScheduler()
 	count := 0

@@ -2,30 +2,65 @@ package sniffer
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"testing"
 
 	"repro/internal/phy"
 )
 
 // FuzzReadTrace: arbitrary bytes must never panic the capture-file
-// parser or make it allocate past its declared record count, and any
-// file it accepts must survive a write/read round-trip.
+// parser or make it allocate past its bounds, and any file it accepts
+// must survive a write/read round-trip.
 func FuzzReadTrace(f *testing.F) {
-	var valid bytes.Buffer
-	WriteTrace(&valid, []Observation{
+	obs := []Observation{
 		{Start: 10, End: 20, PowerDBm: -50, Type: phy.FrameData, Src: 1, MPDUs: 2},
 		{Start: 30, End: 35, PowerDBm: -61, Type: phy.FrameBeacon, Src: 2, Retry: true},
-	})
-	f.Add(valid.Bytes())
+	}
+	var v2 bytes.Buffer
+	WriteTrace(&v2, obs)
+	var v1 bytes.Buffer
+	writeTraceV1(&v1, obs)
+	f.Add(v2.Bytes())
+	f.Add(v1.Bytes())
 	f.Add([]byte{})
-	f.Add(valid.Bytes()[:17])
-	huge := append([]byte(nil), valid.Bytes()...)
-	huge[8], huge[9], huge[10], huge[11] = 0xff, 0xff, 0xff, 0xff // record count lie
+	f.Add(v2.Bytes()[:17])
+	f.Add(v1.Bytes()[:17])
+	// Truncations: a v2 record cut mid-payload and a cut footer.
+	f.Add(v2.Bytes()[:len(v2.Bytes())-24])
+	f.Add(v2.Bytes()[:len(v2.Bytes())-3])
+	// Crash tail: footer replaced with preallocated zeros.
+	f.Add(append(append([]byte(nil), v2.Bytes()[:len(v2.Bytes())-21]...), make([]byte, 32)...))
+	// Record-count lie in the v1 header.
+	huge := append([]byte(nil), v1.Bytes()...)
+	huge[8], huge[9], huge[10], huge[11] = 0xff, 0xff, 0xff, 0xff
 	f.Add(huge)
+	// Corrupt v1 annexes that used to slip through undetected: End
+	// before Start, negative timestamps, and non-finite power bits.
+	patchAnnex := func(start, end uint64, powerBits uint64) []byte {
+		raw := append([]byte(nil), v1.Bytes()...)
+		annex := raw[16+phy.HeaderSize:]
+		binary.LittleEndian.PutUint64(annex[0:], start)
+		binary.LittleEndian.PutUint64(annex[8:], end)
+		binary.LittleEndian.PutUint64(annex[16:], powerBits)
+		return raw
+	}
+	f.Add(patchAnnex(20, 10, math.Float64bits(-50)))                         // End < Start
+	f.Add(patchAnnex(uint64(1<<63), uint64(1<<63)+5, math.Float64bits(-50))) // negative times
+	f.Add(patchAnnex(10, 20, math.Float64bits(math.NaN())))                  // NaN power
+	f.Add(patchAnnex(10, 20, math.Float64bits(math.Inf(-1))))                // -Inf power
 	f.Fuzz(func(t *testing.T, data []byte) {
 		obs, err := ReadTrace(bytes.NewReader(data))
 		if err != nil {
 			return
+		}
+		for i, o := range obs {
+			// Everything the reader surfaces must satisfy the format's
+			// invariants — corrupt annexes may not leak through.
+			if o.End < o.Start || o.Start < 0 ||
+				math.IsNaN(o.PowerDBm) || math.IsInf(o.PowerDBm, 0) {
+				t.Fatalf("record %d violates invariants: %+v", i, o)
+			}
 		}
 		var buf bytes.Buffer
 		if err := WriteTrace(&buf, obs); err != nil {

@@ -55,11 +55,49 @@ func AmplitudeFromPower(dbm float64) float64 {
 	return math.Pow(10, (dbm-referencePowerDBm)/20)
 }
 
+// Sink consumes observations as they are captured. Implementations
+// include TraceWriter (streaming capture files) and the trace package's
+// streaming aggregators; sinks run synchronously on the scheduler
+// goroutine and must not block.
+type Sink interface {
+	Capture(Observation) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Observation) error
+
+// Capture implements Sink.
+func (f SinkFunc) Capture(o Observation) error { return f(o) }
+
+// Tee fans each observation out to every sink in order. The first error
+// per observation is returned (remaining sinks still receive it).
+func Tee(sinks ...Sink) Sink {
+	return SinkFunc(func(o Observation) error {
+		var first error
+		for _, s := range sinks {
+			if err := s.Capture(o); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	})
+}
+
+// CaptureStats count what the instrument saw and where it went.
+type CaptureStats struct {
+	// Captured is the total observations above sensitivity, whether
+	// retained in memory, streamed to the sink, or both.
+	Captured uint64
+	// SinkDrops counts observations the sink rejected.
+	SinkDrops uint64
+}
+
 // Sniffer is a receive-only radio that records every frame above its
 // sensitivity.
 type Sniffer struct {
 	radio *sim.Radio
-	// Obs accumulates observations in arrival order.
+	// Obs accumulates observations in arrival order. With a positive
+	// Retain window, old entries are pruned as new frames arrive.
 	Obs []Observation
 	// SensitivityDBm drops frames weaker than this (the scope's noise
 	// floor); default -75 dBm.
@@ -69,6 +107,25 @@ type Sniffer struct {
 	GainOffsetDB float64
 	// Capturing can be toggled to bound memory in long runs.
 	Capturing bool
+	// Sink, when non-nil, receives every observation at capture time —
+	// the streaming path for unbounded captures.
+	Sink Sink
+	// SinkOnly suppresses the in-memory Obs accumulation entirely, so a
+	// long capture costs O(1) memory; Window and Envelope then see only
+	// what Obs holds (nothing, unless Retain keeps a recent window).
+	SinkOnly bool
+	// Retain bounds the in-memory history: when positive, observations
+	// whose End is older than Retain before the newest frame are pruned.
+	// This keeps Window/Envelope usable for recent excerpts while a long
+	// capture streams to the Sink.
+	Retain sim.Time
+	// Stats counts captured observations and sink drops.
+	Stats CaptureStats
+	// SinkErr records the first error the sink returned.
+	SinkErr error
+	// stale is the length of the Obs prefix already identified as older
+	// than the Retain window (compacted away once it dominates).
+	stale int
 }
 
 // New mounts a sniffer at pos with the given antenna pattern oriented
@@ -108,8 +165,14 @@ func (s *Sniffer) Move(med *sim.Medium, pos geom.Vec2) {
 	med.InvalidateRadio(s.radio.ID)
 }
 
-// Reset clears the recorded observations.
-func (s *Sniffer) Reset() { s.Obs = nil }
+// Reset clears the recorded observations and capture counters. The sink
+// is left attached.
+func (s *Sniffer) Reset() {
+	s.Obs = nil
+	s.Stats = CaptureStats{}
+	s.SinkErr = nil
+	s.stale = 0
+}
 
 func (s *Sniffer) onFrame(f phy.Frame, rx sim.Reception) {
 	if !s.Capturing {
@@ -119,7 +182,7 @@ func (s *Sniffer) onFrame(f phy.Frame, rx sim.Reception) {
 	if p < s.SensitivityDBm {
 		return
 	}
-	s.Obs = append(s.Obs, Observation{
+	o := Observation{
 		Start:      rx.Start,
 		End:        rx.End,
 		PowerDBm:   p,
@@ -130,7 +193,38 @@ func (s *Sniffer) onFrame(f phy.Frame, rx sim.Reception) {
 		MPDUs:      f.MPDUs,
 		Retry:      f.Retry,
 		Collided:   rx.Collided,
-	})
+	}
+	s.Stats.Captured++
+	if s.Sink != nil {
+		if err := s.Sink.Capture(o); err != nil {
+			s.Stats.SinkDrops++
+			if s.SinkErr == nil {
+				s.SinkErr = err
+			}
+		}
+	}
+	if s.SinkOnly {
+		return
+	}
+	s.Obs = append(s.Obs, o)
+	if s.Retain > 0 {
+		s.prune(o.End - s.Retain)
+	}
+}
+
+// prune drops observations that ended before cutoff. Obs is appended in
+// frame-end order, so the stale prefix is contiguous; each entry is
+// examined once and compaction waits until the stale prefix dominates,
+// keeping the cost amortized-constant per frame.
+func (s *Sniffer) prune(cutoff sim.Time) {
+	for s.stale < len(s.Obs) && s.Obs[s.stale].End < cutoff {
+		s.stale++
+	}
+	if s.stale*2 < len(s.Obs) {
+		return
+	}
+	s.Obs = append(s.Obs[:0], s.Obs[s.stale:]...)
+	s.stale = 0
 }
 
 // Window returns the observations overlapping [from, to), sorted by

@@ -1,0 +1,458 @@
+package sniffer
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// Version-2 capture format — the streaming, crash-safe trace layout.
+//
+// A v2 file is written incrementally: records are appended as frames are
+// observed and the only state that must survive to the end is a small
+// footer. A capture that dies mid-write (power loss, crash, full disk)
+// loses at most its final partial record; the reader recovers the valid
+// prefix.
+//
+// Layout (all integers little-endian, varints per encoding/binary):
+//
+//	header (16 B)  magic uint32 | version=2 uint32 | reserved 8 B (zero)
+//	record         uvarint payloadLen | payload | crc32c(payload) uint32
+//	...
+//	footer         uvarint 0 (sentinel) | records uint64 |
+//	               payloadBytes uint64 | crc32c(prev 16 B) uint32
+//
+// A record payload is never empty, so a zero length unambiguously marks
+// the footer. Record payload fields, in order:
+//
+//	uvarint type | uvarint src | uvarint mpdus | uvarint meta
+//	uvarint startNs | uvarint endNs | powerBits uint64 | flags uint8
+//
+// MPDUs and Meta are varints (v1 capped them at one byte, silently
+// corrupting aggregation statistics for large bursts). The reader
+// rejects records whose annex is semantically invalid — End < Start,
+// negative timestamps, non-finite power — with ErrBadTraceFile.
+//
+// Truncation policy: damage at the end of the file (missing footer, a
+// cut record, an unverifiable footer) is recovered silently — Next
+// returns io.EOF and Truncated() reports true. Damage in the middle of
+// the file (a record whose checksum fails with more data behind it, or
+// a footer whose count disagrees with the records read) is corruption
+// and surfaces as ErrBadTraceFile.
+
+// traceVersion2 identifies the streaming format.
+const traceVersion2 = 2
+
+// maxRecordLen bounds a single record payload; anything larger is
+// corruption, not a frame observation (the largest legitimate payload is
+// well under 100 bytes).
+const maxRecordLen = 1 << 16
+
+// maxFieldValue bounds the integer annex fields (type, src, mpdus, meta)
+// so corrupt varints cannot smuggle absurd values into analyses.
+const maxFieldValue = 1 << 30
+
+var traceCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// record flag bits (shared with the v1 annex encoding).
+const (
+	recRetry    = 1 << 0
+	recCollided = 1 << 1
+)
+
+// checkObservation validates the semantic invariants every stored record
+// must satisfy. Both the writer (refusing to persist garbage) and the
+// reader (refusing to surface it) enforce the same set.
+func checkObservation(o Observation) error {
+	if o.Start < 0 {
+		return fmt.Errorf("negative start time %v", o.Start)
+	}
+	if o.End < o.Start {
+		return fmt.Errorf("end %v before start %v", o.End, o.Start)
+	}
+	if math.IsNaN(o.PowerDBm) || math.IsInf(o.PowerDBm, 0) {
+		return fmt.Errorf("non-finite power %v", o.PowerDBm)
+	}
+	if o.Type < 0 || int64(o.Type) > maxFieldValue {
+		return fmt.Errorf("frame type %d out of range", int(o.Type))
+	}
+	if o.Src < 0 || int64(o.Src) > maxFieldValue {
+		return fmt.Errorf("source %d out of range", o.Src)
+	}
+	if o.MPDUs < 0 || int64(o.MPDUs) > maxFieldValue {
+		return fmt.Errorf("MPDU count %d out of range", o.MPDUs)
+	}
+	if o.Meta < 0 || int64(o.Meta) > maxFieldValue {
+		return fmt.Errorf("meta %d out of range", o.Meta)
+	}
+	return nil
+}
+
+// WriterStats are the lightweight counters a TraceWriter maintains for
+// campaign summaries.
+type WriterStats struct {
+	// Records is the number of records written so far.
+	Records uint64
+	// Bytes is the total bytes emitted, including framing.
+	Bytes uint64
+	// Drops counts observations rejected by validation.
+	Drops uint64
+}
+
+// TraceWriter streams observations to a v2 capture file in O(1) memory.
+// It implements Sink, so it can be attached directly to a Sniffer.
+// Close writes the footer; a capture missing its footer (crash before
+// Close) is still readable up to the last complete record.
+type TraceWriter struct {
+	bw     *bufio.Writer
+	buf    []byte // reused payload scratch
+	rec    []byte // reused framed-record scratch
+	stats  WriterStats
+	err    error
+	closed bool
+}
+
+// NewTraceWriter writes the v2 header to w and returns a writer ready to
+// append records. The caller owns w and must close it after Close.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
+	tw := &TraceWriter{bw: bufio.NewWriter(w), buf: make([]byte, 0, 128), rec: make([]byte, 0, 160)}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], traceVersion2)
+	if _, err := tw.bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	tw.stats.Bytes = uint64(len(hdr))
+	return tw, nil
+}
+
+// Write appends one observation as a record. Invalid observations
+// (End < Start, negative timestamps, non-finite power, out-of-range
+// counts) are counted as drops and returned as errors without being
+// written.
+func (tw *TraceWriter) Write(o Observation) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if tw.closed {
+		return fmt.Errorf("sniffer: write on closed TraceWriter")
+	}
+	if err := checkObservation(o); err != nil {
+		tw.stats.Drops++
+		return fmt.Errorf("sniffer: invalid observation: %w", err)
+	}
+	p := tw.buf[:0]
+	p = binary.AppendUvarint(p, uint64(o.Type))
+	p = binary.AppendUvarint(p, uint64(o.Src))
+	p = binary.AppendUvarint(p, uint64(o.MPDUs))
+	p = binary.AppendUvarint(p, uint64(o.Meta))
+	p = binary.AppendUvarint(p, uint64(o.Start))
+	p = binary.AppendUvarint(p, uint64(o.End))
+	p = binary.LittleEndian.AppendUint64(p, math.Float64bits(o.PowerDBm))
+	var flags byte
+	if o.Retry {
+		flags |= recRetry
+	}
+	if o.Collided {
+		flags |= recCollided
+	}
+	p = append(p, flags)
+	tw.buf = p
+
+	// Assemble length | payload | crc in one reused buffer so a record
+	// write stays allocation-free.
+	r := tw.rec[:0]
+	r = binary.AppendUvarint(r, uint64(len(p)))
+	r = append(r, p...)
+	r = binary.LittleEndian.AppendUint32(r, crc32.Checksum(p, traceCRCTable))
+	tw.rec = r
+	if _, err := tw.bw.Write(r); err != nil {
+		return tw.fail(err)
+	}
+	tw.stats.Records++
+	tw.stats.Bytes += uint64(len(r))
+	return nil
+}
+
+// Capture implements Sink.
+func (tw *TraceWriter) Capture(o Observation) error { return tw.Write(o) }
+
+// Stats returns the writer's counters.
+func (tw *TraceWriter) Stats() WriterStats { return tw.stats }
+
+// Close writes the footer and flushes. The underlying writer is not
+// closed. Close is idempotent.
+func (tw *TraceWriter) Close() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if tw.closed {
+		return nil
+	}
+	tw.closed = true
+	var f [21]byte
+	f[0] = 0 // zero-length sentinel: no record payload is ever empty
+	binary.LittleEndian.PutUint64(f[1:], tw.stats.Records)
+	binary.LittleEndian.PutUint64(f[9:], tw.payloadBytes())
+	binary.LittleEndian.PutUint32(f[17:], crc32.Checksum(f[1:17], traceCRCTable))
+	if _, err := tw.bw.Write(f[:]); err != nil {
+		return tw.fail(err)
+	}
+	tw.stats.Bytes += uint64(len(f))
+	if err := tw.bw.Flush(); err != nil {
+		return tw.fail(err)
+	}
+	return nil
+}
+
+// payloadBytes is the byte total the footer commits to: everything
+// emitted after the header, excluding the footer itself.
+func (tw *TraceWriter) payloadBytes() uint64 { return tw.stats.Bytes - 16 }
+
+func (tw *TraceWriter) fail(err error) error {
+	tw.err = err
+	return err
+}
+
+// TraceReader iterates the records of a capture file in O(1) memory. It
+// reads both format versions: v1 (fixed-size records, count in header)
+// and v2 (length-delimited, footer). For v2 a truncated file — one that
+// ends mid-record or without a verifiable footer — yields its valid
+// prefix, after which Next returns io.EOF and Truncated reports true.
+type TraceReader struct {
+	br        *bufio.Reader
+	version   int
+	remaining uint64 // v1: records left per the header count
+	payload   []byte // reused record scratch
+	v1Frame   []byte // reused v1 header scratch
+	records   uint64
+	bytes     uint64 // v2: payload bytes consumed after the header
+	truncated bool
+	done      bool
+	err       error
+}
+
+// NewTraceReader parses the file header and returns an iterator over the
+// records. It fails with ErrBadTraceFile when the header is not a
+// capture header of a supported version.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTraceFile, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTraceFile)
+	}
+	tr := &TraceReader{br: br, payload: make([]byte, 0, 128)}
+	switch v := binary.LittleEndian.Uint32(hdr[4:]); v {
+	case traceVersion:
+		tr.version = traceVersion
+		n := binary.LittleEndian.Uint64(hdr[8:])
+		if n > 1<<32 {
+			return nil, fmt.Errorf("%w: implausible record count %d", ErrBadTraceFile, n)
+		}
+		tr.remaining = n
+		tr.v1Frame = make([]byte, phy.HeaderSize)
+	case traceVersion2:
+		tr.version = traceVersion2
+	default:
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTraceFile, v)
+	}
+	return tr, nil
+}
+
+// Version reports the format version of the file being read.
+func (tr *TraceReader) Version() int { return tr.version }
+
+// Records reports how many records have been returned so far.
+func (tr *TraceReader) Records() uint64 { return tr.records }
+
+// Truncated reports whether the stream ended without a verifiable
+// footer — the capture was cut short and Next returned the recovered
+// prefix. Only meaningful after Next has returned io.EOF.
+func (tr *TraceReader) Truncated() bool { return tr.truncated }
+
+// Next returns the next observation. It returns io.EOF at the end of
+// the capture (including the recovered end of a truncated v2 file) and
+// ErrBadTraceFile on corruption.
+func (tr *TraceReader) Next() (Observation, error) {
+	if tr.err != nil {
+		return Observation{}, tr.err
+	}
+	if tr.done {
+		return Observation{}, io.EOF
+	}
+	var o Observation
+	var err error
+	if tr.version == traceVersion {
+		o, err = tr.nextV1()
+	} else {
+		o, err = tr.nextV2()
+	}
+	if err != nil {
+		tr.done = true
+		if err != io.EOF {
+			tr.err = err
+		}
+		return Observation{}, err
+	}
+	tr.records++
+	return o, nil
+}
+
+func (tr *TraceReader) nextV1() (Observation, error) {
+	if tr.remaining == 0 {
+		return Observation{}, io.EOF
+	}
+	i := tr.records
+	if _, err := io.ReadFull(tr.br, tr.v1Frame); err != nil {
+		return Observation{}, fmt.Errorf("%w: record %d: %v", ErrBadTraceFile, i, err)
+	}
+	f, err := phy.UnmarshalHeader(tr.v1Frame)
+	if err != nil {
+		return Observation{}, fmt.Errorf("%w: record %d: %v", ErrBadTraceFile, i, err)
+	}
+	var annex [annexSize]byte
+	if _, err := io.ReadFull(tr.br, annex[:]); err != nil {
+		return Observation{}, fmt.Errorf("%w: record %d annex: %v", ErrBadTraceFile, i, err)
+	}
+	o := Observation{
+		Type:     f.Type,
+		Src:      f.Src,
+		Meta:     f.Meta,
+		MPDUs:    f.MPDUs,
+		Start:    sim.Time(binary.LittleEndian.Uint64(annex[0:])),
+		End:      sim.Time(binary.LittleEndian.Uint64(annex[8:])),
+		PowerDBm: math.Float64frombits(binary.LittleEndian.Uint64(annex[16:])),
+		Retry:    annex[24]&annexRetry != 0,
+		Collided: annex[24]&annexCollided != 0,
+	}
+	if err := checkObservation(o); err != nil {
+		return Observation{}, fmt.Errorf("%w: record %d annex: %v", ErrBadTraceFile, i, err)
+	}
+	o.AmplitudeV = AmplitudeFromPower(o.PowerDBm)
+	tr.remaining--
+	return o, nil
+}
+
+func (tr *TraceReader) nextV2() (Observation, error) {
+	length, err := binary.ReadUvarint(tr.br)
+	if err != nil {
+		// The file ends at (or inside) a record boundary with no
+		// footer: a crashed capture. Recover the prefix.
+		tr.truncated = true
+		return Observation{}, io.EOF
+	}
+	if length == 0 {
+		return Observation{}, tr.readFooter()
+	}
+	if length > maxRecordLen {
+		return Observation{}, fmt.Errorf("%w: record %d: implausible length %d", ErrBadTraceFile, tr.records, length)
+	}
+	if cap(tr.payload) < int(length)+4 {
+		tr.payload = make([]byte, length+4)
+	}
+	// Payload and trailing checksum in one read, into the reused buffer.
+	pc := tr.payload[:length+4]
+	if _, err := io.ReadFull(tr.br, pc); err != nil {
+		tr.truncated = true
+		return Observation{}, io.EOF
+	}
+	p := pc[:length]
+	if binary.LittleEndian.Uint32(pc[length:]) != crc32.Checksum(p, traceCRCTable) {
+		// A checksum failure on the very last record is the torn tail
+		// of a crashed capture; anywhere else it is corruption.
+		if _, err := tr.br.Peek(1); err != nil {
+			tr.truncated = true
+			return Observation{}, io.EOF
+		}
+		return Observation{}, fmt.Errorf("%w: record %d: checksum mismatch", ErrBadTraceFile, tr.records)
+	}
+	o, err := decodeRecord(p)
+	if err != nil {
+		return Observation{}, fmt.Errorf("%w: record %d: %v", ErrBadTraceFile, tr.records, err)
+	}
+	tr.bytes += uint64(uvarintLen(length) + int(length) + 4)
+	return o, nil
+}
+
+// readFooter validates the end-of-capture footer. An unverifiable footer
+// (short, or checksum mismatch — e.g. a preallocated file whose tail is
+// zeros) counts as truncation; a verified footer whose record count
+// disagrees with the records read is corruption.
+func (tr *TraceReader) readFooter() error {
+	var f [20]byte
+	if _, err := io.ReadFull(tr.br, f[:]); err != nil {
+		tr.truncated = true
+		return io.EOF
+	}
+	if binary.LittleEndian.Uint32(f[16:]) != crc32.Checksum(f[:16], traceCRCTable) {
+		tr.truncated = true
+		return io.EOF
+	}
+	count := binary.LittleEndian.Uint64(f[0:])
+	payloadBytes := binary.LittleEndian.Uint64(f[8:])
+	if count != tr.records {
+		return fmt.Errorf("%w: footer count %d, read %d records", ErrBadTraceFile, count, tr.records)
+	}
+	if payloadBytes != tr.bytes {
+		return fmt.Errorf("%w: footer payload %d bytes, read %d", ErrBadTraceFile, payloadBytes, tr.bytes)
+	}
+	if _, err := tr.br.Peek(1); err == nil {
+		return fmt.Errorf("%w: data after footer", ErrBadTraceFile)
+	}
+	return io.EOF
+}
+
+// decodeRecord parses and validates one v2 record payload.
+func decodeRecord(p []byte) (Observation, error) {
+	var o Observation
+	var fields [6]uint64
+	for i := range fields {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return o, fmt.Errorf("malformed payload")
+		}
+		fields[i] = v
+		p = p[n:]
+	}
+	typ, src, mpdus, meta, start, end := fields[0], fields[1], fields[2], fields[3], fields[4], fields[5]
+	if len(p) != 9 {
+		return o, fmt.Errorf("malformed payload")
+	}
+	o.Type = phy.FrameType(typ)
+	o.Src = int(src)
+	o.MPDUs = int(mpdus)
+	o.Meta = int(meta)
+	o.Start = sim.Time(start)
+	o.End = sim.Time(end)
+	o.PowerDBm = math.Float64frombits(binary.LittleEndian.Uint64(p))
+	o.Retry = p[8]&recRetry != 0
+	o.Collided = p[8]&recCollided != 0
+	if typ > maxFieldValue || src > maxFieldValue || mpdus > maxFieldValue || meta > maxFieldValue ||
+		start > math.MaxInt64 || end > math.MaxInt64 {
+		return o, fmt.Errorf("field out of range")
+	}
+	if err := checkObservation(o); err != nil {
+		return o, err
+	}
+	o.AmplitudeV = AmplitudeFromPower(o.PowerDBm)
+	return o, nil
+}
+
+// uvarintLen returns the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

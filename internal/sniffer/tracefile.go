@@ -9,26 +9,26 @@ import (
 	"math"
 
 	"repro/internal/phy"
-	"repro/internal/sim"
 )
 
-// Trace-file format: a 16-byte file header followed by one record per
-// observation. Each record is a serialized PPDU header (the phy codec)
-// plus a fixed-size capture annex carrying what the instrument adds:
-// timing and received power. The format is deliberately append-friendly
-// so long captures can stream to disk.
+// Trace-file formats. Version 1 (legacy) is a 16-byte header carrying
+// the record count followed by fixed-size records: a serialized PPDU
+// header (the phy codec) plus a 28-byte capture annex. Version 2 is the
+// streaming format documented in stream.go. WriteTrace and ReadTrace
+// are compatibility wrappers over the streaming TraceWriter/TraceReader:
+// writes emit v2, reads accept both versions.
 
 // traceMagic identifies a capture file.
 const traceMagic = 0x56554249 // "VUBI"
 
-// traceVersion is bumped on incompatible changes.
+// traceVersion is the legacy whole-slice format version.
 const traceVersion = 1
 
-// annexSize is the capture annex length: start (8) + end (8) + power (8)
-// + flags (1) + reserved (3).
+// annexSize is the v1 capture annex length: start (8) + end (8) +
+// power (8) + flags (1) + reserved (3).
 const annexSize = 28
 
-// annex flag bits.
+// v1 annex flag bits.
 const (
 	annexRetry    = 1 << 0
 	annexCollided = 1 << 1
@@ -37,8 +37,60 @@ const (
 // ErrBadTraceFile reports a malformed capture file.
 var ErrBadTraceFile = errors.New("sniffer: malformed trace file")
 
-// WriteTrace streams the observations to w in the binary capture format.
+// WriteTrace writes the observations to w as one v2 capture (header,
+// records, footer). It is the whole-slice convenience wrapper around
+// TraceWriter; long captures should stream through TraceWriter directly.
+// Invalid observations (End < Start, negative timestamps, non-finite
+// power, negative counts) abort the write with an error instead of being
+// silently mangled.
 func WriteTrace(w io.Writer, obs []Observation) error {
+	tw, err := NewTraceWriter(w)
+	if err != nil {
+		return err
+	}
+	for i, o := range obs {
+		if err := tw.Write(o); err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	return tw.Close()
+}
+
+// ReadTrace parses a capture file of either format version into a slice.
+// It is the whole-slice convenience wrapper around TraceReader; long
+// captures should iterate TraceReader directly. A truncated v2 capture
+// yields its recovered valid prefix without error (use TraceReader to
+// distinguish); v1 files keep their strict all-or-nothing semantics.
+func ReadTrace(r io.Reader) ([]Observation, error) {
+	tr, err := NewTraceReader(r)
+	if err != nil {
+		return nil, err
+	}
+	// Preallocate a bounded amount; a corrupt header must cost a parse
+	// error, not memory.
+	pre := tr.remaining
+	if pre > 4096 {
+		pre = 4096
+	}
+	out := make([]Observation, 0, pre)
+	for {
+		o, err := tr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+}
+
+// writeTraceV1 emits the legacy v1 format. It exists so tests can pin
+// byte-identical compatibility with captures written before the v2
+// migration; new code writes v2. Unlike the historical writer it
+// refuses MPDU/Meta values that do not fit the one-byte v1 fields
+// instead of clamping them.
+func writeTraceV1(w io.Writer, obs []Observation) error {
 	bw := bufio.NewWriter(w)
 	var hdr [16]byte
 	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
@@ -47,13 +99,22 @@ func WriteTrace(w io.Writer, obs []Observation) error {
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	for _, o := range obs {
+	for i, o := range obs {
+		if err := checkObservation(o); err != nil {
+			return fmt.Errorf("sniffer: record %d: invalid observation: %w", i, err)
+		}
+		if o.MPDUs > 255 {
+			return fmt.Errorf("sniffer: record %d: MPDU count %d exceeds the one-byte v1 field", i, o.MPDUs)
+		}
+		if o.Meta > 255 {
+			return fmt.Errorf("sniffer: record %d: meta %d exceeds the one-byte v1 field", i, o.Meta)
+		}
 		f := phy.Frame{
 			Type:         o.Type,
 			Src:          o.Src,
 			Dst:          -1, // the instrument does not decode addressing
-			MPDUs:        clampByte(o.MPDUs),
-			Meta:         clampByte(o.Meta),
+			MPDUs:        o.MPDUs,
+			Meta:         o.Meta,
 			PayloadBytes: 0,
 		}
 		fb, err := phy.MarshalHeader(f)
@@ -78,69 +139,4 @@ func WriteTrace(w io.Writer, obs []Observation) error {
 		}
 	}
 	return bw.Flush()
-}
-
-// ReadTrace parses a capture file written by WriteTrace.
-func ReadTrace(r io.Reader) ([]Observation, error) {
-	br := bufio.NewReader(r)
-	var hdr [16]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadTraceFile, err)
-	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != traceMagic {
-		return nil, fmt.Errorf("%w: bad magic", ErrBadTraceFile)
-	}
-	if binary.LittleEndian.Uint32(hdr[4:]) != traceVersion {
-		return nil, fmt.Errorf("%w: unsupported version", ErrBadTraceFile)
-	}
-	n := binary.LittleEndian.Uint64(hdr[8:])
-	if n > 1<<32 {
-		return nil, fmt.Errorf("%w: implausible record count %d", ErrBadTraceFile, n)
-	}
-	// Preallocate from the declared count, but never trust it for more
-	// than a bounded up-front allocation: a corrupt count must cost a
-	// parse error, not memory.
-	pre := n
-	if pre > 4096 {
-		pre = 4096
-	}
-	out := make([]Observation, 0, pre)
-	fb := make([]byte, phy.HeaderSize)
-	var annex [annexSize]byte
-	for i := uint64(0); i < n; i++ {
-		if _, err := io.ReadFull(br, fb); err != nil {
-			return nil, fmt.Errorf("%w: record %d: %v", ErrBadTraceFile, i, err)
-		}
-		f, err := phy.UnmarshalHeader(fb)
-		if err != nil {
-			return nil, fmt.Errorf("%w: record %d: %v", ErrBadTraceFile, i, err)
-		}
-		if _, err := io.ReadFull(br, annex[:]); err != nil {
-			return nil, fmt.Errorf("%w: record %d annex: %v", ErrBadTraceFile, i, err)
-		}
-		o := Observation{
-			Type:     f.Type,
-			Src:      f.Src,
-			Meta:     f.Meta,
-			MPDUs:    f.MPDUs,
-			Start:    sim.Time(binary.LittleEndian.Uint64(annex[0:])),
-			End:      sim.Time(binary.LittleEndian.Uint64(annex[8:])),
-			PowerDBm: math.Float64frombits(binary.LittleEndian.Uint64(annex[16:])),
-			Retry:    annex[24]&annexRetry != 0,
-			Collided: annex[24]&annexCollided != 0,
-		}
-		o.AmplitudeV = AmplitudeFromPower(o.PowerDBm)
-		out = append(out, o)
-	}
-	return out, nil
-}
-
-func clampByte(v int) int {
-	if v < 0 {
-		return 0
-	}
-	if v > 255 {
-		return 255
-	}
-	return v
 }

@@ -2,6 +2,9 @@ package sniffer
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"math"
 	"testing"
 	"time"
@@ -69,9 +72,16 @@ func TestTraceFileCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
-	// Truncated.
-	if _, err := ReadTrace(bytes.NewReader(raw[:len(raw)-5])); err == nil {
-		t.Error("truncated file accepted")
+	// Truncation is recovery, not an error, in the v2 format: the valid
+	// prefix comes back.
+	out, err := ReadTrace(bytes.NewReader(raw[:len(raw)-5]))
+	if err != nil {
+		t.Errorf("truncated v2 file did not recover: %v", err)
+	}
+	if len(out) != len(sampleObs()) {
+		// Cutting 5 bytes destroys (at least) the footer; all records
+		// should still be intact here.
+		t.Errorf("truncated v2 file recovered %d of %d records", len(out), len(sampleObs()))
 	}
 	// Bad magic.
 	bad := append([]byte(nil), raw...)
@@ -79,11 +89,92 @@ func TestTraceFileCorruption(t *testing.T) {
 	if _, err := ReadTrace(bytes.NewReader(bad)); err == nil {
 		t.Error("bad magic accepted")
 	}
-	// Corrupted record header (CRC catches it).
+	// Corrupted record payload with more data behind it (CRC catches it).
 	bad = append([]byte(nil), raw...)
 	bad[16+3] ^= 0x01
 	if _, err := ReadTrace(bytes.NewReader(bad)); err == nil {
 		t.Error("corrupted record accepted")
+	}
+	// A verifiable footer whose record count disagrees with the stream
+	// is corruption (the CRC must be refreshed to isolate the check —
+	// an unverifiable footer reads as truncation instead).
+	bad = append([]byte(nil), raw...)
+	foot := bad[len(bad)-20:]
+	foot[0] ^= 0x01 // count field
+	binary.LittleEndian.PutUint32(foot[16:], crc32.Checksum(foot[:16], traceCRCTable))
+	if _, err := ReadTrace(bytes.NewReader(bad)); err == nil {
+		t.Error("footer count mismatch accepted")
+	}
+}
+
+func TestTraceFileRejectsCorruptAnnex(t *testing.T) {
+	mk := func(mut func(*Observation)) []byte {
+		obs := sampleObs()[:1]
+		mut(&obs[0])
+		// Bypass writer validation: encode a valid record, then splice
+		// the corrupt field into the v1 layout where validation used to
+		// be absent.
+		var buf bytes.Buffer
+		if err := writeTraceV1(&buf, sampleObs()[:1]); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+		annex := raw[16+28:]
+		binary.LittleEndian.PutUint64(annex[0:], uint64(obs[0].Start))
+		binary.LittleEndian.PutUint64(annex[8:], uint64(obs[0].End))
+		binary.LittleEndian.PutUint64(annex[16:], math.Float64bits(obs[0].PowerDBm))
+		return raw
+	}
+	cases := map[string]func(*Observation){
+		"end before start":   func(o *Observation) { o.End = o.Start - time.Microsecond },
+		"negative timestamp": func(o *Observation) { o.Start = -5; o.End = -1 },
+		"NaN power":          func(o *Observation) { o.PowerDBm = math.NaN() },
+		"Inf power":          func(o *Observation) { o.PowerDBm = math.Inf(1) },
+	}
+	for name, mut := range cases {
+		if _, err := ReadTrace(bytes.NewReader(mk(mut))); !errors.Is(err, ErrBadTraceFile) {
+			t.Errorf("%s: err = %v, want ErrBadTraceFile", name, err)
+		}
+	}
+}
+
+func TestWriteTraceRejectsInvalid(t *testing.T) {
+	cases := map[string]Observation{
+		"end before start": {Start: 10 * time.Microsecond, End: 5 * time.Microsecond, PowerDBm: -50},
+		"negative start":   {Start: -time.Microsecond, End: time.Microsecond, PowerDBm: -50},
+		"NaN power":        {Start: 1, End: 2, PowerDBm: math.NaN()},
+		"negative MPDUs":   {Start: 1, End: 2, PowerDBm: -50, MPDUs: -1},
+		"negative meta":    {Start: 1, End: 2, PowerDBm: -50, Meta: -3},
+	}
+	for name, o := range cases {
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, []Observation{o}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestTraceFileWideAggregation: the v2 varint fields carry MPDU counts
+// past the one-byte v1 cap without corruption (the clampByte bug).
+func TestTraceFileWideAggregation(t *testing.T) {
+	in := []Observation{{
+		Type: phy.FrameData, Src: 1, MPDUs: 4096, Meta: 70000,
+		Start: time.Millisecond, End: 2 * time.Millisecond, PowerDBm: -40,
+	}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrace(&buf)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("read: %v (%d records)", err, len(out))
+	}
+	if out[0].MPDUs != 4096 || out[0].Meta != 70000 {
+		t.Errorf("aggregation fields corrupted: MPDUs=%d Meta=%d", out[0].MPDUs, out[0].Meta)
+	}
+	// The legacy writer must refuse rather than clamp.
+	if err := writeTraceV1(&buf, in); err == nil {
+		t.Error("v1 writer clamped an out-of-range MPDU count instead of erroring")
 	}
 }
 

@@ -1,0 +1,284 @@
+// Streaming counterparts of the offline trace analyses: Sink
+// implementations that fold each observation into a running metric as it
+// is captured, so experiment drivers no longer need to retain the whole
+// observation slice. A one-hour capture analyses in the same fixed
+// memory as a one-millisecond one.
+//
+// Sniffer sinks receive observations in frame-END order (the sniffer
+// classifies a frame when it leaves the air). Metrics that need
+// start-ordered intervals — the busy-time union — route arrivals through
+// a StartOrderer, which buffers at most one reorder horizon of frames.
+package trace
+
+import (
+	"container/heap"
+	"time"
+
+	"repro/internal/phy"
+	"repro/internal/sniffer"
+)
+
+// DefaultReorderHorizon bounds how far an observation's start may lag
+// behind the latest end seen — i.e. the maximum frame air time the
+// streaming analyses must tolerate. The longest frames on either system
+// are the ≈180 µs WiHD video frames; 1 ms leaves an order of magnitude
+// of slack for pathological overlap chains.
+const DefaultReorderHorizon = time.Millisecond
+
+// obsHeap is a min-heap of observations ordered by start time.
+type obsHeap []sniffer.Observation
+
+func (h obsHeap) Len() int           { return len(h) }
+func (h obsHeap) Less(i, j int) bool { return h[i].Start < h[j].Start }
+func (h obsHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *obsHeap) Push(x any)        { *h = append(*h, x.(sniffer.Observation)) }
+func (h *obsHeap) Pop() any {
+	old := *h
+	n := len(old)
+	o := old[n-1]
+	*h = old[:n-1]
+	return o
+}
+
+// StartOrderer converts the sniffer's end-ordered observation stream
+// into a start-ordered one. It relies on the horizon bound: once the
+// stream has progressed to end time E, every future observation starts
+// at or after E − horizon, so anything buffered before that point can be
+// released in start order. Memory is bounded by the number of frames
+// that fit in one horizon, not by capture length.
+type StartOrderer struct {
+	horizon time.Duration
+	emit    func(sniffer.Observation)
+	heap    obsHeap
+	maxEnd  time.Duration
+}
+
+// NewStartOrderer returns an orderer delivering to emit. A horizon ≤ 0
+// uses DefaultReorderHorizon.
+func NewStartOrderer(horizon time.Duration, emit func(sniffer.Observation)) *StartOrderer {
+	if horizon <= 0 {
+		horizon = DefaultReorderHorizon
+	}
+	return &StartOrderer{horizon: horizon, emit: emit}
+}
+
+// Capture buffers the observation and releases everything that can no
+// longer be preceded by a future arrival.
+func (so *StartOrderer) Capture(o sniffer.Observation) error {
+	heap.Push(&so.heap, o)
+	if o.End > so.maxEnd {
+		so.maxEnd = o.End
+	}
+	for so.heap.Len() > 0 && so.heap[0].Start <= so.maxEnd-so.horizon {
+		so.emit(heap.Pop(&so.heap).(sniffer.Observation))
+	}
+	return nil
+}
+
+// Flush releases all buffered observations in start order. Call once at
+// the end of the capture.
+func (so *StartOrderer) Flush() {
+	for so.heap.Len() > 0 {
+		so.emit(heap.Pop(&so.heap).(sniffer.Observation))
+	}
+}
+
+// BusyMeter is the streaming form of BusyRatio: it accumulates the
+// union of above-threshold frame intervals as they are captured. Attach
+// it as a sniffer sink, run the scenario, then call Ratio once with the
+// capture end time.
+type BusyMeter struct {
+	// From clips the analysis window on the left, like BusyRatio's from
+	// argument; observations ending before From are ignored. Set it to
+	// the capture start before the run.
+	From time.Duration
+
+	threshold float64
+	ord       *StartOrderer
+	open      bool
+	curA      time.Duration
+	curB      time.Duration
+	busy      time.Duration
+}
+
+// NewBusyMeter returns a meter using the given amplitude threshold
+// (volts) for busy detection, like BusyRatio's amplitudeThreshold.
+// horizon ≤ 0 uses DefaultReorderHorizon.
+func NewBusyMeter(thresholdV float64, horizon time.Duration) *BusyMeter {
+	m := &BusyMeter{threshold: thresholdV}
+	m.ord = NewStartOrderer(horizon, m.merge)
+	return m
+}
+
+// Capture implements sniffer.Sink.
+func (m *BusyMeter) Capture(o sniffer.Observation) error {
+	if o.AmplitudeV < m.threshold || o.End <= m.From {
+		return nil
+	}
+	return m.ord.Capture(o)
+}
+
+// merge consumes start-ordered intervals — the classic sorted sweep.
+func (m *BusyMeter) merge(o sniffer.Observation) {
+	a, b := o.Start, o.End
+	if a < m.From {
+		a = m.From
+	}
+	if !m.open {
+		m.open, m.curA, m.curB = true, a, b
+		return
+	}
+	if a <= m.curB {
+		if b > m.curB {
+			m.curB = b
+		}
+		return
+	}
+	m.busy += m.curB - m.curA
+	m.curA, m.curB = a, b
+}
+
+// Ratio drains the reorder buffer and returns the busy fraction of
+// [From, to). It finalizes the meter: feed no further observations.
+// to must be at or past the end of every captured frame (the scenario
+// clock when the run stopped) — frames still in the air at to have not
+// reached the sink, so no clipping on the right is needed.
+func (m *BusyMeter) Ratio(to time.Duration) float64 {
+	m.ord.Flush()
+	if m.open {
+		m.busy += m.curB - m.curA
+		m.open = false
+	}
+	if to <= m.From {
+		return 0
+	}
+	return float64(m.busy) / float64(to-m.From)
+}
+
+// OccupancyMeter is the streaming form of WindowOccupancy: it marks the
+// fixed-size trace windows each data frame touches as the frames are
+// captured. Windows are indexed from From; frame-end order needs no
+// reordering because window marking is commutative.
+type OccupancyMeter struct {
+	// From is the capture start (window 0 begins here).
+	From time.Duration
+	// Window is the trace-window size (one oscilloscope capture).
+	Window time.Duration
+
+	hit []bool
+}
+
+// NewOccupancyMeter returns a meter over windows of the given size
+// starting at from.
+func NewOccupancyMeter(from, window time.Duration) *OccupancyMeter {
+	return &OccupancyMeter{From: from, Window: window}
+}
+
+// Capture implements sniffer.Sink.
+func (m *OccupancyMeter) Capture(o sniffer.Observation) error {
+	if o.Type != phy.FrameData || m.Window <= 0 || o.End <= m.From {
+		return nil
+	}
+	i0 := int((maxDur(o.Start, m.From) - m.From) / m.Window)
+	i1 := int((o.End - m.From - 1) / m.Window)
+	for i1 >= len(m.hit) {
+		m.hit = append(m.hit, false)
+	}
+	for i := i0; i <= i1; i++ {
+		if i >= 0 {
+			m.hit[i] = true
+		}
+	}
+	return nil
+}
+
+// Occupancy returns the fraction of whole windows inside [From, to)
+// that contained at least one data frame.
+func (m *OccupancyMeter) Occupancy(to time.Duration) float64 {
+	if to <= m.From || m.Window <= 0 {
+		return 0
+	}
+	n := int((to - m.From) / m.Window)
+	if n == 0 {
+		return 0
+	}
+	count := 0
+	for i, h := range m.hit {
+		if i >= n {
+			break
+		}
+		if h {
+			count++
+		}
+	}
+	return float64(count) / float64(n)
+}
+
+// DataSampler collects the per-data-frame quantities the load-sweep
+// figures need — air times for the Fig. 9 CDFs, MPDU counts for the
+// §4.1 aggregation check — without retaining the observations
+// themselves (8 bytes per frame instead of a full record).
+type DataSampler struct {
+	// LengthsUs are the data-frame air times in microseconds.
+	LengthsUs []float64
+
+	mpdus int
+}
+
+// Capture implements sniffer.Sink.
+func (s *DataSampler) Capture(o sniffer.Observation) error {
+	if o.Type != phy.FrameData {
+		return nil
+	}
+	s.LengthsUs = append(s.LengthsUs, float64(o.Duration())/float64(time.Microsecond))
+	s.mpdus += o.MPDUs
+	return nil
+}
+
+// Count returns the number of data frames sampled.
+func (s *DataSampler) Count() int { return len(s.LengthsUs) }
+
+// MeanMPDUs returns the mean aggregation level.
+func (s *DataSampler) MeanMPDUs() float64 {
+	if len(s.LengthsUs) == 0 {
+		return 0
+	}
+	return float64(s.mpdus) / float64(len(s.LengthsUs))
+}
+
+// LongFraction returns the fraction of sampled frames longer than
+// LongFrameThreshold, like LongFrameFraction.
+func (s *DataSampler) LongFraction() float64 {
+	if len(s.LengthsUs) == 0 {
+		return 0
+	}
+	th := float64(LongFrameThreshold) / float64(time.Microsecond)
+	long := 0
+	for _, v := range s.LengthsUs {
+		if v > th {
+			long++
+		}
+	}
+	return float64(long) / float64(len(s.LengthsUs))
+}
+
+// CollisionCounter is the streaming form of CollisionEvents.
+type CollisionCounter struct {
+	// Collided and Retries count data frames with the respective flag.
+	Collided int
+	Retries  int
+}
+
+// Capture implements sniffer.Sink.
+func (c *CollisionCounter) Capture(o sniffer.Observation) error {
+	if o.Type != phy.FrameData {
+		return nil
+	}
+	if o.Collided {
+		c.Collided++
+	}
+	if o.Retry {
+		c.Retries++
+	}
+	return nil
+}

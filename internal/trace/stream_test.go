@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/phy"
+	"repro/internal/sniffer"
+	"repro/internal/stats"
+)
+
+// randomCapture synthesizes an end-ordered observation stream the way a
+// sniffer produces one: frames of varied type, length and amplitude,
+// with occasional overlap (collisions).
+func randomCapture(seed uint64, n int) []sniffer.Observation {
+	rng := stats.NewRNG(seed)
+	types := []phy.FrameType{phy.FrameData, phy.FrameData, phy.FrameAck, phy.FrameBeacon, phy.FrameRTS}
+	var obs []sniffer.Observation
+	t := time.Duration(0)
+	for i := 0; i < n; i++ {
+		gap := time.Duration(rng.Range(0, 40e3)) // up to 40 µs idle
+		if rng.Float64() < 0.15 {
+			// Overlap the previous frame: start before its end.
+			gap = -time.Duration(rng.Range(0, 15e3))
+		}
+		start := t + gap
+		if start < 0 {
+			start = 0
+		}
+		dur := time.Duration(rng.Range(1e3, 180e3)) // 1–180 µs on air
+		p := rng.Range(-80, -40)
+		obs = append(obs, sniffer.Observation{
+			Type: types[int(rng.Uint64()%uint64(len(types)))], Src: int(rng.Uint64() % 4),
+			MPDUs: 1 + int(rng.Uint64()%20),
+			Start: start, End: start + dur,
+			PowerDBm: p, AmplitudeV: sniffer.AmplitudeFromPower(p),
+			Retry:    rng.Float64() < 0.1,
+			Collided: rng.Float64() < 0.1,
+		})
+		t = start + dur
+	}
+	// Sniffer sinks see frames in end order.
+	sort.Slice(obs, func(i, j int) bool { return obs[i].End < obs[j].End })
+	return obs
+}
+
+func feed(t *testing.T, sink sniffer.Sink, obs []sniffer.Observation) {
+	t.Helper()
+	for _, o := range obs {
+		if err := sink.Capture(o); err != nil {
+			t.Fatalf("sink error: %v", err)
+		}
+	}
+}
+
+// The streaming meters must agree exactly with their batch
+// counterparts over arbitrary end-ordered captures.
+func TestStreamingMetersMatchBatch(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		obs := randomCapture(seed, 400)
+		from := obs[0].Start + 2*time.Millisecond
+		to := obs[len(obs)-1].End
+		th := sniffer.AmplitudeFromPower(-72)
+
+		bm := NewBusyMeter(th, 0)
+		bm.From = from
+		feed(t, bm, obs)
+		got := bm.Ratio(to)
+		want := BusyRatio(obs, from, to, th)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("seed %d: BusyMeter ratio %.9f, BusyRatio %.9f", seed, got, want)
+		}
+
+		om := NewOccupancyMeter(from, time.Millisecond)
+		feed(t, om, obs)
+		if got, want := om.Occupancy(to), WindowOccupancy(obs, from, to, time.Millisecond); got != want {
+			t.Errorf("seed %d: OccupancyMeter %.6f, WindowOccupancy %.6f", seed, got, want)
+		}
+
+		var cc CollisionCounter
+		feed(t, &cc, obs)
+		collided, retries := CollisionEvents(obs)
+		if cc.Collided != collided || cc.Retries != retries {
+			t.Errorf("seed %d: CollisionCounter %d/%d, CollisionEvents %d/%d",
+				seed, cc.Collided, cc.Retries, collided, retries)
+		}
+
+		var ds DataSampler
+		feed(t, &ds, obs)
+		wantLens := FrameLengthsUs(obs)
+		if len(ds.LengthsUs) != len(wantLens) {
+			t.Fatalf("seed %d: DataSampler %d lengths, want %d", seed, len(ds.LengthsUs), len(wantLens))
+		}
+		sort.Float64s(ds.LengthsUs)
+		sort.Float64s(wantLens)
+		for i := range wantLens {
+			if ds.LengthsUs[i] != wantLens[i] {
+				t.Fatalf("seed %d: length %d = %v, want %v", seed, i, ds.LengthsUs[i], wantLens[i])
+			}
+		}
+		if got, want := ds.LongFraction(), LongFrameFraction(obs); got != want {
+			t.Errorf("seed %d: LongFraction %.6f, LongFrameFraction %.6f", seed, got, want)
+		}
+	}
+}
+
+// The orderer must deliver a start-sorted stream given end-sorted input
+// whose reorder lag stays within the horizon.
+func TestStartOrdererSorts(t *testing.T) {
+	obs := randomCapture(99, 300)
+	var starts []time.Duration
+	so := NewStartOrderer(DefaultReorderHorizon, func(o sniffer.Observation) {
+		starts = append(starts, o.Start)
+	})
+	for _, o := range obs {
+		if err := so.Capture(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	so.Flush()
+	if len(starts) != len(obs) {
+		t.Fatalf("delivered %d of %d", len(starts), len(obs))
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] < starts[i-1] {
+			t.Fatalf("out of order at %d: %v after %v", i, starts[i], starts[i-1])
+		}
+	}
+}
+
+// A BusyMeter over a known interval layout: [0,2) [1,4) [6,7) busy in a
+// 10 ms window with an overlap is 5 ms busy.
+func TestBusyMeterKnownUnion(t *testing.T) {
+	ms := func(x float64) time.Duration { return time.Duration(x * float64(time.Millisecond)) }
+	mk := func(a, b float64) sniffer.Observation {
+		return sniffer.Observation{Type: phy.FrameData, Start: ms(a), End: ms(b),
+			PowerDBm: -50, AmplitudeV: sniffer.AmplitudeFromPower(-50)}
+	}
+	m := NewBusyMeter(sniffer.AmplitudeFromPower(-72), 0)
+	for _, o := range []sniffer.Observation{mk(0, 2), mk(1, 4), mk(6, 7)} {
+		if err := m.Capture(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Ratio(ms(10)); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ratio = %v, want 0.5", got)
+	}
+}
