@@ -11,10 +11,18 @@
 //	mmsim -workers 4 run F13   # sweep-point parallelism inside experiments
 //	mmsim -series run F13      # also dump the data series as TSV
 //	mmsim -capture caps run F8 # stream raw sniffer captures to caps/<ID>.vubiq
+//	mmsim -capture caps -deadline 5m run all   # checkpoint + per-experiment watchdog
+//	mmsim -capture caps -resume run all        # resume a killed campaign
 //	mmsim -cpuprofile cpu.pprof run all
 //
 // Each run prints a PASS/FAIL report comparing the paper's claim with
 // the reproduced measurement.
+//
+// With -capture, every finished experiment is appended to the durable
+// campaign checkpoint <dir>/campaign.ckpt; -resume reloads it and skips
+// the experiments already on record, emitting their stored results
+// unchanged — a resumed campaign's reports are byte-identical to an
+// uninterrupted run (wall-clock annotations aside).
 package main
 
 import (
@@ -24,7 +32,6 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -47,10 +54,35 @@ func run() int {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "experiments to run concurrently")
 	workers := flag.Int("workers", par.Workers(),
 		"worker goroutines per intra-experiment sweep (results are identical for any value)")
+	deadline := flag.Duration("deadline", 0,
+		"per-experiment wall-clock budget; an overrunning driver is aborted and reported as a failure (0 = unlimited)")
+	resume := flag.Bool("resume", false,
+		"skip experiments already recorded in the campaign checkpoint (requires -capture)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "mmsim: -workers %d is negative\n\n", *workers)
+		usage()
+		return 2
+	}
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "mmsim: -parallel %d is negative\n\n", *parallel)
+		usage()
+		return 2
+	}
+	if *deadline < 0 {
+		fmt.Fprintf(os.Stderr, "mmsim: -deadline %v is negative\n\n", *deadline)
+		usage()
+		return 2
+	}
+	if *resume && *captureDir == "" {
+		fmt.Fprintln(os.Stderr, "mmsim: -resume needs -capture <dir> (the checkpoint lives in the capture directory)")
+		fmt.Fprintln(os.Stderr)
+		usage()
+		return 2
+	}
 	par.SetWorkers(*workers)
 
 	if *cpuProfile != "" {
@@ -125,7 +157,22 @@ func run() int {
 				return 1
 			}
 		}
-		if runCampaign(runners, opts, *parallel, *series, *outDir) > 0 {
+		var ckpt *experiments.Checkpoint
+		if *captureDir != "" {
+			if !*resume {
+				// A fresh campaign must not inherit results from an older
+				// one that happened to use the same directory.
+				os.Remove(*captureDir + "/" + experiments.CheckpointFile)
+			}
+			var err error
+			ckpt, err = experiments.OpenCheckpoint(*captureDir, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mmsim:", err)
+				return 1
+			}
+			defer ckpt.Close()
+		}
+		if runCampaign(runners, opts, *parallel, *deadline, ckpt, *series, *outDir) > 0 {
 			return 1
 		}
 	default:
@@ -135,48 +182,27 @@ func run() int {
 	return 0
 }
 
-// runCampaign executes the runners with bounded parallelism, printing
-// reports in the requested order as they become available. Returns the
-// number of failed experiments.
-func runCampaign(runners []experiments.Runner, opts experiments.Options, parallel int, series bool, outDir string) int {
-	if parallel < 1 {
-		parallel = 1
-	}
-	type outcome struct {
-		res  core.Result
-		wall time.Duration
-	}
-	results := make([]chan outcome, len(runners))
-	for i := range results {
-		results[i] = make(chan outcome, 1)
-	}
+// runCampaign executes the runners through the resilient campaign
+// engine (experiments.RunCampaign): bounded parallelism, per-experiment
+// panic isolation and deadlines, checkpoint/resume. Reports print in
+// the requested order as they become available. Returns the number of
+// failed experiments.
+func runCampaign(runners []experiments.Runner, opts experiments.Options,
+	parallel int, deadline time.Duration, ckpt *experiments.Checkpoint,
+	series bool, outDir string) int {
 	campaignStart := time.Now()
-	sem := make(chan struct{}, parallel)
-	var wg sync.WaitGroup
-	for i, r := range runners {
-		i, r := i, r
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			start := time.Now()
-			res := r.Run(opts)
-			results[i] <- outcome{res, time.Since(start)}
-		}()
-	}
-	go wg.Wait()
-
 	failed := 0
-	for i := range runners {
-		o := <-results[i]
-		fmt.Print(o.res)
-		fmt.Printf("   (wall time %v)\n\n", o.wall.Round(time.Millisecond))
-		if !o.res.Pass() {
-			failed++
+	resumed := 0
+	emit := func(_ int, st experiments.Status) {
+		fmt.Print(st.Result)
+		if st.Resumed {
+			resumed++
+			fmt.Printf("   (resumed from checkpoint)\n\n")
+		} else {
+			fmt.Printf("   (wall time %v)\n\n", st.Wall.Round(time.Millisecond))
 		}
 		if series {
-			for _, s := range o.res.Series {
+			for _, s := range st.Result.Series {
 				fmt.Printf("# %s: %s vs %s\n", s.Label, s.YLabel, s.XLabel)
 				for j := range s.X {
 					fmt.Printf("%g\t%g\n", s.X[j], s.Y[j])
@@ -185,14 +211,20 @@ func runCampaign(runners []experiments.Runner, opts experiments.Options, paralle
 			}
 		}
 		if outDir != "" {
-			if err := writeSeries(outDir, o.res); err != nil {
+			if err := writeSeries(outDir, st.Result); err != nil {
 				fmt.Fprintln(os.Stderr, "mmsim:", err)
 				failed++
 			}
 		}
 	}
-	fmt.Printf("campaign: %d experiment(s), %d failed, total wall time %v (%d sweep workers)\n",
-		len(runners), failed, time.Since(campaignStart).Round(time.Millisecond), par.Workers())
+	failed += experiments.RunCampaign(runners, opts, experiments.Campaign{
+		Parallel:   parallel,
+		Deadline:   deadline,
+		Checkpoint: ckpt,
+		Emit:       emit,
+	})
+	fmt.Printf("campaign: %d experiment(s), %d failed, %d resumed, total wall time %v (%d sweep workers)\n",
+		len(runners), failed, resumed, time.Since(campaignStart).Round(time.Millisecond), par.Workers())
 	return failed
 }
 

@@ -11,6 +11,13 @@
 //	tracedump -ms 2 wigig      # longer excerpt
 //	tracedump -o cap.vubiq wigig   # also save the binary capture
 //	tracedump read cap.vubiq       # display a saved capture
+//
+// Exit codes for "read" distinguish how healthy the capture was:
+//
+//	0  clean capture, footer verified
+//	1  corrupt (unreadable header, damaged record, or I/O error)
+//	3  truncated but recovered: the intact prefix was printed; only the
+//	   torn tail (and footer) from a crash or kill was lost
 package main
 
 import (
@@ -39,8 +46,7 @@ func main() {
 		if flag.NArg() < 2 {
 			fatal("tracedump read <file>")
 		}
-		readAndPrint(flag.Arg(1))
-		return
+		os.Exit(readAndPrint(flag.Arg(1)))
 	}
 
 	sc := repro.NewScenario(repro.OpenSpace(), *seed)
@@ -189,9 +195,10 @@ func printEnvelope(sn *repro.Sniffer, from, to time.Duration) {
 }
 
 // readAndPrint iterates a saved capture record by record — constant
-// memory regardless of capture size — and warns when the file is a
-// crash-recovered prefix.
-func readAndPrint(path string) {
+// memory regardless of capture size — and returns the process exit
+// code: 0 for a clean capture, 1 for corruption, 3 for a truncated but
+// recovered prefix (see the package comment).
+func readAndPrint(path string) int {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err.Error())
@@ -226,7 +233,9 @@ func readAndPrint(path string) {
 	fmt.Printf("%d records\n", tr.Records())
 	if tr.Truncated() {
 		fmt.Println("warning: capture is truncated (crash-recovered prefix; the trailing record and footer were lost)")
+		return 3
 	}
+	return 0
 }
 
 func fatal(msg string) {

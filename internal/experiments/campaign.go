@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// Status is the campaign runner's per-experiment outcome.
+type Status struct {
+	// Result is the experiment outcome — the driver's own on success,
+	// a synthesized FAIL result when the driver crashed or deadlined,
+	// or the checkpointed result when resumed.
+	Result core.Result
+	// Wall is the driver's wall-clock cost (zero when resumed).
+	Wall time.Duration
+	// Resumed reports that the result was loaded from the checkpoint
+	// instead of re-run.
+	Resumed bool
+	// Failure carries the isolation record when the driver panicked,
+	// deadlined, or returned an error; nil on success.
+	Failure *par.PointError
+}
+
+// Campaign configures RunCampaign.
+type Campaign struct {
+	// Parallel bounds concurrently running experiments (min 1).
+	Parallel int
+	// Deadline is the per-experiment wall-clock budget. It is enforced
+	// by the simulation schedulers themselves (sim.SetDefaultWallBudget):
+	// a driver that overruns aborts at its next event boundary with a
+	// *sim.DeadlineError and is reported as a structured failure. Zero
+	// disables the watchdog.
+	Deadline time.Duration
+	// Checkpoint, when non-nil, records every finished experiment and
+	// skips the ones already on record (resume).
+	Checkpoint *Checkpoint
+	// Emit observes each experiment's status, in campaign order. It
+	// runs on the RunCampaign goroutine.
+	Emit func(index int, st Status)
+}
+
+// RunCampaign executes the runners with bounded parallelism and full
+// failure isolation: one experiment panicking, exceeding the deadline,
+// or being killed by a bug never prevents the others from completing.
+// Statuses are emitted strictly in input order. It returns the number
+// of experiments that did not pass (failed checks, crashes, deadlines).
+//
+// Determinism: a resumed campaign emits bit-identical results to an
+// uninterrupted one — checkpointed results round-trip exactly, and
+// skipping finished experiments cannot perturb the remaining drivers,
+// which derive all randomness from (Options, experiment ID).
+func RunCampaign(runners []Runner, opts Options, c Campaign) int {
+	if c.Parallel < 1 {
+		c.Parallel = 1
+	}
+	if c.Deadline > 0 {
+		prev := sim.SetDefaultWallBudget(c.Deadline)
+		defer sim.SetDefaultWallBudget(prev)
+	}
+
+	statuses := make([]chan Status, len(runners))
+	for i := range statuses {
+		statuses[i] = make(chan Status, 1)
+	}
+	sem := make(chan struct{}, c.Parallel)
+	for i, r := range runners {
+		if c.Checkpoint != nil {
+			if res, ok := c.Checkpoint.Done(r.ID); ok {
+				statuses[i] <- Status{Result: res, Resumed: true}
+				continue
+			}
+		}
+		i, r := i, r
+		go func() {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			statuses[i] <- runOne(r, opts, c.Deadline)
+		}()
+	}
+
+	failed := 0
+	for i := range runners {
+		st := <-statuses[i]
+		if !st.Result.Pass() {
+			failed++
+		}
+		if c.Checkpoint != nil && !st.Resumed {
+			// Record even synthesized failures: a resumed campaign must
+			// not silently re-run a reproducibly crashing driver forever.
+			if err := c.Checkpoint.Record(st.Result); err != nil && c.Emit != nil {
+				st.Result.Note("checkpoint write failed: %v", err)
+			}
+		}
+		if c.Emit != nil {
+			c.Emit(i, st)
+		}
+	}
+	return failed
+}
+
+// runOne executes a single driver under panic isolation.
+func runOne(r Runner, opts Options, deadline time.Duration) Status {
+	var res core.Result
+	start := time.Now()
+	pe := par.Guarded(0, 0, func(int) error {
+		res = r.Run(opts)
+		return nil
+	})
+	wall := time.Since(start)
+	if pe == nil {
+		return Status{Result: res, Wall: wall}
+	}
+	return Status{Result: failResult(r, pe, deadline), Wall: wall, Failure: pe}
+}
+
+// failResult synthesizes the structured FAIL report for a crashed or
+// deadlined driver, so campaign output and checkpoints stay uniform.
+func failResult(r Runner, pe *par.PointError, deadline time.Duration) core.Result {
+	res := core.Result{ID: r.ID, Title: r.Title, PaperClaim: "(driver did not complete)"}
+	var de *sim.DeadlineError
+	switch {
+	case asDeadline(pe, &de):
+		res.AddCheck("completed", "within deadline",
+			"exceeded "+deadline.String()+" wall-clock budget", false)
+		res.Note("aborted at sim time %v after %v of wall time", de.SimTime, de.Elapsed.Round(time.Millisecond))
+	case pe.Panic != nil:
+		res.AddCheck("completed", "no panic", "driver panicked", false)
+		res.Note("panic: %v", pe.Panic)
+	default:
+		res.AddCheck("completed", "no error", "driver failed", false)
+		res.Note("error: %v", pe.Err)
+	}
+	return res
+}
+
+// asDeadline digs a *sim.DeadlineError out of a point failure, whether
+// it arrived as a recovered panic value, wrapped in the error chain, or
+// buried in a nested sweep's *PointError (a deadlined sweep point panics
+// inside the worker, so the deadline rides the Panic field there).
+func asDeadline(pe *par.PointError, out **sim.DeadlineError) bool {
+	for pe != nil {
+		if de, ok := pe.Panic.(*sim.DeadlineError); ok {
+			*out = de
+			return true
+		}
+		if pe.Err == nil {
+			return false
+		}
+		if errors.As(pe.Err, out) {
+			return true
+		}
+		var inner *par.PointError
+		if !errors.As(pe.Err, &inner) {
+			return false
+		}
+		pe = inner
+	}
+	return false
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// campaignFingerprint renders everything the CLI would print about a
+// campaign, minus wall-clock times — the byte-identity surface for the
+// resume guarantee.
+func campaignFingerprint(sts []Status) string {
+	out := ""
+	for _, st := range sts {
+		out += st.Result.String() + "\n"
+	}
+	return out
+}
+
+func collectStatuses(runners []Runner, opts Options, c Campaign) []Status {
+	sts := make([]Status, len(runners))
+	c.Emit = func(i int, st Status) { sts[i] = st }
+	RunCampaign(runners, opts, c)
+	return sts
+}
+
+func testRunners(t *testing.T) []Runner {
+	t.Helper()
+	var rs []Runner
+	for _, id := range []string{"T1", "F24", "X1"} {
+		r, ok := Get(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+// The resume guarantee: interrupting a campaign after any prefix and
+// resuming from the checkpoint must reproduce the uninterrupted
+// campaign's output byte for byte.
+func TestCheckpointResumeIsByteIdentical(t *testing.T) {
+	runners := testRunners(t)
+	opts := Options{Seed: 3, Quick: true}
+
+	uninterrupted := collectStatuses(runners, opts, Campaign{Parallel: 2})
+	want := campaignFingerprint(uninterrupted)
+
+	dir := t.TempDir()
+	// First leg: run only the first experiment, checkpoint it, "crash"
+	// (close without finishing the campaign).
+	ck, err := OpenCheckpoint(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collectStatuses(runners[:1], opts, Campaign{Parallel: 1, Checkpoint: ck})
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second leg: resume over the full list.
+	ck2, err := OpenCheckpoint(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if ck2.Len() != 1 {
+		t.Fatalf("resumed checkpoint holds %d results, want 1", ck2.Len())
+	}
+	resumed := collectStatuses(runners, opts, Campaign{Parallel: 2, Checkpoint: ck2})
+	if !resumed[0].Resumed {
+		t.Error("first experiment was re-run despite the checkpoint")
+	}
+	for _, st := range resumed[1:] {
+		if st.Resumed {
+			t.Error("unfinished experiment reported as resumed")
+		}
+	}
+	if got := campaignFingerprint(resumed); got != want {
+		t.Errorf("resumed campaign output differs from uninterrupted run:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+}
+
+// A checkpoint written under different options must be ignored: resume
+// never serves stale results.
+func TestCheckpointFingerprintMismatchDiscards(t *testing.T) {
+	dir := t.TempDir()
+	optsA := Options{Seed: 3, Quick: true}
+	ck, err := OpenCheckpoint(dir, optsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Record(core.Result{ID: "T1", Title: "stale"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := OpenCheckpoint(dir, Options{Seed: 4, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if ck2.Len() != 0 {
+		t.Errorf("checkpoint from seed 3 served %d results to seed 4", ck2.Len())
+	}
+}
+
+// A checkpoint torn mid-record (SIGKILL during a write) must salvage
+// every complete record and keep working.
+func TestCheckpointSalvagesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Seed: 5, Quick: true}
+	ck, err := OpenCheckpoint(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Record(core.Result{ID: "T1", Title: "done", Notes: []string{"kept"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Record(core.Result{ID: "F24", Title: "torn"}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the kill: no Close (no footer), and the last record loses
+	// its tail bytes.
+	path := filepath.Join(dir, CheckpointFile)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := OpenCheckpoint(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if ck2.Len() != 1 {
+		t.Fatalf("salvaged %d results, want 1", ck2.Len())
+	}
+	if res, ok := ck2.Done("T1"); !ok || len(res.Notes) != 1 || res.Notes[0] != "kept" {
+		t.Errorf("salvaged record damaged: %+v", res)
+	}
+	if _, ok := ck2.Done("F24"); ok {
+		t.Error("torn record served as complete")
+	}
+}
+
+// One experiment panicking or blowing its deadline must not stop the
+// others, and both failure modes must surface as structured FAIL
+// results.
+func TestCampaignIsolatesCrashesAndDeadlines(t *testing.T) {
+	good, ok := Get("T1")
+	if !ok {
+		t.Fatal("T1 not registered")
+	}
+	runners := []Runner{
+		{ID: "Z1", Title: "panics", Run: func(Options) core.Result { panic("driver bug") }},
+		good,
+		{ID: "Z2", Title: "wedges", Run: func(Options) core.Result {
+			s := sim.NewScheduler() // inherits the campaign deadline
+			var tick func()
+			tick = func() { s.After(time.Nanosecond, tick) }
+			s.After(0, tick)
+			s.Run(time.Hour)
+			return core.Result{ID: "Z2"}
+		}},
+	}
+	sts := collectStatuses(runners, Options{Seed: 1, Quick: true}, Campaign{
+		Parallel: 2,
+		Deadline: 30 * time.Millisecond,
+	})
+	if sts[0].Failure == nil || sts[0].Result.Pass() {
+		t.Errorf("panicking driver not reported as failure: %+v", sts[0].Result)
+	}
+	if sts[1].Failure != nil || !sts[1].Result.Pass() {
+		t.Errorf("healthy experiment harmed by its neighbours: %+v", sts[1].Result)
+	}
+	if sts[2].Failure == nil {
+		t.Fatalf("deadlined driver not isolated: %+v", sts[2].Result)
+	}
+	var de *sim.DeadlineError
+	if !asDeadline(sts[2].Failure, &de) {
+		t.Errorf("deadline failure misclassified: %v", sts[2].Failure)
+	}
+}

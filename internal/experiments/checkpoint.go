@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/recio"
+)
+
+// Checkpoint file framing: the same crash-safe record stream as the v2
+// sniffer traces (internal/recio), with its own magic so the two file
+// kinds cannot be confused. Each record is one gob-encoded
+// checkpointEntry; gob (rather than JSON) round-trips every float the
+// drivers can produce, including ±Inf power levels.
+const (
+	checkpointMagic   = 0x4D4D434B // "MMCK"
+	checkpointVersion = 1
+	// CheckpointFile is the campaign checkpoint's file name inside the
+	// capture directory.
+	CheckpointFile = "campaign.ckpt"
+)
+
+// checkpointEntry is one persisted experiment outcome.
+type checkpointEntry struct {
+	// Fingerprint binds the entry to the options that produced it;
+	// entries from a different seed or fidelity are ignored on resume.
+	Fingerprint string
+	// Result is the completed experiment's outcome.
+	Result core.Result
+}
+
+// optionsFingerprint identifies the result-relevant options. CaptureDir
+// is deliberately excluded: captures are a side effect, never an input.
+func optionsFingerprint(o Options) string {
+	return fmt.Sprintf("v%d seed=%d quick=%v", checkpointVersion, o.Seed, o.Quick)
+}
+
+// Checkpoint is a durable record of finished experiments inside one
+// campaign. Every completed result is appended and flushed immediately,
+// so a killed process loses at most the experiment it was running;
+// OpenCheckpoint salvages the intact prefix of a torn file.
+type Checkpoint struct {
+	path string
+	f    *os.File
+	w    *recio.Writer
+	fp   string
+	done map[string]core.Result
+}
+
+// OpenCheckpoint opens (or creates) the checkpoint under dir and loads
+// every finished result recorded with the same options fingerprint.
+// Entries from other fingerprints — or a torn tail from a crash — are
+// dropped, and the file is compacted to the surviving entries.
+func OpenCheckpoint(dir string, o Options) (*Checkpoint, error) {
+	c := &Checkpoint{
+		path: filepath.Join(dir, CheckpointFile),
+		fp:   optionsFingerprint(o),
+		done: make(map[string]core.Result),
+	}
+	entries := c.load()
+
+	// Rewrite atomically: the old file may end in a torn record (no
+	// footer), which recio cannot append to. The temp file carries the
+	// surviving entries; rename keeps the open handle valid for
+	// appending.
+	tmp := c.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	w, err := recio.NewWriter(f, checkpointMagic, checkpointVersion)
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	c.f, c.w = f, w
+	for _, e := range entries {
+		if err := c.append(e); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return nil, err
+		}
+		c.done[e.Result.ID] = e.Result
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	return c, nil
+}
+
+// load reads every salvageable same-fingerprint entry from an existing
+// checkpoint. Any error — missing file, foreign magic, torn tail,
+// mid-stream corruption — just ends the salvage; a checkpoint is an
+// optimization, never a correctness requirement.
+func (c *Checkpoint) load() []checkpointEntry {
+	f, err := os.Open(c.path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	r, _, err := recio.NewReader(bufio.NewReader(f), checkpointMagic)
+	if err != nil {
+		return nil
+	}
+	var out []checkpointEntry
+	for {
+		payload, err := r.Next()
+		if err != nil {
+			return out // io.EOF, truncation, or corruption: keep the prefix
+		}
+		var e checkpointEntry
+		if gob.NewDecoder(bytes.NewReader(payload)).Decode(&e) != nil {
+			return out
+		}
+		if e.Fingerprint == c.fp {
+			out = append(out, e)
+		}
+	}
+}
+
+func (c *Checkpoint) append(e checkpointEntry) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return err
+	}
+	if err := c.w.Append(buf.Bytes()); err != nil {
+		return err
+	}
+	// Flush per record: the whole point is surviving a SIGKILL between
+	// experiments.
+	return c.w.Flush()
+}
+
+// Done returns the recorded result for an experiment ID, if this
+// campaign already finished it.
+func (c *Checkpoint) Done(id string) (core.Result, bool) {
+	r, ok := c.done[id]
+	return r, ok
+}
+
+// Len returns the number of finished experiments on record.
+func (c *Checkpoint) Len() int { return len(c.done) }
+
+// Record persists one finished experiment and flushes it to disk.
+func (c *Checkpoint) Record(res core.Result) error {
+	if err := c.append(checkpointEntry{Fingerprint: c.fp, Result: res}); err != nil {
+		return err
+	}
+	c.done[res.ID] = res
+	return nil
+}
+
+// Close seals the checkpoint with the stream footer. A checkpoint that
+// is never closed (crash) remains loadable via prefix salvage.
+func (c *Checkpoint) Close() error {
+	err := c.w.Close()
+	if cerr := c.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -10,7 +10,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"T1", "F3", "F8", "F9", "F10", "F11", "F12", "F13", "F14",
 		"F15", "F16", "F17", "F18", "F19", "F20", "F21", "F22", "F23",
-		"S41", "A1", "A2", "A3", "A4", "A5", "A6", "X1", "X2",
+		"F24", "S41", "A1", "A2", "A3", "A4", "A5", "A6", "X1", "X2",
 	}
 	for _, id := range want {
 		r, ok := Get(id)
@@ -35,7 +35,7 @@ func TestRegistryOrdering(t *testing.T) {
 	}
 	order := strings.Join(ids, " ")
 	// Table first, figures in numeric order, section finding, ablations.
-	want := "T1 F3 F8 F9 F10 F11 F12 F13 F14 F15 F16 F17 F18 F19 F20 F21 F22 F23 S41 A1 A2 A3 A4 A5 A6 X1 X2"
+	want := "T1 F3 F8 F9 F10 F11 F12 F13 F14 F15 F16 F17 F18 F19 F20 F21 F22 F23 F24 S41 A1 A2 A3 A4 A5 A6 X1 X2"
 	if order != want {
 		t.Errorf("order:\n got %s\nwant %s", order, want)
 	}

@@ -1,0 +1,276 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/mac/wigig"
+	"repro/internal/phy"
+	"repro/internal/rf"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func newTestMedium() (*sim.Scheduler, *sim.Medium, *sim.Radio, *sim.Radio) {
+	s := sim.NewScheduler()
+	m := sim.NewMedium(s, geom.Open(), rf.FreqChannel2Hz, rf.DefaultBudget(), 7)
+	m.FadingSigmaDB = 0
+	a := m.AddRadio(&sim.Radio{Name: "a", Pos: geom.V(0, 0)})
+	b := m.AddRadio(&sim.Radio{Name: "b", Pos: geom.V(1, 0)})
+	return s, m, a, b
+}
+
+func TestScheduleValidation(t *testing.T) {
+	bad := []Schedule{
+		{Impairments: []Impairment{{Kind: Kind(99)}}},
+		{Impairments: []Impairment{{Kind: Blockage, Link: [2]string{"a", "a"}, Duration: Dur{Fixed: time.Second}}}},
+		{Impairments: []Impairment{{Kind: Blockage, Link: [2]string{"a", "b"}}}}, // no duration
+		{Impairments: []Impairment{{Kind: BeaconLoss, Target: "b", Duration: Dur{Fixed: time.Second}, DropProb: 1.5}}},
+		{Impairments: []Impairment{{Kind: BeaconLoss, Duration: Dur{Fixed: time.Second}}}}, // no target
+		{Impairments: []Impairment{{Kind: ClockSkew, Target: "b"}}},                        // no skew
+		{Impairments: []Impairment{{Kind: RxDropout, Target: "b", Duration: Dur{WeibullShape: 1}}}},
+		{Impairments: []Impairment{{Kind: RxDropout, Target: "b", Duration: Dur{Fixed: time.Second}, Period: time.Second}}}, // unbounded repeat
+		{Impairments: []Impairment{{Kind: RxDropout, Target: "b", Duration: Dur{Fixed: time.Second}, At: -time.Second}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("schedule %d validated despite being malformed", i)
+		}
+	}
+	ok := Schedule{Impairments: []Impairment{
+		{Kind: Blockage, Link: [2]string{"a", "b"}, At: time.Second,
+			Duration: Dur{WeibullShape: 0.8, WeibullScale: 200 * time.Millisecond},
+			Period:   2 * time.Second, Count: 5},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("well-formed schedule rejected: %v", err)
+	}
+}
+
+func TestInstallRejectsUnknownTargets(t *testing.T) {
+	_, m, _, _ := newTestMedium()
+	in := NewInjector(m)
+	err := in.Install(Schedule{Impairments: []Impairment{
+		{Kind: Blockage, Link: [2]string{"a", "ghost"}, Duration: Dur{Fixed: time.Second}},
+	}}, stats.NewRNG(1))
+	if err == nil {
+		t.Error("unknown radio accepted")
+	}
+	err = in.Install(Schedule{Impairments: []Impairment{
+		{Kind: ClockSkew, Target: "a", SkewPPM: 100},
+	}}, stats.NewRNG(1))
+	if err == nil {
+		t.Error("clock skew accepted without an attached device")
+	}
+}
+
+// Burst windows must depend only on (impairment index, RNG state):
+// editing one schedule line must not perturb the bursts of another.
+func TestBurstSubstreamsAreIndependent(t *testing.T) {
+	weibull := Impairment{Kind: Blockage, Link: [2]string{"a", "b"},
+		At:       100 * time.Millisecond,
+		Duration: Dur{WeibullShape: 0.8, WeibullScale: 150 * time.Millisecond},
+		Period:   time.Second, Count: 8}
+	compile := func(first Impairment) []Event {
+		_, m, _, _ := newTestMedium()
+		in := NewInjector(m)
+		if err := in.Install(Schedule{Impairments: []Impairment{first, weibull}}, stats.NewRNG(42)); err != nil {
+			t.Fatal(err)
+		}
+		var evs []Event
+		for _, e := range in.Events() {
+			if e.Impairment == 1 {
+				evs = append(evs, e)
+			}
+		}
+		return evs
+	}
+	ref := compile(Impairment{Kind: RxDropout, Target: "a", Duration: Dur{Fixed: time.Millisecond}})
+	alt := compile(Impairment{Kind: RxDropout, Target: "b",
+		Duration: Dur{WeibullShape: 2, WeibullScale: time.Second}, Period: 10 * time.Millisecond, Count: 50})
+	if len(ref) != 8 {
+		t.Fatalf("compiled %d bursts, want 8", len(ref))
+	}
+	for i := range ref {
+		if ref[i] != alt[i] {
+			t.Fatalf("burst %d changed when a sibling impairment was edited:\n  %+v\n  %+v", i, ref[i], alt[i])
+		}
+	}
+	// And distinct bursts must actually vary (Weibull draws, not a
+	// constant).
+	if ref[0].End-ref[0].Start == ref[1].End-ref[1].Start {
+		t.Error("consecutive Weibull bursts drew identical durations")
+	}
+}
+
+func TestBeaconLossWindowDropsOnlyBeacons(t *testing.T) {
+	s, m, a, b := newTestMedium()
+	var beacons, data int
+	b.Handler = sim.HandlerFunc(func(f phy.Frame, rx sim.Reception) {
+		if f.Type == phy.FrameBeacon {
+			beacons++
+		} else {
+			data++
+		}
+	})
+	in := NewInjector(m)
+	err := in.Install(Schedule{Impairments: []Impairment{
+		{Kind: BeaconLoss, Target: "b", At: 10 * time.Millisecond, Duration: Dur{Fixed: 10 * time.Millisecond}},
+	}}, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func(at time.Duration, ft phy.FrameType) {
+		s.At(at, func() {
+			f := phy.Frame{Type: ft, Src: a.ID, Dst: b.ID}
+			if ft == phy.FrameData {
+				f.MCS = phy.MCS8
+				f.PayloadBytes = 200
+			}
+			m.Transmit(a, f)
+		})
+	}
+	send(5*time.Millisecond, phy.FrameBeacon)  // before the window
+	send(15*time.Millisecond, phy.FrameBeacon) // inside: dropped
+	send(15*time.Millisecond, phy.FrameData)   // inside: data passes
+	send(25*time.Millisecond, phy.FrameBeacon) // after: restored
+	s.Run(time.Second)
+	if beacons != 2 {
+		t.Errorf("beacons delivered = %d, want 2 (outside the window)", beacons)
+	}
+	if data != 1 {
+		t.Errorf("data delivered = %d, want 1", data)
+	}
+	if in.Active() != 0 {
+		t.Errorf("%d bursts still active after their windows", in.Active())
+	}
+}
+
+func TestRxDropoutSilencesTargetOnly(t *testing.T) {
+	s, m, a, b := newTestMedium()
+	c := m.AddRadio(&sim.Radio{Name: "c", Pos: geom.V(0, 1)})
+	var atB, atC int
+	b.Handler = sim.HandlerFunc(func(phy.Frame, sim.Reception) { atB++ })
+	c.Handler = sim.HandlerFunc(func(phy.Frame, sim.Reception) { atC++ })
+	in := NewInjector(m)
+	err := in.Install(Schedule{Impairments: []Impairment{
+		{Kind: RxDropout, Target: "b", At: 0, Duration: Dur{Fixed: 20 * time.Millisecond}},
+	}}, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []time.Duration{10 * time.Millisecond, 30 * time.Millisecond} {
+		s.At(at, func() { m.Transmit(a, phy.Frame{Type: phy.FrameBeacon, Src: a.ID, Dst: -1}) })
+	}
+	s.Run(time.Second)
+	if atB != 1 {
+		t.Errorf("target heard %d frames, want 1 (after the dropout)", atB)
+	}
+	if atC != 2 {
+		t.Errorf("bystander heard %d frames, want 2", atC)
+	}
+}
+
+// fakeDev records the injector's device-hook calls.
+type fakeDev struct {
+	name  string
+	skews []float64
+	fault func(best, sectors int) int
+}
+
+func (d *fakeDev) Name() string                                    { return d.name }
+func (d *fakeDev) SetClockSkewPPM(ppm float64)                     { d.skews = append(d.skews, ppm) }
+func (d *fakeDev) SetTrainingFault(fn func(best, sectors int) int) { d.fault = fn }
+
+func TestClockSkewAndSweepCorruptDeviceHooks(t *testing.T) {
+	s, m, _, _ := newTestMedium()
+	dev := &fakeDev{name: "dock"}
+	in := NewInjector(m)
+	in.Attach(dev)
+	err := in.Install(Schedule{Impairments: []Impairment{
+		{Kind: ClockSkew, Target: "dock", SkewPPM: 80, At: 10 * time.Millisecond,
+			Duration: Dur{Fixed: 20 * time.Millisecond}},
+		{Kind: SweepCorrupt, Target: "dock", At: 5 * time.Millisecond,
+			Duration: Dur{Fixed: 10 * time.Millisecond}},
+	}}, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var midFault, lateFault bool
+	s.At(12*time.Millisecond, func() { midFault = dev.fault != nil })
+	s.At(40*time.Millisecond, func() { lateFault = dev.fault != nil })
+	s.Run(time.Second)
+	if want := []float64{80, 0}; len(dev.skews) != 2 || dev.skews[0] != want[0] || dev.skews[1] != want[1] {
+		t.Errorf("skew calls = %v, want %v", dev.skews, want)
+	}
+	if !midFault {
+		t.Error("training fault not installed inside its window")
+	}
+	if lateFault {
+		t.Error("training fault not removed after its window")
+	}
+}
+
+// A permanent clock skew (zero duration) is applied once and never
+// reverted.
+func TestPermanentClockSkew(t *testing.T) {
+	s, m, _, _ := newTestMedium()
+	dev := &fakeDev{name: "d"}
+	in := NewInjector(m)
+	in.Attach(dev)
+	if err := in.Install(Schedule{Impairments: []Impairment{
+		{Kind: ClockSkew, Target: "d", SkewPPM: -40, At: time.Millisecond},
+	}}, stats.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(time.Second)
+	if len(dev.skews) != 1 || dev.skews[0] != -40 {
+		t.Errorf("skew calls = %v, want [-40]", dev.skews)
+	}
+}
+
+// End to end: a deep blockage burst on an associated WiGig link must
+// break the association (outage), the link must re-form after the burst
+// clears (recovery), and the whole faulted run must replay
+// bit-identically.
+func TestBlockageOutageAndRecoveryDeterministic(t *testing.T) {
+	run := func() (string, *wigig.Link) {
+		s := sim.NewScheduler()
+		m := sim.NewMedium(s, geom.Open(), rf.FreqChannel2Hz, rf.DefaultBudget(), 11)
+		link := wigig.NewLink(m,
+			wigig.Config{Name: "dock", Pos: geom.V(0, 0), Seed: 21},
+			wigig.Config{Name: "station", Pos: geom.V(2, 0), Seed: 22})
+		in := NewInjector(m)
+		in.Attach(link.Dock, link.Station)
+		err := in.Install(Schedule{
+			Name: "deep-blockage",
+			Impairments: []Impairment{{
+				Kind: Blockage, Link: [2]string{"dock", "station"},
+				At: 400 * time.Millisecond, Duration: Dur{Fixed: 300 * time.Millisecond},
+				DepthDB: 80,
+			}},
+		}, stats.NewRNG(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !link.WaitAssociated(s, 300*time.Millisecond) {
+			t.Fatal("link failed to associate before the fault")
+		}
+		s.Run(2 * time.Second)
+		fp := fmt.Sprintf("%+v|%+v|%v", link.Dock.Stats, link.Station.Stats, in.Events())
+		return fp, link
+	}
+	fp1, link := run()
+	if link.Dock.Stats.LinkBreaks == 0 {
+		t.Error("80 dB blockage did not break the link")
+	}
+	if !link.Dock.Associated() || !link.Station.Associated() {
+		t.Error("link did not recover after the blockage cleared")
+	}
+	fp2, _ := run()
+	if fp1 != fp2 {
+		t.Error("faulted run is not reproducible")
+	}
+}

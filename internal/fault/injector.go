@@ -1,0 +1,290 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Named is any attachable device: the wigig and wihd Device types
+// satisfy it.
+type Named interface {
+	Name() string
+}
+
+// ClockSkewed is a device whose oscillator the injector can detune.
+type ClockSkewed interface {
+	Named
+	SetClockSkewPPM(ppm float64)
+}
+
+// TrainingFaulted is a device whose sector-sweep outcome the injector
+// can corrupt.
+type TrainingFaulted interface {
+	Named
+	SetTrainingFault(fn func(best, sectors int) int)
+}
+
+// filterEntry is one active delivery-filter clause. Entries are kept in
+// a slice (not a map) so evaluation order is deterministic.
+type filterEntry struct {
+	id int
+	fn func(f phy.Frame, tx, rx *sim.Radio) bool
+}
+
+// Injector compiles schedules onto a medium's scheduler. One injector
+// owns the medium's delivery filter; create it after all radios are
+// registered and attach MAC devices before Install.
+type Injector struct {
+	med     *sim.Medium
+	sched   *sim.Scheduler
+	devices map[string]Named
+
+	filters  []filterEntry
+	nextID   int
+	events   []Event
+	active   int
+	schedule Schedule
+}
+
+// NewInjector creates an injector for the medium. It takes ownership of
+// the medium's delivery filter.
+func NewInjector(med *sim.Medium) *Injector {
+	in := &Injector{
+		med:     med,
+		sched:   med.Sched,
+		devices: make(map[string]Named),
+	}
+	med.SetDeliveryFilter(in.filterFrame)
+	return in
+}
+
+// Attach registers MAC devices so schedule targets can resolve to their
+// clock-skew and training-fault hooks.
+func (in *Injector) Attach(devs ...Named) {
+	for _, d := range devs {
+		in.devices[d.Name()] = d
+	}
+}
+
+// Events returns the compiled burst windows, in impairment order then
+// burst order. The list is identical for identical (schedule, RNG
+// state) pairs — the determinism tests fingerprint it.
+func (in *Injector) Events() []Event { return in.events }
+
+// Active returns the number of impairment bursts currently applied.
+func (in *Injector) Active() int { return in.active }
+
+// Install validates the schedule against the medium and attached
+// devices, pre-draws every burst window from per-impairment substreams
+// of rng, and schedules the apply/revert hooks. It must run before the
+// scheduler does (impairment onsets in the past would be clamped to
+// "now").
+func (in *Injector) Install(s Schedule, rng *stats.RNG) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if err := in.resolveTargets(s); err != nil {
+		return err
+	}
+	in.schedule = s
+	for i, imp := range s.Impairments {
+		// One substream per impairment line: durations and runtime
+		// draws (beacon drops, corrupted sectors) never interleave
+		// across lines, so editing one impairment cannot perturb the
+		// others' randomness.
+		sub := rng.ForkAt(uint64(i))
+		for _, ev := range compileBursts(i, imp, sub) {
+			in.arm(imp, ev, sub)
+		}
+	}
+	return nil
+}
+
+// compileBursts expands one impairment into its burst windows, drawing
+// every duration up front in declaration order (deterministic: the
+// substream is private to the impairment and the loop is sequential).
+func compileBursts(idx int, imp Impairment, sub *stats.RNG) []Event {
+	var evs []Event
+	t := imp.At
+	for k := 0; ; k++ {
+		if imp.Count > 0 && k >= imp.Count {
+			break
+		}
+		if imp.Until > 0 && t > imp.Until {
+			break
+		}
+		ev := Event{Impairment: idx, Kind: imp.Kind, Start: t}
+		if imp.Kind == ClockSkew && imp.Duration.zero() {
+			ev.End = 0 // permanent
+		} else {
+			ev.End = t + imp.Duration.draw(sub)
+		}
+		evs = append(evs, ev)
+		if imp.Period <= 0 {
+			break
+		}
+		t += imp.Period
+	}
+	return evs
+}
+
+// resolveTargets checks every named radio and device against the medium
+// and the attached set, and that devices implement the hooks their
+// impairment needs.
+func (in *Injector) resolveTargets(s Schedule) error {
+	radios := make(map[string]bool)
+	for _, r := range in.med.Radios() {
+		radios[r.Name] = true
+	}
+	for i, imp := range s.Impairments {
+		switch imp.Kind {
+		case Blockage:
+			for _, name := range imp.Link {
+				if !radios[name] {
+					return fmt.Errorf("fault: impairment %d: unknown radio %q", i, name)
+				}
+			}
+		case BeaconLoss, RxDropout:
+			if !radios[imp.Target] {
+				return fmt.Errorf("fault: impairment %d: unknown radio %q", i, imp.Target)
+			}
+		case SweepCorrupt:
+			if _, ok := in.devices[imp.Target].(TrainingFaulted); !ok {
+				return fmt.Errorf("fault: impairment %d: no attached device %q with training-fault support", i, imp.Target)
+			}
+		case ClockSkew:
+			if _, ok := in.devices[imp.Target].(ClockSkewed); !ok {
+				return fmt.Errorf("fault: impairment %d: no attached device %q with clock-skew support", i, imp.Target)
+			}
+		}
+	}
+	return nil
+}
+
+// arm schedules one burst's apply and revert hooks.
+func (in *Injector) arm(imp Impairment, ev Event, sub *stats.RNG) {
+	in.events = append(in.events, ev)
+	apply, revert := in.hooks(imp, sub)
+	in.sched.At(ev.Start, func() {
+		in.active++
+		apply()
+	})
+	if ev.End > ev.Start {
+		in.sched.At(ev.End, func() {
+			in.active--
+			revert()
+		})
+	}
+}
+
+// hooks builds the kind-specific apply/revert pair for one burst.
+func (in *Injector) hooks(imp Impairment, sub *stats.RNG) (apply, revert func()) {
+	switch imp.Kind {
+	case Blockage:
+		a := in.radioID(imp.Link[0])
+		b := in.radioID(imp.Link[1])
+		depth := imp.DepthDB
+		if depth == 0 {
+			depth = DefaultBlockageDepthDB
+		}
+		var saved float64
+		return func() {
+				saved = in.med.LinkOffset(a, b)
+				in.med.SetLinkOffset(a, b, saved-depth)
+			}, func() {
+				in.med.SetLinkOffset(a, b, saved)
+			}
+
+	case BeaconLoss:
+		target := imp.Target
+		p := imp.DropProb
+		if p == 0 {
+			p = 1
+		}
+		var id int
+		return func() {
+				id = in.addFilter(func(f phy.Frame, tx, rx *sim.Radio) bool {
+					if f.Type != phy.FrameBeacon {
+						return true
+					}
+					if tx.Name != target && rx.Name != target {
+						return true
+					}
+					return !sub.Bool(p)
+				})
+			}, func() {
+				in.removeFilter(id)
+			}
+
+	case RxDropout:
+		target := imp.Target
+		var id int
+		return func() {
+				id = in.addFilter(func(f phy.Frame, tx, rx *sim.Radio) bool {
+					return rx.Name != target
+				})
+			}, func() {
+				in.removeFilter(id)
+			}
+
+	case SweepCorrupt:
+		dev := in.devices[imp.Target].(TrainingFaulted)
+		return func() {
+				dev.SetTrainingFault(func(best, sectors int) int {
+					return sub.Intn(sectors)
+				})
+			}, func() {
+				dev.SetTrainingFault(nil)
+			}
+
+	case ClockSkew:
+		dev := in.devices[imp.Target].(ClockSkewed)
+		ppm := imp.SkewPPM
+		return func() {
+				dev.SetClockSkewPPM(ppm)
+			}, func() {
+				dev.SetClockSkewPPM(0)
+			}
+	}
+	panic("fault: unreachable kind " + imp.Kind.String())
+}
+
+func (in *Injector) radioID(name string) int {
+	for _, r := range in.med.Radios() {
+		if r.Name == name {
+			return r.ID
+		}
+	}
+	panic("fault: radio vanished after validation: " + name)
+}
+
+func (in *Injector) addFilter(fn func(f phy.Frame, tx, rx *sim.Radio) bool) int {
+	in.nextID++
+	in.filters = append(in.filters, filterEntry{id: in.nextID, fn: fn})
+	return in.nextID
+}
+
+func (in *Injector) removeFilter(id int) {
+	for i, e := range in.filters {
+		if e.id == id {
+			in.filters = append(in.filters[:i], in.filters[i+1:]...)
+			return
+		}
+	}
+}
+
+// filterFrame is the medium's single delivery filter: a frame is
+// delivered only if every active clause allows it. Clauses are
+// evaluated in installation order so runtime RNG draws replay
+// identically.
+func (in *Injector) filterFrame(f phy.Frame, tx, rx *sim.Radio) bool {
+	for _, e := range in.filters {
+		if !e.fn(f, tx, rx) {
+			return false
+		}
+	}
+	return true
+}

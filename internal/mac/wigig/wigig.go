@@ -178,6 +178,16 @@ type Device struct {
 	breakReason string
 	navUntil    sim.Time
 
+	// trainingFault, when set, intercepts every sector-sweep outcome:
+	// it receives the honest winner and the codebook size and returns
+	// the sector actually adopted. The fault injector uses it to model
+	// corrupted SLS feedback (the paper's §4.1 training exchanges run
+	// unprotected at the lowest MCS).
+	trainingFault func(best, sectors int) int
+	// clockSkewPPM dilates the device's periodic timers, modelling a
+	// drifting reference oscillator (positive = slow clock).
+	clockSkewPPM float64
+
 	// Stats collects link-level counters.
 	Stats mac.Stats
 	// OnStateChange, if set, observes protocol transitions.
@@ -249,6 +259,40 @@ func (d *Device) Start() {
 
 // Radio exposes the underlying radio (experiments move or re-aim it).
 func (d *Device) Radio() *sim.Radio { return d.radio }
+
+// Name returns the device's trace label.
+func (d *Device) Name() string { return d.cfg.Name }
+
+// SetTrainingFault installs (or, with nil, removes) a sector-sweep
+// interceptor: fn receives the honest sweep winner and the codebook size
+// and returns the sector the device adopts instead. The fault injector
+// drives this to model corrupted training feedback.
+func (d *Device) SetTrainingFault(fn func(best, sectors int) int) { d.trainingFault = fn }
+
+// SetClockSkewPPM sets the reference-oscillator error in parts per
+// million; positive values slow the device's periodic timers (beacons,
+// discovery sweeps). Zero restores a perfect clock.
+func (d *Device) SetClockSkewPPM(ppm float64) { d.clockSkewPPM = ppm }
+
+// dilate stretches a nominal interval by the current clock skew.
+func (d *Device) dilate(t time.Duration) time.Duration {
+	if d.clockSkewPPM == 0 {
+		return t
+	}
+	return time.Duration(float64(t) * (1 + d.clockSkewPPM*1e-6))
+}
+
+// trainSector runs one sector sweep against the peer and returns the
+// adopted index, routed through the training-fault hook when installed.
+func (d *Device) trainSector() int {
+	idx, _ := mac.SelectSector(d.med, d.radio, d.peer.radio, d.cb, d.boresight())
+	if d.trainingFault != nil {
+		if n := len(d.cb.Sectors); n > 0 {
+			idx = ((d.trainingFault(idx, n) % n) + n) % n
+		}
+	}
+	return idx
+}
 
 // Codebook exposes the device's beam codebook.
 func (d *Device) Codebook() *antenna.Codebook { return d.cb }
@@ -336,7 +380,7 @@ func (d *Device) transmit(f phy.Frame) {
 // --- Discovery ---------------------------------------------------------
 
 func (d *Device) scheduleDiscovery(delay sim.Time) {
-	d.sched.After(delay, d.discoverySweep)
+	d.sched.After(d.dilate(delay), d.discoverySweep)
 }
 
 // discoverySweep emits the 32-sub-element discovery frame of Fig. 3:
@@ -402,8 +446,7 @@ func (d *Device) onAssocReq(rx sim.Reception) {
 	}
 	// Beam training: pick the best transmit sector towards the peer (the
 	// SLS fixed point), then answer.
-	idx, _ := mac.SelectSector(d.med, d.radio, d.peer.radio, d.cb, d.boresight())
-	d.setSector(idx)
+	d.setSector(d.trainSector())
 	d.resetPowerReference()
 	d.sched.After(phy.SIFS, func() {
 		d.transmit(phy.Frame{Type: phy.FrameAssocResp, Src: d.radio.ID, Dst: d.peer.radio.ID})
@@ -415,8 +458,7 @@ func (d *Device) onAssocResp(rx sim.Reception) {
 	if d.cfg.Role != Station || d.state != StateAssociating || rx.From != d.peer.radio.ID || !rx.OK {
 		return
 	}
-	idx, _ := mac.SelectSector(d.med, d.radio, d.peer.radio, d.cb, d.boresight())
-	d.setSector(idx)
+	d.setSector(d.trainSector())
 	d.resetPowerReference()
 	d.associate()
 }
@@ -442,7 +484,7 @@ func (d *Device) associate() {
 	d.snrEst.Update(snr)
 	d.adaptRate()
 	if d.cfg.Role == Dock {
-		d.sched.After(BeaconInterval, d.beaconTick)
+		d.sched.After(d.dilate(BeaconInterval), d.beaconTick)
 	}
 	if d.txq.Len() > 0 {
 		d.startAccess()
@@ -519,7 +561,7 @@ func (d *Device) beaconTick() {
 	if !d.inTXOP {
 		d.sendBeacon(0)
 	}
-	d.sched.After(BeaconInterval, d.beaconTick)
+	d.sched.After(d.dilate(BeaconInterval), d.beaconTick)
 }
 
 func (d *Device) sendBeacon(attempt int) {
@@ -614,8 +656,7 @@ func (d *Device) maybeRealign() {
 	if d.powerEst.Value() >= d.trainedPowerDBm-RealignDropDB {
 		return
 	}
-	idx, _ := mac.SelectSector(d.med, d.radio, d.peer.radio, d.cb, d.boresight())
-	d.setSector(idx)
+	d.setSector(d.trainSector())
 	d.resetPowerReference()
 	d.Stats.Realignments++
 }

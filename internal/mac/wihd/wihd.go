@@ -118,9 +118,12 @@ type Device struct {
 	sector     int
 	queueBytes int
 	videoRate  float64
-	dataMCS    phy.MCS
-	lastSource sim.Time
-	qoListen   int
+	// clockSkewPPM dilates the module's periodic timers (fault
+	// injection: oscillator drift).
+	clockSkewPPM float64
+	dataMCS      phy.MCS
+	lastSource   sim.Time
+	qoListen     int
 
 	// Stats mirrors the WiGig counters where meaningful.
 	Stats mac.Stats
@@ -195,6 +198,23 @@ func (d *Device) Start() {
 
 // Radio exposes the underlying radio.
 func (d *Device) Radio() *sim.Radio { return d.radio }
+
+// Name returns the device's trace label.
+func (d *Device) Name() string { return d.cfg.Name }
+
+// SetClockSkewPPM sets the reference-oscillator error in parts per
+// million; positive values slow the module's periodic timers (the dense
+// 224 µs beacon stream, the video source). Zero restores a perfect
+// clock.
+func (d *Device) SetClockSkewPPM(ppm float64) { d.clockSkewPPM = ppm }
+
+// dilate stretches a nominal interval by the current clock skew.
+func (d *Device) dilate(t time.Duration) time.Duration {
+	if d.clockSkewPPM == 0 {
+		return t
+	}
+	return time.Duration(float64(t) * (1 + d.clockSkewPPM*1e-6))
+}
 
 // Codebook exposes the device's beam codebook.
 func (d *Device) Codebook() *antenna.Codebook { return d.cb }
@@ -347,7 +367,7 @@ func (d *Device) beaconTick() {
 		return
 	}
 	d.sendBeacon(0)
-	d.sched.After(BeaconInterval, d.beaconTick)
+	d.sched.After(d.dilate(BeaconInterval), d.beaconTick)
 }
 
 func (d *Device) sendBeacon(deferrals int) {
@@ -432,7 +452,7 @@ func (d *Device) videoTick() {
 // re-arms the source tick.
 func (d *Device) sendVideoBurst(frames []phy.Frame) {
 	if len(frames) == 0 || !d.paired || !d.powered || !d.streaming {
-		d.sched.After(BeaconInterval, d.videoTick)
+		d.sched.After(d.dilate(BeaconInterval), d.videoTick)
 		return
 	}
 	f := frames[0]

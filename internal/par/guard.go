@@ -1,0 +1,121 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// ErrPointTimeout reports that a sweep point exceeded its wall-clock
+// budget and was abandoned.
+var ErrPointTimeout = errors.New("par: sweep point exceeded its deadline")
+
+// PointError is the structured failure of one sweep point: a clean
+// error, a recovered panic (with the goroutine stack at the panic
+// site), or a timeout. Sweep re-raises one as a panic; SweepGuarded
+// returns them as values.
+type PointError struct {
+	// Index is the sweep point that failed.
+	Index int
+	// Err is the clean failure or ErrPointTimeout; nil when the point
+	// panicked instead.
+	Err error
+	// Panic is the recovered panic value; nil for clean failures.
+	Panic any
+	// Stack is the goroutine stack captured at the panic site.
+	Stack string
+	// TimedOut reports that the point was abandoned at its deadline.
+	// The point's goroutine may still be running; its results must be
+	// discarded.
+	TimedOut bool
+}
+
+// Error renders the failure; for panics it includes the captured stack
+// so the crash site survives the hop across goroutines.
+func (e *PointError) Error() string {
+	switch {
+	case e.Panic != nil:
+		return fmt.Sprintf("par: point %d panicked: %v\n%s", e.Index, e.Panic, e.Stack)
+	case e.TimedOut:
+		return fmt.Sprintf("par: point %d timed out", e.Index)
+	default:
+		return fmt.Sprintf("par: point %d failed: %v", e.Index, e.Err)
+	}
+}
+
+// Unwrap exposes the underlying error for errors.Is/As chains.
+func (e *PointError) Unwrap() error { return e.Err }
+
+// guard runs fn, converting an error return or a panic into a
+// *PointError. It never panics.
+func guard(i int, fn func() error) (pe *PointError) {
+	defer func() {
+		if r := recover(); r != nil {
+			// A re-raised point failure from a nested sweep keeps its
+			// identity; the outer index is recorded in the message chain.
+			if inner, ok := r.(*PointError); ok {
+				pe = &PointError{Index: i, Err: inner}
+				return
+			}
+			pe = &PointError{Index: i, Panic: r, Stack: string(debug.Stack())}
+		}
+	}()
+	if err := fn(); err != nil {
+		return &PointError{Index: i, Err: err}
+	}
+	return nil
+}
+
+// SweepGuarded runs fn(i) for every i in [0, n) on the worker pool,
+// isolating every failure: a point that returns an error, panics, or
+// (with timeout > 0) overruns its per-point wall-clock budget is
+// reported in the returned slice while every other point still runs to
+// completion. The slice is indexed by point; successful points hold
+// nil.
+//
+// Timeout semantics: a point that exceeds the budget is abandoned, not
+// killed — Go cannot preempt a running goroutine — so its goroutine may
+// linger. Callers must treat a timed-out point's output slot as
+// poisoned and use only the PointError. The campaign runner runs each
+// experiment as one guarded point, which is what keeps a wedged or
+// crashing experiment from taking the whole campaign down.
+func SweepGuarded(n int, timeout time.Duration, fn func(i int) error) []*PointError {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]*PointError, n)
+	sweepIsolated(n, func(i int) *PointError {
+		errs[i] = runGuardedPoint(i, timeout, fn)
+		return nil // failures are reported by value, never re-raised
+	})
+	return errs
+}
+
+// Guarded runs fn(i) as one isolated point on the calling goroutine's
+// schedule (no worker pool): a panic or error becomes a *PointError and
+// nil means success. With timeout > 0 the point also gets a wall-clock
+// budget, with the same abandoned-goroutine semantics as SweepGuarded.
+// The campaign runner guards each experiment this way so one crashing
+// or deadlined driver cannot take the whole campaign down.
+func Guarded(i int, timeout time.Duration, fn func(i int) error) *PointError {
+	return runGuardedPoint(i, timeout, fn)
+}
+
+// runGuardedPoint executes one point under guard, with an optional
+// wall-clock budget enforced from a sibling goroutine.
+func runGuardedPoint(i int, timeout time.Duration, fn func(i int) error) *PointError {
+	if timeout <= 0 {
+		return guard(i, func() error { return fn(i) })
+	}
+	done := make(chan *PointError, 1)
+	go func() { done <- guard(i, func() error { return fn(i) }) }()
+	tm := time.NewTimer(timeout)
+	defer tm.Stop()
+	select {
+	case pe := <-done:
+		return pe
+	case <-tm.C:
+		return &PointError{Index: i, Err: ErrPointTimeout, TimedOut: true}
+	}
+}

@@ -1,0 +1,162 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The satellite scenario: one point panics, one wedges past its
+// deadline, one fails cleanly — every other point must still complete,
+// and the completed results must be identical for any worker count.
+func TestSweepGuardedIsolatesAllFailureModes(t *testing.T) {
+	const n = 32
+	const panicAt, hangAt, failAt = 5, 11, 23
+	run := func(workers int) ([]int, []*PointError) {
+		setWorkers(t, workers)
+		out := make([]int, n)
+		release := make(chan struct{})
+		defer close(release)
+		errs := SweepGuarded(n, 50*time.Millisecond, func(i int) error {
+			switch i {
+			case panicAt:
+				panic(fmt.Sprintf("point %d exploded", i))
+			case hangAt:
+				<-release // wedged until the test tears down
+				return nil
+			case failAt:
+				return errors.New("clean failure")
+			}
+			out[i] = i * i
+			return nil
+		})
+		return out, errs
+	}
+
+	ref, _ := run(1)
+	for _, w := range []int{1, 4, 16} {
+		out, errs := run(w)
+		if len(errs) != n {
+			t.Fatalf("workers=%d: %d error slots, want %d", w, len(errs), n)
+		}
+		for i := 0; i < n; i++ {
+			switch i {
+			case panicAt:
+				pe := errs[i]
+				if pe == nil || pe.Panic == nil {
+					t.Fatalf("workers=%d: panic point not captured: %+v", w, pe)
+				}
+				if !strings.Contains(pe.Error(), "exploded") || !strings.Contains(pe.Error(), "guard_test.go") {
+					t.Errorf("workers=%d: panic error lost message or stack: %s", w, pe.Error())
+				}
+			case hangAt:
+				pe := errs[i]
+				if pe == nil || !pe.TimedOut || !errors.Is(pe, ErrPointTimeout) {
+					t.Fatalf("workers=%d: hung point not reported as timeout: %+v", w, pe)
+				}
+			case failAt:
+				pe := errs[i]
+				if pe == nil || pe.TimedOut || pe.Panic != nil || pe.Err == nil {
+					t.Fatalf("workers=%d: clean failure misclassified: %+v", w, pe)
+				}
+			default:
+				if errs[i] != nil {
+					t.Errorf("workers=%d: healthy point %d reported %v", w, i, errs[i])
+				}
+				if out[i] != ref[i] {
+					t.Errorf("workers=%d: point %d = %d, want %d (determinism)", w, i, out[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// A panic inside a Sweep worker goroutine used to crash the whole
+// process (unrecoverable). It must now complete the other points and
+// re-raise on the calling goroutine as a *PointError.
+func TestSweepReRaisesWorkerPanicOnCaller(t *testing.T) {
+	for _, w := range []int{1, 8} {
+		setWorkers(t, w)
+		var completed atomic.Int64
+		func() {
+			defer func() {
+				r := recover()
+				pe, ok := r.(*PointError)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T (%v), want *PointError", w, r, r)
+				}
+				if pe.Index != 3 || pe.Panic == nil {
+					t.Fatalf("workers=%d: wrong point surfaced: %+v", w, pe)
+				}
+			}()
+			Sweep(16, func(i int) {
+				if i == 3 {
+					panic("boom")
+				}
+				completed.Add(1)
+			})
+			t.Fatalf("workers=%d: Sweep did not re-panic", w)
+		}()
+		if got := completed.Load(); got != 15 {
+			t.Errorf("workers=%d: %d healthy points completed, want 15", w, got)
+		}
+	}
+}
+
+// With several failing points, the re-raised panic must always be the
+// lowest-indexed one, independent of completion order.
+func TestSweepPanicChoiceIsDeterministic(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		setWorkers(t, w)
+		func() {
+			defer func() {
+				pe, ok := recover().(*PointError)
+				if !ok || pe.Index != 2 {
+					t.Fatalf("workers=%d: surfaced %+v, want point 2", w, pe)
+				}
+			}()
+			Sweep(24, func(i int) {
+				if i == 2 || i == 7 || i == 19 {
+					panic(i)
+				}
+			})
+		}()
+	}
+}
+
+func TestSweepGuardedDegenerateSizes(t *testing.T) {
+	if errs := SweepGuarded(0, 0, func(int) error { return nil }); errs != nil {
+		t.Errorf("empty guarded sweep returned %v", errs)
+	}
+	errs := SweepGuarded(1, 0, func(int) error { return nil })
+	if len(errs) != 1 || errs[0] != nil {
+		t.Errorf("single clean point: %v", errs)
+	}
+}
+
+// Nested sweeps: an inner sweep's re-raised PointError is wrapped, not
+// mistaken for the outer sweep's own point.
+func TestNestedSweepFailurePropagates(t *testing.T) {
+	setWorkers(t, 4)
+	errs := SweepGuarded(3, 0, func(i int) error {
+		if i == 1 {
+			Sweep(5, func(j int) {
+				if j == 4 {
+					panic("inner")
+				}
+			})
+		}
+		return nil
+	})
+	pe := errs[1]
+	if pe == nil || pe.Err == nil {
+		t.Fatalf("nested failure lost: %+v", pe)
+	}
+	var inner *PointError
+	if !errors.As(pe.Err, &inner) || inner.Index != 4 {
+		t.Errorf("inner point identity lost: %v", pe)
+	}
+}

@@ -83,22 +83,45 @@ func SetWorkers(n int) int {
 // assembly order fixed regardless of completion order. With one worker
 // (or n ≤ 1) the sweep degenerates to a plain loop with no goroutine
 // overhead.
+//
+// Panic isolation: a panicking point no longer kills the process from a
+// worker goroutine. Every point is run under recover; the remaining
+// points still complete, and the panic of the lowest-indexed failed
+// point is re-raised on the calling goroutine as a *PointError — the
+// same panic for any worker count, so a crashing sweep stays
+// deterministic. Callers that want failures as values instead of a
+// panic use SweepGuarded.
 func Sweep(n int, fn func(i int)) {
+	if pe := sweepIsolated(n, func(i int) *PointError {
+		return guard(i, func() error { fn(i); return nil })
+	}); pe != nil {
+		panic(pe)
+	}
+}
+
+// sweepIsolated fans the points across the pool, collecting the
+// lowest-indexed failure. point must not panic (it wraps fn in guard).
+func sweepIsolated(n int, point func(i int) *PointError) *PointError {
 	if n <= 0 {
-		return
+		return nil
 	}
 	w := Workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
+		var first *PointError
 		for i := 0; i < n; i++ {
-			fn(i)
+			if pe := point(i); pe != nil && (first == nil || pe.Index < first.Index) {
+				first = pe
+			}
 		}
-		return
+		return first
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var first *PointError
 	wg.Add(w)
 	for g := 0; g < w; g++ {
 		go func() {
@@ -108,11 +131,18 @@ func Sweep(n int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				if pe := point(i); pe != nil {
+					mu.Lock()
+					if first == nil || pe.Index < first.Index {
+						first = pe
+					}
+					mu.Unlock()
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	return first
 }
 
 // SweepRNG runs fn(i, rng) for every i in [0, n), handing each point the

@@ -1,0 +1,248 @@
+package recio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"testing"
+)
+
+const (
+	testMagic   = 0x4D4D4331 // "MMC1"
+	testVersion = 7
+)
+
+func writeStream(t *testing.T, payloads [][]byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testMagic, testVersion)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for _, p := range payloads {
+		if err := w.Append(p); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func drain(t *testing.T, data []byte) (payloads [][]byte, r *Reader, err error) {
+	t.Helper()
+	r, version, err := NewReader(bytes.NewReader(data), testMagic)
+	if err != nil {
+		return nil, nil, err
+	}
+	if version != testVersion {
+		t.Fatalf("version = %d, want %d", version, testVersion)
+	}
+	for {
+		p, err := r.Next()
+		if err == io.EOF {
+			return payloads, r, nil
+		}
+		if err != nil {
+			return payloads, r, err
+		}
+		payloads = append(payloads, append([]byte(nil), p...))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := [][]byte{[]byte("a"), []byte("second record"), bytes.Repeat([]byte{0xAB}, 1000)}
+	data := writeStream(t, in)
+	out, r, err := drain(t, data)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if r.Truncated() {
+		t.Error("intact stream reported truncated")
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !bytes.Equal(out[i], in[i]) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+	if r.Records() != uint64(len(in)) {
+		t.Errorf("Records() = %d, want %d", r.Records(), len(in))
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	data := writeStream(t, nil)
+	out, r, err := drain(t, data)
+	if err != nil || len(out) != 0 || r.Truncated() {
+		t.Fatalf("empty stream: out=%d err=%v truncated=%v", len(out), err, r.Truncated())
+	}
+}
+
+func TestEmptyPayloadRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testMagic, testVersion)
+	if err := w.Append(nil); err == nil {
+		t.Error("empty payload accepted (would forge a footer sentinel)")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := writeStream(t, [][]byte{[]byte("x")})
+	if _, _, err := NewReader(bytes.NewReader(data), testMagic+1); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("wrong magic: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// Every cut point of a valid stream must either recover a prefix of the
+// original records (truncated=true) or, for cuts that leave the stream
+// intact through the footer, read cleanly — never misparse or panic.
+func TestEveryTruncationRecoversAPrefix(t *testing.T) {
+	in := [][]byte{[]byte("one"), []byte("four"), []byte("nine!"), bytes.Repeat([]byte{7}, 300)}
+	data := writeStream(t, in)
+	for cut := HeaderSize; cut < len(data); cut++ {
+		out, r, err := drain(t, data[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: err = %v (truncation must not read as corruption)", cut, err)
+		}
+		if !r.Truncated() {
+			t.Fatalf("cut %d: not reported truncated", cut)
+		}
+		if len(out) > len(in) {
+			t.Fatalf("cut %d: %d records from a %d-record stream", cut, len(out), len(in))
+		}
+		for i := range out {
+			if !bytes.Equal(out[i], in[i]) {
+				t.Fatalf("cut %d: record %d is not a prefix record", cut, i)
+			}
+		}
+	}
+}
+
+func TestMidStreamCorruption(t *testing.T) {
+	in := [][]byte{[]byte("first"), []byte("second"), []byte("third")}
+	data := writeStream(t, in)
+	// Flip a payload byte of the first record: checksum fails with more
+	// data behind it → corruption.
+	mut := append([]byte(nil), data...)
+	mut[HeaderSize+2] ^= 0xFF
+	if _, _, err := drain(t, mut); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt record: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTornLastRecordIsTruncation(t *testing.T) {
+	in := [][]byte{[]byte("first"), []byte("second")}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testMagic, testVersion)
+	for _, p := range in {
+		w.Append(p)
+	}
+	w.Flush() // no footer: simulates a crash
+	data := buf.Bytes()
+	// Corrupt the final record's checksum: with nothing behind it, this
+	// is a torn tail, not corruption.
+	data[len(data)-1] ^= 0xFF
+	out, r, err := drain(t, data)
+	if err != nil {
+		t.Fatalf("torn tail: err = %v", err)
+	}
+	if !r.Truncated() || len(out) != 1 {
+		t.Errorf("torn tail: records=%d truncated=%v, want 1/true", len(out), r.Truncated())
+	}
+}
+
+func TestFooterCountMismatchIsCorruption(t *testing.T) {
+	data := writeStream(t, [][]byte{[]byte("only")})
+	// The footer starts 21 bytes from the end. Bump the record count and
+	// refresh the CRC so only the count check can object.
+	foot := data[len(data)-21:]
+	binary.LittleEndian.PutUint64(foot[1:], 2)
+	binary.LittleEndian.PutUint32(foot[17:], crc32.Checksum(foot[1:17], crcTable))
+	if _, _, err := drain(t, data); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("footer count mismatch: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDataAfterFooterIsCorruption(t *testing.T) {
+	data := writeStream(t, [][]byte{[]byte("only")})
+	data = append(data, 0xEE)
+	if _, _, err := drain(t, data); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("data after footer: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestImplausibleLengthIsCorruption(t *testing.T) {
+	data := writeStream(t, nil)
+	// Replace the footer with a huge record length.
+	data = data[:HeaderSize]
+	data = binary.AppendUvarint(data, uint64(DefaultMaxRecord)+1)
+	data = append(data, make([]byte, 64)...)
+	if _, _, err := drain(t, data); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("implausible length: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBaseErrSubstitution(t *testing.T) {
+	sentinel := errors.New("caller sentinel")
+	in := [][]byte{[]byte("first"), []byte("second")}
+	data := writeStream(t, in)
+	mut := append([]byte(nil), data...)
+	mut[HeaderSize+2] ^= 0xFF
+	r, _, err := NewReader(bytes.NewReader(mut), testMagic)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	r.BaseErr = sentinel
+	_, err = r.Next()
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want wrapped caller sentinel", err)
+	}
+}
+
+// Flush must make appended records durable: a reader over the flushed
+// bytes (no footer) recovers all of them.
+func TestFlushDurability(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testMagic, testVersion)
+	for i := 0; i < 5; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		out, r, err := drain(t, append([]byte(nil), buf.Bytes()...))
+		if err != nil {
+			t.Fatalf("after %d records: %v", i+1, err)
+		}
+		if len(out) != i+1 || !r.Truncated() {
+			t.Fatalf("after %d records: read %d, truncated=%v", i+1, len(out), r.Truncated())
+		}
+	}
+}
+
+// The writer's byte counter must match the bytes actually emitted, both
+// before and after Close — checkpoint stats depend on it.
+func TestWriterByteAccounting(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testMagic, testVersion)
+	w.Append([]byte("abc"))
+	w.Flush()
+	if got := w.Bytes(); got != uint64(buf.Len()) {
+		t.Errorf("pre-close Bytes() = %d, buffer has %d", got, buf.Len())
+	}
+	w.Close()
+	if got := w.Bytes(); got != uint64(buf.Len()) {
+		t.Errorf("post-close Bytes() = %d, buffer has %d", got, buf.Len())
+	}
+	if w.Records() != 1 {
+		t.Errorf("Records() = %d, want 1", w.Records())
+	}
+}

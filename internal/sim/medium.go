@@ -131,6 +131,12 @@ type Medium struct {
 	// ExtraLossDB is a global margin (atmospheric conditions of the
 	// "experiment day", Fig. 13).
 	ExtraLossDB float64
+	// deliveryFilter, when set, can suppress the OnFrame callback of a
+	// delivery (fault injection: beacon loss, RX-chain dropouts). The
+	// suppressed frame was still on air — it contributed energy to
+	// carrier sensing and interference to overlapping frames — but the
+	// receive chain never surfaced it.
+	deliveryFilter func(f phy.Frame, tx, rx *Radio) bool
 }
 
 // NewMedium creates a medium over the given room using the link budget
@@ -282,6 +288,17 @@ func (m *Medium) SetLinkOffset(aID, bID int, db float64) {
 // it if the pair has not been used yet).
 func (m *Medium) LinkOffset(aID, bID int) float64 { return m.linkOffset(aID, bID) }
 
+// SetDeliveryFilter installs (or, with nil, removes) the delivery
+// filter: before any frame is handed to a radio's Handler, the filter
+// decides whether that radio's receive chain sees it. Returning false
+// drops the callback; the frame's energy and interference contributions
+// are unaffected. The fault injector owns this hook — it multiplexes
+// all active impairments through one function, so there is exactly one
+// filter per medium.
+func (m *Medium) SetDeliveryFilter(fn func(f phy.Frame, tx, rx *Radio) bool) {
+	m.deliveryFilter = fn
+}
+
 // AdjacentChannelLeakageDB is the extra rejection applied between
 // radios tuned to different channels (filter stopband; the 2.16 GHz
 // channelization leaves essentially no co-channel energy).
@@ -376,6 +393,9 @@ func (m *Medium) finish(t *transmission) {
 		}
 		p := t.rxPowerDBm[rx.ID]
 		if math.IsInf(p, -1) || p < rx.ListenFloorDBm {
+			continue
+		}
+		if m.deliveryFilter != nil && !m.deliveryFilter(t.frame, t.tx, rx) {
 			continue
 		}
 		intf, collided := m.interferenceDBm(t, rx)

@@ -7,6 +7,8 @@ package sim
 
 import (
 	"container/heap"
+	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -74,17 +76,85 @@ func (h *timerHeap) Pop() any {
 	return t
 }
 
+// DeadlineError is the panic value a scheduler raises when its
+// wall-clock budget expires mid-run. The experiment guard
+// (internal/experiments) recovers it and reports the run as a
+// structured deadline failure instead of a hang or a crash.
+type DeadlineError struct {
+	// Budget is the wall-clock allowance that was exceeded.
+	Budget time.Duration
+	// Elapsed is the wall time actually consumed when the watchdog
+	// tripped.
+	Elapsed time.Duration
+	// SimTime is the simulation clock at the abort point.
+	SimTime Time
+}
+
+// Error implements error.
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("sim: run exceeded its %v wall-clock deadline (elapsed %v, sim time %v)",
+		e.Budget, e.Elapsed.Round(time.Millisecond), e.SimTime)
+}
+
+// defaultWallBudget is the process-wide budget newly created schedulers
+// inherit (nanoseconds; 0 = unlimited). The campaign runner sets it from
+// the -deadline flag so every scheduler of every experiment — including
+// the ones sweep points create deep inside drivers — is watched without
+// plumbing a context through every call site.
+var defaultWallBudget atomic.Int64
+
+// SetDefaultWallBudget installs the wall-clock budget inherited by every
+// scheduler created afterwards and returns the previous value. Zero
+// disables the watchdog for new schedulers.
+func SetDefaultWallBudget(d time.Duration) time.Duration {
+	return time.Duration(defaultWallBudget.Swap(int64(d)))
+}
+
+// watchdogCheckEvery spaces the wall-clock checks: one time.Now() per
+// this many events keeps the watchdog far off the hot path (an event
+// dispatch costs well under a microsecond; 4096 events bound the
+// detection latency to a few milliseconds of simulation work).
+const watchdogCheckEvery = 4096
+
 // Scheduler is a single-threaded discrete-event executor. All simulation
 // code runs on the scheduler goroutine; the models need no locking.
+// Interrupt is the one exception: any goroutine may trip it to make Run
+// return cleanly at the next event boundary.
 type Scheduler struct {
 	now     Time
 	seq     uint64
 	events  timerHeap
 	stopped bool
+
+	wallBudget  time.Duration
+	wallStart   time.Time // zero until the first watched Run
+	eventsRun   uint64
+	interrupted atomic.Bool
 }
 
-// NewScheduler returns a scheduler at time zero.
-func NewScheduler() *Scheduler { return &Scheduler{} }
+// NewScheduler returns a scheduler at time zero, inheriting the process
+// default wall-clock budget (SetDefaultWallBudget).
+func NewScheduler() *Scheduler {
+	return &Scheduler{wallBudget: time.Duration(defaultWallBudget.Load())}
+}
+
+// SetWallBudget overrides this scheduler's wall-clock budget. The clock
+// starts at the first Run call after the budget is set; zero disables
+// the watchdog.
+func (s *Scheduler) SetWallBudget(d time.Duration) {
+	s.wallBudget = d
+	s.wallStart = time.Time{}
+}
+
+// Interrupt makes Run return cleanly at the next event boundary. It is
+// the only Scheduler method safe to call from another goroutine —
+// campaign watchdogs use it to cancel a wedged experiment without
+// killing the process.
+func (s *Scheduler) Interrupt() { s.interrupted.Store(true) }
+
+// Interrupted reports whether Interrupt has been called. Run refuses to
+// execute further events once tripped.
+func (s *Scheduler) Interrupted() bool { return s.interrupted.Load() }
 
 // Now returns the current simulation time.
 func (s *Scheduler) Now() Time { return s.now }
@@ -114,12 +184,20 @@ func (s *Scheduler) Stop() { s.stopped = true }
 func (s *Scheduler) Pending() int { return s.events.Len() }
 
 // Run executes events in time order until the queue is empty, the
-// horizon is passed, or Stop is called. It returns the simulation time
-// at exit; the clock is advanced to the horizon even if the queue
-// drained earlier, so back-to-back Run calls see a contiguous timeline.
+// horizon is passed, Stop or Interrupt is called, or the wall-clock
+// budget expires (which panics with *DeadlineError — recovered by the
+// experiment guard). It returns the simulation time at exit; the clock
+// is advanced to the horizon even if the queue drained earlier, so
+// back-to-back Run calls see a contiguous timeline.
 func (s *Scheduler) Run(until Time) Time {
 	s.stopped = false
+	if s.wallBudget > 0 && s.wallStart.IsZero() {
+		s.wallStart = time.Now()
+	}
 	for s.events.Len() > 0 && !s.stopped {
+		if s.interrupted.Load() {
+			return s.now
+		}
 		next := s.events[0]
 		if next.at > until {
 			break
@@ -128,10 +206,16 @@ func (s *Scheduler) Run(until Time) Time {
 		if next.canceled {
 			continue
 		}
+		s.eventsRun++
+		if s.wallBudget > 0 && s.eventsRun%watchdogCheckEvery == 0 {
+			if el := time.Since(s.wallStart); el > s.wallBudget {
+				panic(&DeadlineError{Budget: s.wallBudget, Elapsed: el, SimTime: next.at})
+			}
+		}
 		s.now = next.at
 		next.fn()
 	}
-	if s.now < until && !s.stopped {
+	if s.now < until && !s.stopped && !s.interrupted.Load() {
 		s.now = until
 	}
 	return s.now

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/phy"
+)
+
+// A scheduler whose wall budget expires mid-run must panic with a
+// *DeadlineError at an event boundary, leaving the event state
+// consistent (no half-executed callback).
+func TestWallBudgetTripsDeadline(t *testing.T) {
+	s := NewScheduler()
+	s.SetWallBudget(20 * time.Millisecond)
+	// A self-rescheduling busy event that burns real time: the watchdog
+	// checks every watchdogCheckEvery events, so keep them cheap and
+	// numerous.
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		s.After(time.Nanosecond, tick)
+	}
+	s.After(0, tick)
+	defer func() {
+		r := recover()
+		var de *DeadlineError
+		if err, ok := r.(error); !ok || !errors.As(err, &de) {
+			t.Fatalf("recovered %T (%v), want *DeadlineError", r, r)
+		}
+		if de.Budget != 20*time.Millisecond || de.Elapsed < de.Budget {
+			t.Errorf("deadline fields inconsistent: %+v", de)
+		}
+		if n == 0 {
+			t.Error("no events ran before the trip")
+		}
+	}()
+	s.Run(time.Hour)
+	t.Fatal("run completed despite the watchdog")
+}
+
+func TestZeroBudgetNeverTrips(t *testing.T) {
+	s := NewScheduler()
+	ran := 0
+	var tick func()
+	tick = func() {
+		ran++
+		if ran < 3*watchdogCheckEvery {
+			s.After(time.Nanosecond, tick)
+		}
+	}
+	s.After(0, tick)
+	s.Run(time.Hour)
+	if ran != 3*watchdogCheckEvery {
+		t.Errorf("ran %d events, want %d", ran, 3*watchdogCheckEvery)
+	}
+}
+
+// Interrupt from another goroutine must stop Run cleanly at an event
+// boundary and keep the scheduler refusing further work.
+func TestInterruptStopsRunCrossGoroutine(t *testing.T) {
+	s := NewScheduler()
+	started := make(chan struct{})
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n == 1 {
+			close(started)
+		}
+		s.After(time.Microsecond, tick)
+	}
+	s.After(0, tick)
+	go func() {
+		<-started
+		s.Interrupt()
+	}()
+	done := make(chan Time, 1)
+	go func() { done <- s.Run(time.Hour) }()
+	select {
+	case at := <-done:
+		if !s.Interrupted() {
+			t.Error("run returned without the interrupted flag")
+		}
+		if at >= time.Hour {
+			t.Errorf("interrupted run advanced to the horizon (%v)", at)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("interrupt did not stop the run")
+	}
+	// A tripped scheduler stays stopped: no further events execute.
+	before := n
+	s.Run(2 * time.Hour)
+	if n != before {
+		t.Errorf("interrupted scheduler executed %d more events", n-before)
+	}
+}
+
+// New schedulers inherit the process default budget at creation time.
+func TestDefaultWallBudgetInheritance(t *testing.T) {
+	prev := SetDefaultWallBudget(15 * time.Millisecond)
+	defer SetDefaultWallBudget(prev)
+	s := NewScheduler()
+	SetDefaultWallBudget(prev) // later changes must not affect s
+	var tick func()
+	tick = func() { s.After(time.Nanosecond, tick) }
+	s.After(0, tick)
+	defer func() {
+		if _, ok := recover().(*DeadlineError); !ok {
+			t.Fatal("inherited budget did not trip")
+		}
+	}()
+	s.Run(time.Hour)
+	t.Fatal("run completed despite the inherited watchdog")
+}
+
+// The delivery filter must suppress only the receive callback: the
+// filtered frame still contributes air-time energy to carrier sensing.
+func TestDeliveryFilterSuppressesCallbackNotEnergy(t *testing.T) {
+	s, m, a, b := newTestMedium(2, 0)
+	heard := 0
+	b.Handler = HandlerFunc(func(phy.Frame, Reception) { heard++ })
+	m.SetDeliveryFilter(func(f phy.Frame, tx, rx *Radio) bool {
+		return f.Type != phy.FrameBeacon // drop beacons toward everyone
+	})
+	var midAirEnergy float64
+	f := phy.Frame{Type: phy.FrameBeacon, Src: a.ID, Dst: b.ID}
+	m.Transmit(a, f)
+	s.After(f.Duration()/2, func() { midAirEnergy = m.EnergyDBm(b) })
+	s.Run(time.Second)
+	if heard != 0 {
+		t.Errorf("filtered beacon delivered %d times", heard)
+	}
+	if math.IsInf(midAirEnergy, -1) {
+		t.Error("filtered frame left no energy on air (carrier sensing must still see it)")
+	}
+	// Other types pass, and clearing the filter restores beacons.
+	m.Transmit(a, phy.Frame{Type: phy.FrameData, Src: a.ID, Dst: b.ID, MCS: phy.MCS8, PayloadBytes: 100})
+	s.Run(2 * time.Second)
+	if heard != 1 {
+		t.Errorf("data frame deliveries = %d, want 1", heard)
+	}
+	m.SetDeliveryFilter(nil)
+	m.Transmit(a, f)
+	s.Run(3 * time.Second)
+	if heard != 2 {
+		t.Errorf("deliveries after clearing filter = %d, want 2", heard)
+	}
+}

@@ -9,27 +9,16 @@ import (
 	"math"
 
 	"repro/internal/phy"
+	"repro/internal/recio"
 	"repro/internal/sim"
 )
 
 // Version-2 capture format — the streaming, crash-safe trace layout.
 //
-// A v2 file is written incrementally: records are appended as frames are
-// observed and the only state that must survive to the end is a small
-// footer. A capture that dies mid-write (power loss, crash, full disk)
-// loses at most its final partial record; the reader recovers the valid
-// prefix.
-//
-// Layout (all integers little-endian, varints per encoding/binary):
-//
-//	header (16 B)  magic uint32 | version=2 uint32 | reserved 8 B (zero)
-//	record         uvarint payloadLen | payload | crc32c(payload) uint32
-//	...
-//	footer         uvarint 0 (sentinel) | records uint64 |
-//	               payloadBytes uint64 | crc32c(prev 16 B) uint32
-//
-// A record payload is never empty, so a zero length unambiguously marks
-// the footer. Record payload fields, in order:
+// A v2 file is the generic recio framing (see internal/recio: 16-byte
+// magic/version header, length-delimited CRC32-C records, sentinel
+// footer, valid-prefix recovery after a crash) carrying one observation
+// per record. Record payload fields, in order:
 //
 //	uvarint type | uvarint src | uvarint mpdus | uvarint meta
 //	uvarint startNs | uvarint endNs | powerBits uint64 | flags uint8
@@ -39,25 +28,23 @@ import (
 // rejects records whose annex is semantically invalid — End < Start,
 // negative timestamps, non-finite power — with ErrBadTraceFile.
 //
-// Truncation policy: damage at the end of the file (missing footer, a
-// cut record, an unverifiable footer) is recovered silently — Next
-// returns io.EOF and Truncated() reports true. Damage in the middle of
-// the file (a record whose checksum fails with more data behind it, or
-// a footer whose count disagrees with the records read) is corruption
-// and surfaces as ErrBadTraceFile.
+// Truncation policy (inherited from recio): damage at the end of the
+// file (missing footer, a cut record, an unverifiable footer) is
+// recovered silently — Next returns io.EOF and Truncated() reports
+// true. Damage in the middle of the file (a record whose checksum fails
+// with more data behind it, or a footer whose count disagrees with the
+// records read) is corruption and surfaces as ErrBadTraceFile.
 
 // traceVersion2 identifies the streaming format.
 const traceVersion2 = 2
-
-// maxRecordLen bounds a single record payload; anything larger is
-// corruption, not a frame observation (the largest legitimate payload is
-// well under 100 bytes).
-const maxRecordLen = 1 << 16
 
 // maxFieldValue bounds the integer annex fields (type, src, mpdus, meta)
 // so corrupt varints cannot smuggle absurd values into analyses.
 const maxFieldValue = 1 << 30
 
+// traceCRCTable is the checksum table of the framing layer (CRC32-C,
+// shared with internal/recio); kept here so format tests can recompute
+// record and footer checksums.
 var traceCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // record flag bits (shared with the v1 annex encoding).
@@ -110,26 +97,19 @@ type WriterStats struct {
 // Close writes the footer; a capture missing its footer (crash before
 // Close) is still readable up to the last complete record.
 type TraceWriter struct {
-	bw     *bufio.Writer
-	buf    []byte // reused payload scratch
-	rec    []byte // reused framed-record scratch
-	stats  WriterStats
-	err    error
-	closed bool
+	rw    *recio.Writer
+	buf   []byte // reused payload scratch
+	drops uint64
 }
 
 // NewTraceWriter writes the v2 header to w and returns a writer ready to
 // append records. The caller owns w and must close it after Close.
 func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
-	tw := &TraceWriter{bw: bufio.NewWriter(w), buf: make([]byte, 0, 128), rec: make([]byte, 0, 160)}
-	var hdr [16]byte
-	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], traceVersion2)
-	if _, err := tw.bw.Write(hdr[:]); err != nil {
+	rw, err := recio.NewWriter(w, traceMagic, traceVersion2)
+	if err != nil {
 		return nil, err
 	}
-	tw.stats.Bytes = uint64(len(hdr))
-	return tw, nil
+	return &TraceWriter{rw: rw, buf: make([]byte, 0, 128)}, nil
 }
 
 // Write appends one observation as a record. Invalid observations
@@ -137,14 +117,8 @@ func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
 // counts) are counted as drops and returned as errors without being
 // written.
 func (tw *TraceWriter) Write(o Observation) error {
-	if tw.err != nil {
-		return tw.err
-	}
-	if tw.closed {
-		return fmt.Errorf("sniffer: write on closed TraceWriter")
-	}
 	if err := checkObservation(o); err != nil {
-		tw.stats.Drops++
+		tw.drops++
 		return fmt.Errorf("sniffer: invalid observation: %w", err)
 	}
 	p := tw.buf[:0]
@@ -164,76 +138,34 @@ func (tw *TraceWriter) Write(o Observation) error {
 	}
 	p = append(p, flags)
 	tw.buf = p
-
-	// Assemble length | payload | crc in one reused buffer so a record
-	// write stays allocation-free.
-	r := tw.rec[:0]
-	r = binary.AppendUvarint(r, uint64(len(p)))
-	r = append(r, p...)
-	r = binary.LittleEndian.AppendUint32(r, crc32.Checksum(p, traceCRCTable))
-	tw.rec = r
-	if _, err := tw.bw.Write(r); err != nil {
-		return tw.fail(err)
-	}
-	tw.stats.Records++
-	tw.stats.Bytes += uint64(len(r))
-	return nil
+	return tw.rw.Append(p)
 }
 
 // Capture implements Sink.
 func (tw *TraceWriter) Capture(o Observation) error { return tw.Write(o) }
 
 // Stats returns the writer's counters.
-func (tw *TraceWriter) Stats() WriterStats { return tw.stats }
+func (tw *TraceWriter) Stats() WriterStats {
+	return WriterStats{Records: tw.rw.Records(), Bytes: tw.rw.Bytes(), Drops: tw.drops}
+}
 
 // Close writes the footer and flushes. The underlying writer is not
 // closed. Close is idempotent.
-func (tw *TraceWriter) Close() error {
-	if tw.err != nil {
-		return tw.err
-	}
-	if tw.closed {
-		return nil
-	}
-	tw.closed = true
-	var f [21]byte
-	f[0] = 0 // zero-length sentinel: no record payload is ever empty
-	binary.LittleEndian.PutUint64(f[1:], tw.stats.Records)
-	binary.LittleEndian.PutUint64(f[9:], tw.payloadBytes())
-	binary.LittleEndian.PutUint32(f[17:], crc32.Checksum(f[1:17], traceCRCTable))
-	if _, err := tw.bw.Write(f[:]); err != nil {
-		return tw.fail(err)
-	}
-	tw.stats.Bytes += uint64(len(f))
-	if err := tw.bw.Flush(); err != nil {
-		return tw.fail(err)
-	}
-	return nil
-}
-
-// payloadBytes is the byte total the footer commits to: everything
-// emitted after the header, excluding the footer itself.
-func (tw *TraceWriter) payloadBytes() uint64 { return tw.stats.Bytes - 16 }
-
-func (tw *TraceWriter) fail(err error) error {
-	tw.err = err
-	return err
-}
+func (tw *TraceWriter) Close() error { return tw.rw.Close() }
 
 // TraceReader iterates the records of a capture file in O(1) memory. It
 // reads both format versions: v1 (fixed-size records, count in header)
-// and v2 (length-delimited, footer). For v2 a truncated file — one that
-// ends mid-record or without a verifiable footer — yields its valid
-// prefix, after which Next returns io.EOF and Truncated reports true.
+// and v2 (length-delimited, footer — decoded through recio). For v2 a
+// truncated file — one that ends mid-record or without a verifiable
+// footer — yields its valid prefix, after which Next returns io.EOF and
+// Truncated reports true.
 type TraceReader struct {
 	br        *bufio.Reader
+	rr        *recio.Reader // v2 framing; nil for v1
 	version   int
 	remaining uint64 // v1: records left per the header count
-	payload   []byte // reused record scratch
 	v1Frame   []byte // reused v1 header scratch
 	records   uint64
-	bytes     uint64 // v2: payload bytes consumed after the header
-	truncated bool
 	done      bool
 	err       error
 }
@@ -250,7 +182,7 @@ func NewTraceReader(r io.Reader) (*TraceReader, error) {
 	if binary.LittleEndian.Uint32(hdr[0:]) != traceMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadTraceFile)
 	}
-	tr := &TraceReader{br: br, payload: make([]byte, 0, 128)}
+	tr := &TraceReader{br: br}
 	switch v := binary.LittleEndian.Uint32(hdr[4:]); v {
 	case traceVersion:
 		tr.version = traceVersion
@@ -262,6 +194,8 @@ func NewTraceReader(r io.Reader) (*TraceReader, error) {
 		tr.v1Frame = make([]byte, phy.HeaderSize)
 	case traceVersion2:
 		tr.version = traceVersion2
+		tr.rr = recio.Resume(br)
+		tr.rr.BaseErr = ErrBadTraceFile
 	default:
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTraceFile, v)
 	}
@@ -277,7 +211,7 @@ func (tr *TraceReader) Records() uint64 { return tr.records }
 // Truncated reports whether the stream ended without a verifiable
 // footer — the capture was cut short and Next returned the recovered
 // prefix. Only meaningful after Next has returned io.EOF.
-func (tr *TraceReader) Truncated() bool { return tr.truncated }
+func (tr *TraceReader) Truncated() bool { return tr.rr != nil && tr.rr.Truncated() }
 
 // Next returns the next observation. It returns io.EOF at the end of
 // the capture (including the recovered end of a truncated v2 file) and
@@ -343,72 +277,15 @@ func (tr *TraceReader) nextV1() (Observation, error) {
 }
 
 func (tr *TraceReader) nextV2() (Observation, error) {
-	length, err := binary.ReadUvarint(tr.br)
+	p, err := tr.rr.Next()
 	if err != nil {
-		// The file ends at (or inside) a record boundary with no
-		// footer: a crashed capture. Recover the prefix.
-		tr.truncated = true
-		return Observation{}, io.EOF
-	}
-	if length == 0 {
-		return Observation{}, tr.readFooter()
-	}
-	if length > maxRecordLen {
-		return Observation{}, fmt.Errorf("%w: record %d: implausible length %d", ErrBadTraceFile, tr.records, length)
-	}
-	if cap(tr.payload) < int(length)+4 {
-		tr.payload = make([]byte, length+4)
-	}
-	// Payload and trailing checksum in one read, into the reused buffer.
-	pc := tr.payload[:length+4]
-	if _, err := io.ReadFull(tr.br, pc); err != nil {
-		tr.truncated = true
-		return Observation{}, io.EOF
-	}
-	p := pc[:length]
-	if binary.LittleEndian.Uint32(pc[length:]) != crc32.Checksum(p, traceCRCTable) {
-		// A checksum failure on the very last record is the torn tail
-		// of a crashed capture; anywhere else it is corruption.
-		if _, err := tr.br.Peek(1); err != nil {
-			tr.truncated = true
-			return Observation{}, io.EOF
-		}
-		return Observation{}, fmt.Errorf("%w: record %d: checksum mismatch", ErrBadTraceFile, tr.records)
+		return Observation{}, err
 	}
 	o, err := decodeRecord(p)
 	if err != nil {
 		return Observation{}, fmt.Errorf("%w: record %d: %v", ErrBadTraceFile, tr.records, err)
 	}
-	tr.bytes += uint64(uvarintLen(length) + int(length) + 4)
 	return o, nil
-}
-
-// readFooter validates the end-of-capture footer. An unverifiable footer
-// (short, or checksum mismatch — e.g. a preallocated file whose tail is
-// zeros) counts as truncation; a verified footer whose record count
-// disagrees with the records read is corruption.
-func (tr *TraceReader) readFooter() error {
-	var f [20]byte
-	if _, err := io.ReadFull(tr.br, f[:]); err != nil {
-		tr.truncated = true
-		return io.EOF
-	}
-	if binary.LittleEndian.Uint32(f[16:]) != crc32.Checksum(f[:16], traceCRCTable) {
-		tr.truncated = true
-		return io.EOF
-	}
-	count := binary.LittleEndian.Uint64(f[0:])
-	payloadBytes := binary.LittleEndian.Uint64(f[8:])
-	if count != tr.records {
-		return fmt.Errorf("%w: footer count %d, read %d records", ErrBadTraceFile, count, tr.records)
-	}
-	if payloadBytes != tr.bytes {
-		return fmt.Errorf("%w: footer payload %d bytes, read %d", ErrBadTraceFile, payloadBytes, tr.bytes)
-	}
-	if _, err := tr.br.Peek(1); err == nil {
-		return fmt.Errorf("%w: data after footer", ErrBadTraceFile)
-	}
-	return io.EOF
 }
 
 // decodeRecord parses and validates one v2 record payload.
@@ -445,14 +322,4 @@ func decodeRecord(p []byte) (Observation, error) {
 	}
 	o.AmplitudeV = AmplitudeFromPower(o.PowerDBm)
 	return o, nil
-}
-
-// uvarintLen returns the encoded size of v as a uvarint.
-func uvarintLen(v uint64) int {
-	n := 1
-	for v >= 0x80 {
-		v >>= 7
-		n++
-	}
-	return n
 }

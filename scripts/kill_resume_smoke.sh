@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test: SIGKILL an mmsim campaign mid-run, resume
+# it from the checkpoint, and require the resumed campaign's reports to
+# be byte-identical to an uninterrupted run (wall-clock annotations
+# aside). Also exercises the CLI's malformed-flag validation and
+# tracedump's truncation exit codes.
+#
+# Usage: scripts/kill_resume_smoke.sh  (from the repo root)
+set -u
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+FAILURES=0
+
+fail() {
+  echo "FAIL: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+echo "== build"
+go build -o "$TMP/mmsim" ./cmd/mmsim || exit 1
+go build -o "$TMP/tracedump" ./cmd/tracedump || exit 1
+
+# The campaign: fast experiments first (so the kill lands after at least
+# one checkpoint record), heavier ones later. -parallel 1 keeps the
+# kill point and the report order deterministic.
+IDS="T1 F3 F24 F8 X1"
+FLAGS="-quick -seed 3 -parallel 1"
+
+# Strip the only lines that legitimately differ between an interrupted
+# and an uninterrupted campaign: wall-clock annotations, the
+# resumed-from-checkpoint markers, and capture-file notes (the two legs
+# stream their .vubiq traces to different directories).
+scrub() {
+  grep -v -e 'wall time' -e 'resumed from checkpoint' -e '\.vubiq'
+}
+
+echo "== uninterrupted reference run"
+# shellcheck disable=SC2086
+"$TMP/mmsim" $FLAGS -capture "$TMP/capA" run $IDS > "$TMP/full.out" || fail "reference campaign failed"
+
+echo "== interrupted run (SIGKILL after the first report)"
+# shellcheck disable=SC2086
+"$TMP/mmsim" $FLAGS -capture "$TMP/capB" run $IDS > "$TMP/killed.out" 2>/dev/null &
+PID=$!
+for _ in $(seq 1 200); do
+  if grep -q 'wall time' "$TMP/killed.out" 2>/dev/null; then
+    break
+  fi
+  sleep 0.1
+done
+kill -9 "$PID" 2>/dev/null
+wait "$PID" 2>/dev/null
+if [ ! -s "$TMP/capB/campaign.ckpt" ]; then
+  fail "no checkpoint written before the kill"
+fi
+
+echo "== resume"
+# shellcheck disable=SC2086
+"$TMP/mmsim" $FLAGS -capture "$TMP/capB" -resume run $IDS > "$TMP/resumed.out" || fail "resumed campaign failed"
+if ! grep -q 'resumed from checkpoint' "$TMP/resumed.out"; then
+  fail "resume re-ran every experiment (no checkpoint hit)"
+fi
+if ! diff <(scrub < "$TMP/full.out") <(scrub < "$TMP/resumed.out") > "$TMP/diff.out"; then
+  fail "resumed campaign output differs from the uninterrupted run:"
+  cat "$TMP/diff.out" >&2
+fi
+
+echo "== malformed flags exit non-zero with usage"
+expect_exit2() {
+  "$TMP/mmsim" "$@" > /dev/null 2> "$TMP/err.out"
+  rc=$?
+  if [ "$rc" -ne 2 ]; then
+    fail "mmsim $* exited $rc, want 2"
+  elif ! grep -q 'usage:' "$TMP/err.out"; then
+    fail "mmsim $* printed no usage"
+  fi
+}
+expect_exit2 -resume run T1
+expect_exit2 -workers -2 run T1
+expect_exit2 -parallel -1 run T1
+expect_exit2 -deadline -5s run T1
+
+echo "== tracedump exit codes (clean=0, truncated=3, corrupt=1)"
+"$TMP/tracedump" -ms 0.5 -o "$TMP/cap.vubiq" wigig > /dev/null || fail "capture failed"
+"$TMP/tracedump" read "$TMP/cap.vubiq" > /dev/null
+[ $? -eq 0 ] || fail "clean capture did not exit 0"
+size=$(wc -c < "$TMP/cap.vubiq")
+head -c "$((size - 9))" "$TMP/cap.vubiq" > "$TMP/torn.vubiq"
+"$TMP/tracedump" read "$TMP/torn.vubiq" > /dev/null
+[ $? -eq 3 ] || fail "torn capture did not exit 3"
+printf '\377\377\377\377' | dd of="$TMP/cap.vubiq" bs=1 seek=40 conv=notrunc 2> /dev/null
+"$TMP/tracedump" read "$TMP/cap.vubiq" > /dev/null 2>&1
+[ $? -eq 1 ] || fail "corrupt capture did not exit 1"
+
+if [ "$FAILURES" -gt 0 ]; then
+  echo "kill-resume smoke: $FAILURES failure(s)" >&2
+  exit 1
+fi
+echo "kill-resume smoke: all checks passed"
