@@ -1,0 +1,65 @@
+// Command goldencheck compares a campaign metrics file (written by
+// mmsim -metrics) against the committed golden snapshot GOLDEN.json,
+// with per-metric tolerances. It is the comparison half of the golden
+// regression gate; scripts/golden_check.sh wires it to a fresh
+// strict-audited quick campaign.
+//
+// Usage:
+//
+//	goldencheck -golden GOLDEN.json -metrics m.json           # gate (exit 1 on drift)
+//	goldencheck -golden GOLDEN.json -metrics m.json -update   # (re)generate the snapshot
+//
+// GOLDEN.json holds, per experiment, the expected pass verdict and per
+// data series the expected point count and mean. Tolerances resolve per
+// metric: an explicit rel_tol/abs_tol on the series entry wins,
+// otherwise the file-level defaults apply (see internal/metrics).
+// -update preserves hand-tuned per-series tolerance overrides for
+// series that keep their label.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+)
+
+func main() {
+	goldenPath := flag.String("golden", "GOLDEN.json", "golden snapshot to compare against (or write with -update)")
+	metricsPath := flag.String("metrics", "", "campaign metrics file written by mmsim -metrics")
+	update := flag.Bool("update", false, "rewrite the golden snapshot from the metrics file instead of comparing")
+	flag.Parse()
+	if *metricsPath == "" {
+		fmt.Fprintln(os.Stderr, "goldencheck: -metrics is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	m, err := metrics.ReadFile(*metricsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goldencheck:", err)
+		os.Exit(2)
+	}
+	if *update {
+		if err := metrics.UpdateGolden(*goldenPath, m); err != nil {
+			fmt.Fprintln(os.Stderr, "goldencheck:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("goldencheck: wrote %s (%d experiments)\n", *goldenPath, len(m.Experiments))
+		return
+	}
+	g, err := metrics.ReadGolden(*goldenPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goldencheck: %v (generate it with -update)\n", err)
+		os.Exit(2)
+	}
+	drifts := metrics.Compare(g, m)
+	for _, d := range drifts {
+		fmt.Println("DRIFT:", d)
+	}
+	if len(drifts) > 0 {
+		fmt.Printf("goldencheck: %d metric(s) drifted from %s\n", len(drifts), *goldenPath)
+		os.Exit(1)
+	}
+	fmt.Printf("goldencheck: %d experiment(s) match %s\n", len(g.Experiments), *goldenPath)
+}

@@ -13,6 +13,8 @@
 //	mmsim -capture caps run F8 # stream raw sniffer captures to caps/<ID>.vubiq
 //	mmsim -capture caps -deadline 5m run all   # checkpoint + per-experiment watchdog
 //	mmsim -capture caps -resume run all        # resume a killed campaign
+//	mmsim -audit=strict run all                # invariant violations fail experiments
+//	mmsim -quick -audit=strict -metrics m.json run all   # metrics JSON for the golden gate
 //	mmsim -cpuprofile cpu.pprof run all
 //
 // Each run prints a PASS/FAIL report comparing the paper's claim with
@@ -34,8 +36,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/par"
 )
 
@@ -58,6 +62,10 @@ func run() int {
 		"per-experiment wall-clock budget; an overrunning driver is aborted and reported as a failure (0 = unlimited)")
 	resume := flag.Bool("resume", false,
 		"skip experiments already recorded in the campaign checkpoint (requires -capture)")
+	auditFlag := flag.String("audit", "off",
+		"runtime invariant auditing: off, warn (report violation counts), or strict (a violation fails the experiment)")
+	metricsFile := flag.String("metrics", "",
+		"write campaign metrics (per-experiment pass + per-series means) as JSON to this file, for the golden regression gate")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
@@ -83,6 +91,13 @@ func run() int {
 		usage()
 		return 2
 	}
+	auditMode, err := audit.ParseMode(*auditFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmsim: %v\n\n", err)
+		usage()
+		return 2
+	}
+	audit.SetMode(auditMode)
 	par.SetWorkers(*workers)
 
 	if *cpuProfile != "" {
@@ -172,7 +187,7 @@ func run() int {
 			}
 			defer ckpt.Close()
 		}
-		if runCampaign(runners, opts, *parallel, *deadline, ckpt, *series, *outDir) > 0 {
+		if runCampaign(runners, opts, *parallel, *deadline, ckpt, *series, *outDir, *metricsFile) > 0 {
 			return 1
 		}
 	default:
@@ -189,11 +204,13 @@ func run() int {
 // failed experiments.
 func runCampaign(runners []experiments.Runner, opts experiments.Options,
 	parallel int, deadline time.Duration, ckpt *experiments.Checkpoint,
-	series bool, outDir string) int {
+	series bool, outDir, metricsPath string) int {
 	campaignStart := time.Now()
 	failed := 0
 	resumed := 0
+	var fingerprints []metrics.Experiment
 	emit := func(_ int, st experiments.Status) {
+		fingerprints = append(fingerprints, metrics.FromResult(st.Result))
 		fmt.Print(st.Result)
 		if st.Resumed {
 			resumed++
@@ -225,7 +242,33 @@ func runCampaign(runners []experiments.Runner, opts experiments.Options,
 	})
 	fmt.Printf("campaign: %d experiment(s), %d failed, %d resumed, total wall time %v (%d sweep workers)\n",
 		len(runners), failed, resumed, time.Since(campaignStart).Round(time.Millisecond), par.Workers())
+	if audit.On() {
+		fmt.Printf("audit (%s): %s\n", audit.CurrentMode(), audit.Summary())
+	}
+	if metricsPath != "" {
+		if err := writeMetrics(metricsPath, fingerprints); err != nil {
+			fmt.Fprintln(os.Stderr, "mmsim:", err)
+			failed++
+		}
+	}
 	return failed
+}
+
+// writeMetrics dumps the campaign metrics JSON consumed by
+// cmd/goldencheck (scripts/golden_check.sh), including the auditor's
+// per-rule counts when auditing was on.
+func writeMetrics(path string, fingerprints []metrics.Experiment) error {
+	out := metrics.File{Experiments: fingerprints}
+	if audit.On() {
+		counts := audit.Counts()
+		if len(counts) > 0 {
+			out.Audit = make(map[string]uint64, len(counts))
+			for r, n := range counts {
+				out.Audit[string(r)] = n
+			}
+		}
+	}
+	return out.WriteFile(path)
 }
 
 // writeSeries dumps every series of the result as a TSV file named

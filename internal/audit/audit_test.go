@@ -1,0 +1,219 @@
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withMode runs fn under the given mode with clean counters, restoring
+// the previous mode and clearing state afterwards so tests cannot leak
+// into each other (the auditor is process-global).
+func withMode(t *testing.T, m Mode, fn func()) {
+	t.Helper()
+	prev := SetMode(m)
+	Reset()
+	defer func() {
+		SetMode(prev)
+		Reset()
+	}()
+	fn()
+}
+
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+		ok   bool
+	}{
+		{"off", Off, true},
+		{"warn", Warn, true},
+		{"strict", Strict, true},
+		{"", Off, false},
+		{"Strict", Off, false},
+		{"paranoid", Off, false},
+	} {
+		got, err := ParseMode(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	for _, m := range []Mode{Off, Warn, Strict} {
+		back, err := ParseMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("round-trip %v: got %v, %v", m, back, err)
+		}
+	}
+}
+
+func TestOffModeRecordsNothing(t *testing.T) {
+	withMode(t, Off, func() {
+		if On() {
+			t.Fatal("On() true in off mode")
+		}
+		Reportf(RulePhyPERRange, time.Millisecond, "per=%v", 1.5)
+		if Total() != 0 || len(Counts()) != 0 || len(Recent()) != 0 {
+			t.Fatalf("off mode recorded: total=%d counts=%v", Total(), Counts())
+		}
+	})
+}
+
+func TestWarnModeCountsAndContinues(t *testing.T) {
+	withMode(t, Warn, func() {
+		if !On() {
+			t.Fatal("On() false in warn mode")
+		}
+		Reportf(RuleWiGigNAVDecrease, 3*time.Millisecond, "nav %v -> %v", 5*time.Millisecond, 4*time.Millisecond)
+		Reportf(RuleWiGigNAVDecrease, 4*time.Millisecond, "again")
+		Reportf(RuleTCPCwndRange, 0, "cwnd=%d", 0)
+		if got := Total(); got != 3 {
+			t.Fatalf("Total = %d, want 3", got)
+		}
+		c := Counts()
+		if c[RuleWiGigNAVDecrease] != 2 || c[RuleTCPCwndRange] != 1 {
+			t.Fatalf("Counts = %v", c)
+		}
+		rec := Recent()
+		if len(rec) != 3 {
+			t.Fatalf("Recent len = %d, want 3", len(rec))
+		}
+		if rec[0].Rule != RuleWiGigNAVDecrease || rec[0].Time != 3*time.Millisecond {
+			t.Fatalf("Recent[0] = %+v", rec[0])
+		}
+		if rec[0].Severity != SevError {
+			t.Fatalf("NAV rule severity = %v, want error", rec[0].Severity)
+		}
+		if !strings.Contains(rec[0].Detail, "5ms -> 4ms") {
+			t.Fatalf("Detail = %q", rec[0].Detail)
+		}
+		if !strings.Contains(Summary(), "wigig.nav.decrease×2") {
+			t.Fatalf("Summary = %q", Summary())
+		}
+	})
+}
+
+func TestStrictModePanicsWithViolationError(t *testing.T) {
+	withMode(t, Strict, func() {
+		var got *ViolationError
+		func() {
+			defer func() {
+				r := recover()
+				ve, ok := r.(*ViolationError)
+				if !ok {
+					t.Fatalf("recovered %T, want *ViolationError", r)
+				}
+				got = ve
+			}()
+			Reportf(RuleMediumRxOverpower, 7*time.Millisecond, "rx %.1f dBm", 40.0)
+		}()
+		if got.V.Rule != RuleMediumRxOverpower {
+			t.Fatalf("rule = %v", got.V.Rule)
+		}
+		if !errors.Is(got, ErrViolation) {
+			t.Fatal("errors.Is(ve, ErrViolation) = false")
+		}
+		var as *ViolationError
+		if !errors.As(fmt.Errorf("wrapped: %w", error(got)), &as) || as != got {
+			t.Fatal("errors.As through wrapping failed")
+		}
+		// The violation is recorded before the panic.
+		if Counts()[RuleMediumRxOverpower] != 1 {
+			t.Fatalf("Counts = %v", Counts())
+		}
+	})
+}
+
+func TestStrictModeWarnSeverityDoesNotPanic(t *testing.T) {
+	withMode(t, Strict, func() {
+		// wihd.beacon.cadence is the taxonomy's soft rule.
+		Reportf(RuleWiHDBeaconCadence, time.Second, "gap")
+		if Counts()[RuleWiHDBeaconCadence] != 1 {
+			t.Fatalf("Counts = %v", Counts())
+		}
+	})
+}
+
+func TestUnknownRuleIsItselfAViolation(t *testing.T) {
+	withMode(t, Strict, func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("unknown rule did not panic in strict mode")
+			}
+			rec := Recent()
+			if len(rec) != 1 || !strings.Contains(rec[0].Detail, "unregistered audit rule") {
+				t.Fatalf("Recent = %+v", rec)
+			}
+		}()
+		Reportf(Rule("wigig.nav.decrese"), 0, "typo")
+	})
+}
+
+func TestRingBounded(t *testing.T) {
+	withMode(t, Warn, func() {
+		n := RingSize + 17
+		for i := 0; i < n; i++ {
+			Reportf(RulePhyPERRange, time.Duration(i), "i=%d", i)
+		}
+		if Total() != uint64(n) {
+			t.Fatalf("Total = %d, want %d", Total(), n)
+		}
+		rec := Recent()
+		if len(rec) != RingSize {
+			t.Fatalf("Recent len = %d, want %d", len(rec), RingSize)
+		}
+		// Oldest retained entry is n-RingSize; newest is n-1.
+		if rec[0].Time != time.Duration(n-RingSize) || rec[len(rec)-1].Time != time.Duration(n-1) {
+			t.Fatalf("ring window [%v, %v]", rec[0].Time, rec[len(rec)-1].Time)
+		}
+	})
+}
+
+func TestTaxonomyComplete(t *testing.T) {
+	rules := Rules()
+	if len(rules) != len(taxonomy) {
+		t.Fatalf("Rules() len = %d, want %d", len(rules), len(taxonomy))
+	}
+	for _, r := range rules {
+		m, ok := Describe(r)
+		if !ok || m.Desc == "" {
+			t.Errorf("rule %q missing description", r)
+		}
+		// subsystem.object.property naming.
+		if strings.Count(string(r), ".") != 2 {
+			t.Errorf("rule %q not in subsystem.object.property form", r)
+		}
+	}
+}
+
+func TestConcurrentReportsRaceFree(t *testing.T) {
+	withMode(t, Warn, func() {
+		var wg sync.WaitGroup
+		const per = 200
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					Reportf(RuleSchedTimeMonotone, time.Duration(g*per+i), "g=%d i=%d", g, i)
+				}
+			}(g)
+		}
+		wg.Wait()
+		if Total() != 8*per {
+			t.Fatalf("Total = %d, want %d", Total(), 8*per)
+		}
+	})
+}
+
+func TestResetClears(t *testing.T) {
+	withMode(t, Warn, func() {
+		Reportf(RuleTCPSeqOrder, 0, "x")
+		Reset()
+		if Total() != 0 || len(Counts()) != 0 || len(Recent()) != 0 || Summary() != "clean" {
+			t.Fatal("Reset did not clear state")
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/par"
 	"repro/internal/sim"
@@ -122,7 +123,12 @@ func runOne(r Runner, opts Options, deadline time.Duration) Status {
 func failResult(r Runner, pe *par.PointError, deadline time.Duration) core.Result {
 	res := core.Result{ID: r.ID, Title: r.Title, PaperClaim: "(driver did not complete)"}
 	var de *sim.DeadlineError
+	var ve *audit.ViolationError
 	switch {
+	case asViolation(pe, &ve):
+		res.AddCheck("audit", "invariants hold",
+			"violated "+string(ve.V.Rule), false)
+		res.Note("audit [%s] at sim time %v: %s", ve.V.Rule, ve.V.Time, ve.V.Detail)
 	case asDeadline(pe, &de):
 		res.AddCheck("completed", "within deadline",
 			"exceeded "+deadline.String()+" wall-clock budget", false)
@@ -135,6 +141,31 @@ func failResult(r Runner, pe *par.PointError, deadline time.Duration) core.Resul
 		res.Note("error: %v", pe.Err)
 	}
 	return res
+}
+
+// asViolation digs a *audit.ViolationError out of a point failure — the
+// strict-mode auditor aborts an experiment by panicking, so the
+// violation arrives exactly like a deadline: as a recovered panic value,
+// wrapped in the error chain, or buried in a nested sweep's *PointError.
+func asViolation(pe *par.PointError, out **audit.ViolationError) bool {
+	for pe != nil {
+		if ve, ok := pe.Panic.(*audit.ViolationError); ok {
+			*out = ve
+			return true
+		}
+		if pe.Err == nil {
+			return false
+		}
+		if errors.As(pe.Err, out) {
+			return true
+		}
+		var inner *par.PointError
+		if !errors.As(pe.Err, &inner) {
+			return false
+		}
+		pe = inner
+	}
+	return false
 }
 
 // asDeadline digs a *sim.DeadlineError out of a point failure, whether

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// A driver failure can arrive in every shape par.Guarded produces: a
+// recovered panic value, a returned error, a %w-wrapped error, or a
+// nested sweep's *PointError. The campaign's FAIL synthesis must
+// classify deadline and audit failures identically across all of them,
+// and errors.Is/As must round-trip through each wrapping.
+func TestFailureClassificationTable(t *testing.T) {
+	de := &sim.DeadlineError{Budget: time.Second, Elapsed: 2 * time.Second, SimTime: 5 * time.Millisecond}
+	ve := &audit.ViolationError{V: audit.Violation{
+		Rule: audit.RuleWiGigNAVDecrease, Severity: audit.SevError,
+		Time: 3 * time.Millisecond, Detail: "nav shortened",
+	}}
+
+	cases := []struct {
+		name      string
+		pe        *par.PointError
+		checkName string // check the FAIL result must carry
+		gotSubstr string // substring of that check's Got field
+	}{
+		{"deadline as panic value",
+			&par.PointError{Panic: de}, "completed", "exceeded"},
+		{"deadline as bare error",
+			&par.PointError{Err: de}, "completed", "exceeded"},
+		{"deadline wrapped with %w",
+			&par.PointError{Err: fmt.Errorf("sweep point 3: %w", de)}, "completed", "exceeded"},
+		{"deadline inside nested sweep PointError",
+			&par.PointError{Err: &par.PointError{Index: 7, Panic: de}}, "completed", "exceeded"},
+		{"deadline double-nested",
+			&par.PointError{Err: &par.PointError{Err: &par.PointError{Panic: de}}}, "completed", "exceeded"},
+		{"violation as panic value",
+			&par.PointError{Panic: ve}, "audit", string(audit.RuleWiGigNAVDecrease)},
+		{"violation as bare error",
+			&par.PointError{Err: ve}, "audit", string(audit.RuleWiGigNAVDecrease)},
+		{"violation wrapped with %w",
+			&par.PointError{Err: fmt.Errorf("driver: %w", ve)}, "audit", string(audit.RuleWiGigNAVDecrease)},
+		{"violation inside nested sweep PointError",
+			&par.PointError{Err: &par.PointError{Index: 2, Panic: ve}}, "audit", string(audit.RuleWiGigNAVDecrease)},
+		{"plain panic stays unclassified",
+			&par.PointError{Panic: "index out of range"}, "completed", "panicked"},
+		{"plain error stays unclassified",
+			&par.PointError{Err: errors.New("driver bug")}, "completed", "failed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := failResult(Runner{ID: "Z9", Title: "synthetic"}, tc.pe, time.Second)
+			if res.Pass() {
+				t.Fatal("synthesized failure passes")
+			}
+			var found *core.Check
+			for i := range res.Checks {
+				if res.Checks[i].Name == tc.checkName {
+					found = &res.Checks[i]
+				}
+			}
+			if found == nil {
+				t.Fatalf("no %q check in %+v", tc.checkName, res.Checks)
+			}
+			if !strings.Contains(found.Got, tc.gotSubstr) {
+				t.Errorf("check Got = %q, want substring %q", found.Got, tc.gotSubstr)
+			}
+		})
+	}
+}
+
+// The sentinel contracts: every *DeadlineError is errors.Is-identifiable
+// as sim.ErrDeadline and errors.As-recoverable through arbitrary
+// wrapping, and the same holds for audit violations — including through
+// a *par.PointError chain, which is how campaigns see them.
+func TestSentinelRoundTrips(t *testing.T) {
+	de := &sim.DeadlineError{Budget: time.Second, Elapsed: 2 * time.Second}
+	ve := &audit.ViolationError{V: audit.Violation{Rule: audit.RuleTCPSeqOrder, Severity: audit.SevError}}
+
+	wrappings := []func(error) error{
+		func(e error) error { return e },
+		func(e error) error { return fmt.Errorf("layer: %w", e) },
+		func(e error) error { return fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", e)) },
+		func(e error) error { return &par.PointError{Index: 1, Err: e} },
+		func(e error) error { return &par.PointError{Err: fmt.Errorf("point: %w", e)} },
+	}
+	for i, wrap := range wrappings {
+		if err := wrap(de); !errors.Is(err, sim.ErrDeadline) {
+			t.Errorf("wrapping %d: errors.Is(…, sim.ErrDeadline) = false", i)
+		} else {
+			var got *sim.DeadlineError
+			if !errors.As(err, &got) || got.Budget != time.Second {
+				t.Errorf("wrapping %d: errors.As lost the deadline payload", i)
+			}
+		}
+		if err := wrap(ve); !errors.Is(err, audit.ErrViolation) {
+			t.Errorf("wrapping %d: errors.Is(…, audit.ErrViolation) = false", i)
+		} else {
+			var got *audit.ViolationError
+			if !errors.As(err, &got) || got.V.Rule != audit.RuleTCPSeqOrder {
+				t.Errorf("wrapping %d: errors.As lost the violation payload", i)
+			}
+		}
+	}
+}
+
+// End to end: a driver aborted by the strict auditor must surface
+// through RunCampaign as a FAIL with the violated rule named, without
+// harming its neighbours.
+func TestCampaignSurfacesAuditViolation(t *testing.T) {
+	prev := audit.SetMode(audit.Strict)
+	audit.Reset()
+	defer func() {
+		audit.SetMode(prev)
+		audit.Reset()
+	}()
+	good, ok := Get("T1")
+	if !ok {
+		t.Fatal("T1 not registered")
+	}
+	runners := []Runner{
+		{ID: "Z3", Title: "violates", Run: func(Options) core.Result {
+			audit.Reportf(audit.RuleSchedTimeMonotone, time.Millisecond, "time ran backwards")
+			return core.Result{ID: "Z3"}
+		}},
+		good,
+	}
+	sts := collectStatuses(runners, Options{Seed: 1, Quick: true}, Campaign{Parallel: 2})
+	if sts[0].Failure == nil || sts[0].Result.Pass() {
+		t.Fatalf("strict violation not reported as failure: %+v", sts[0].Result)
+	}
+	var ve *audit.ViolationError
+	if !asViolation(sts[0].Failure, &ve) {
+		t.Fatalf("violation failure misclassified: %v", sts[0].Failure)
+	}
+	if ve.V.Rule != audit.RuleSchedTimeMonotone {
+		t.Errorf("rule = %s, want %s", ve.V.Rule, audit.RuleSchedTimeMonotone)
+	}
+	want := "violated " + string(audit.RuleSchedTimeMonotone)
+	found := false
+	for _, c := range sts[0].Result.Checks {
+		if c.Name == "audit" && c.Got == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("FAIL result does not name the rule: %+v", sts[0].Result.Checks)
+	}
+	if sts[1].Failure != nil || !sts[1].Result.Pass() {
+		t.Errorf("healthy neighbour harmed: %+v", sts[1].Result)
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzCheckpointRead: arbitrary bytes on disk must never panic the
+// checkpoint loader — a corrupt file salvages a (possibly empty) prefix
+// and keeps working. Whatever survives the first open must survive the
+// compaction rewrite identically: opening the compacted file again
+// yields the same record set.
+func FuzzCheckpointRead(f *testing.F) {
+	opts := Options{Seed: 3, Quick: true}
+
+	// A genuine two-record checkpoint as the seed baseline.
+	seedDir := f.TempDir()
+	ck, err := OpenCheckpoint(seedDir, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	res := core.Result{ID: "T1", Title: "seed", Notes: []string{"kept"}}
+	res.AddCheck("x", "a", "a", true)
+	if err := ck.Record(res); err != nil {
+		f.Fatal(err)
+	}
+	if err := ck.Record(core.Result{ID: "F24", Title: "second"}); err != nil {
+		f.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(filepath.Join(seedDir, CheckpointFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:4])                                    // magic only
+	f.Add(valid[:len(valid)/2])                         // torn mid-record
+	f.Add(valid[:len(valid)-3])                         // torn footer
+	f.Add(append([]byte(nil), valid[:len(valid)-8]...)) // lost tail record bytes
+	// Crash tail: preallocated zeros where the footer should be.
+	f.Add(append(append([]byte(nil), valid[:len(valid)-16]...), make([]byte, 64)...))
+	// Wrong magic: the sniffer trace magic on a checkpoint-shaped body.
+	wrongMagic := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(wrongMagic[:4], 0x4D4D5452)
+	f.Add(wrongMagic)
+	// A flipped byte in the middle of a record payload.
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0xff
+	f.Add(flipped)
+	// Garbage after a valid stream.
+	f.Add(append(append([]byte(nil), valid...), 0xde, 0xad, 0xbe, 0xef))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, CheckpointFile)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ck, err := OpenCheckpoint(dir, opts)
+		if err != nil {
+			return // unloadable is fine; panicking is not
+		}
+		salvaged := ck.Len()
+		ids := make(map[string]core.Result, salvaged)
+		for _, id := range []string{"T1", "F24"} {
+			if r, ok := ck.Done(id); ok {
+				ids[id] = r
+			}
+		}
+		if len(ids) != salvaged {
+			t.Fatalf("salvaged %d records but only %d known IDs — foreign data leaked through", salvaged, len(ids))
+		}
+		if err := ck.Close(); err != nil {
+			t.Fatalf("salvaged checkpoint does not close: %v", err)
+		}
+		// Compaction is idempotent: the rewritten file serves exactly the
+		// same records.
+		again, err := OpenCheckpoint(dir, opts)
+		if err != nil {
+			t.Fatalf("compacted checkpoint does not reopen: %v", err)
+		}
+		defer again.Close()
+		if again.Len() != salvaged {
+			t.Fatalf("compaction changed the record set: %d -> %d", salvaged, again.Len())
+		}
+		for id, want := range ids {
+			got, ok := again.Done(id)
+			if !ok || got.Title != want.Title || len(got.Notes) != len(want.Notes) {
+				t.Fatalf("record %s damaged by compaction: %+v vs %+v", id, got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package wigig
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/mac"
+)
+
+// withAudit runs fn with the auditor in the given mode and clean
+// counters, restoring the previous mode afterwards.
+func withAudit(t *testing.T, m audit.Mode, fn func()) {
+	t.Helper()
+	prev := audit.SetMode(m)
+	audit.Reset()
+	defer func() {
+		audit.SetMode(prev)
+		audit.Reset()
+	}()
+	fn()
+}
+
+// An associated link exchanging data must run audit-clean: the NAV,
+// TXOP, retry, and association invariants all hold on the honest code
+// paths.
+func TestWiGigAuditCleanTraffic(t *testing.T) {
+	withAudit(t, audit.Warn, func() {
+		s, _, l := newLink(t, 2, 9)
+		if !l.WaitAssociated(s, time.Second) {
+			t.Fatal("link did not associate")
+		}
+		end := s.Now() + 20*time.Millisecond
+		for s.Now() < end {
+			for i := 0; i < 16; i++ {
+				l.Station.Send(mac.MPDU{Bytes: 1500})
+			}
+			s.Run(s.Now() + time.Millisecond)
+		}
+		if l.Dock.Stats.MPDUsDelivered == 0 {
+			t.Fatal("no traffic flowed")
+		}
+		if n := audit.Total(); n != 0 {
+			t.Fatalf("clean traffic recorded %d violations: %s", n, audit.Summary())
+		}
+	})
+}
+
+// The acceptance check for the auditor: simulate the classic flipped
+// NAV comparison (adopting a shorter reservation over a live hold) and
+// confirm it is caught and classified under wigig.nav.decrease.
+func TestAuditCatchesNAVFlip(t *testing.T) {
+	withAudit(t, audit.Warn, func() {
+		s, _, l := newLink(t, 2, 11)
+		if !l.WaitAssociated(s, time.Second) {
+			t.Fatal("link did not associate")
+		}
+		d := l.Station
+		// A hold is in progress...
+		d.setNAV(s.Now() + time.Millisecond)
+		// ...and a buggy update (comparison flipped: shorter wins) lands.
+		d.setNAV(s.Now() + 100*time.Microsecond)
+		if got := audit.Counts()[audit.RuleWiGigNAVDecrease]; got != 1 {
+			t.Fatalf("nav.decrease count = %d, want 1 (%s)", got, audit.Summary())
+		}
+		v := audit.Recent()[len(audit.Recent())-1]
+		if v.Rule != audit.RuleWiGigNAVDecrease || v.Severity != audit.SevError {
+			t.Fatalf("violation misclassified: %+v", v)
+		}
+		if !strings.Contains(v.Detail, "sta") || !strings.Contains(v.Detail, "shortened") {
+			t.Fatalf("detail lacks context: %q", v.Detail)
+		}
+		// Extending the hold, or re-arming after expiry, stays clean.
+		d.setNAV(s.Now() + 2*time.Millisecond)
+		s.Run(s.Now() + 5*time.Millisecond)
+		d.setNAV(s.Now() + 50*time.Microsecond)
+		if got := audit.Counts()[audit.RuleWiGigNAVDecrease]; got != 1 {
+			t.Fatalf("lawful NAV updates flagged: count = %d", got)
+		}
+	})
+}
+
+// In strict mode the same flip aborts the run with a *ViolationError
+// carrying the rule — the panic the campaign runner classifies.
+func TestNAVFlipStrictPanics(t *testing.T) {
+	withAudit(t, audit.Strict, func() {
+		s, _, l := newLink(t, 2, 13)
+		if !l.WaitAssociated(s, time.Second) {
+			t.Fatal("link did not associate")
+		}
+		defer func() {
+			r := recover()
+			ve, ok := r.(*audit.ViolationError)
+			if !ok {
+				t.Fatalf("recovered %T, want *audit.ViolationError", r)
+			}
+			if ve.V.Rule != audit.RuleWiGigNAVDecrease {
+				t.Fatalf("rule = %v", ve.V.Rule)
+			}
+			if !errors.Is(ve, audit.ErrViolation) {
+				t.Fatal("errors.Is(ve, audit.ErrViolation) = false")
+			}
+		}()
+		l.Dock.setNAV(s.Now() + time.Millisecond)
+		l.Dock.setNAV(s.Now())
+		t.Fatal("strict mode did not abort on the NAV flip")
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/antenna"
+	"repro/internal/audit"
 	"repro/internal/geom"
 	"repro/internal/mac"
 	"repro/internal/phy"
@@ -372,6 +373,10 @@ func (d *Device) transmit(f phy.Frame) {
 		at := d.txBusyUntil
 		d.sched.At(at, func() { d.transmit(f) })
 		return
+	}
+	if audit.On() && f.Type == phy.FrameData && d.state != StateAssociated {
+		audit.Reportf(audit.RuleWiGigDataBeforeAssoc, now,
+			"%s put a data frame (seq %d) on air in state %s", d.cfg.Name, f.Seq, d.state)
 	}
 	d.txBusyUntil = now + f.Duration()
 	d.med.Transmit(d.radio, f)
@@ -803,6 +808,21 @@ func (d *Device) transmitPending(retry bool) {
 		d.startAccess()
 		return
 	}
+	if audit.On() {
+		// The guard above must keep every burst inside the 2 ms TXOP;
+		// reaching here with the frame end past the boundary means the
+		// bookkeeping (txopEnd, frame duration) disagrees with the spec.
+		if end := d.sched.Now() + dur; end > d.txopEnd {
+			audit.Reportf(audit.RuleWiGigTXOPOverrun, d.sched.Now(),
+				"%s data frame (seq %d, %v air) ends %v past the TXOP boundary %v",
+				d.cfg.Name, f.Seq, dur, end-d.txopEnd, d.txopEnd)
+		}
+		if retry && d.retries > RetryLimit {
+			audit.Reportf(audit.RuleWiGigRetryBound, d.sched.Now(),
+				"%s retransmitting seq %d on attempt %d, beyond the %d-retry budget",
+				d.cfg.Name, f.Seq, d.retries, RetryLimit)
+		}
+	}
 	d.transmit(f)
 	d.Stats.FramesSent++
 	if retry {
@@ -820,6 +840,11 @@ func (d *Device) onAckTimeout() {
 	d.Stats.AckTimeouts++
 	d.consecFails++
 	d.lossEst.Update(1)
+	if audit.On() && d.consecFails > ConsecFailLimit {
+		audit.Reportf(audit.RuleWiGigRetryBound, d.sched.Now(),
+			"%s consecutive-failure counter %d past the teardown threshold %d",
+			d.cfg.Name, d.consecFails, ConsecFailLimit)
+	}
 	if d.consecFails >= ConsecFailLimit {
 		d.breakReason = "dataFails"
 		d.linkBreak()
@@ -911,6 +936,22 @@ func (d *Device) bumpCW() {
 	}
 }
 
+// setNAV installs a new virtual-carrier-sense expiry. Callers must only
+// ever extend a live hold (the onFrame guard); the auditor flags any
+// update that shortens a reservation still in progress — the
+// overheard-frame bug class that would let the device transmit into a
+// protected exchange.
+func (d *Device) setNAV(until sim.Time) {
+	if audit.On() {
+		if now := d.sched.Now(); until < d.navUntil && now < d.navUntil {
+			audit.Reportf(audit.RuleWiGigNAVDecrease, now,
+				"%s NAV shortened from %v to %v with %v left on the hold",
+				d.cfg.Name, d.navUntil, until, d.navUntil-now)
+		}
+	}
+	d.navUntil = until
+}
+
 // onFrame dispatches medium deliveries.
 func (d *Device) onFrame(f phy.Frame, rx sim.Reception) {
 	// Virtual carrier sensing: any decoded reservation addressed to
@@ -918,7 +959,7 @@ func (d *Device) onFrame(f phy.Frame, rx sim.Reception) {
 	// hidden terminals the energy detector cannot hear.
 	if rx.OK && f.NAV > 0 && f.Dst != d.radio.ID && f.Src != d.radio.ID {
 		if until := rx.End + f.NAV; until > d.navUntil {
-			d.navUntil = until
+			d.setNAV(until)
 		}
 	}
 	switch f.Type {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/antenna"
+	"repro/internal/audit"
 	"repro/internal/geom"
 	"repro/internal/mac"
 	"repro/internal/phy"
@@ -124,6 +125,9 @@ type Device struct {
 	dataMCS      phy.MCS
 	lastSource   sim.Time
 	qoListen     int
+	// lastBeaconTick anchors the beacon-cadence audit; zero means no
+	// reference (fresh pairing or a power cycle).
+	lastBeaconTick sim.Time
 
 	// Stats mirrors the WiGig counters where meaningful.
 	Stats mac.Stats
@@ -259,6 +263,8 @@ func (d *Device) PowerOn() {
 			d.sched.After(0, d.discoveryTick)
 		}
 		if d.peer != nil && d.peer.paired {
+			// Fresh cadence reference: the off-time gap is not a violation.
+			d.peer.lastBeaconTick = 0
 			d.peer.sched.After(0, d.peer.beaconTick)
 		}
 	}
@@ -364,8 +370,21 @@ func (d *Device) onPairResp(rx sim.Reception) {
 // gap appears within half a beacon period.
 func (d *Device) beaconTick() {
 	if !d.paired || !d.powered {
+		d.lastBeaconTick = 0
 		return
 	}
+	if audit.On() {
+		// A paired, powered receiver holds its dilated 224 µs cadence: a
+		// short gap means a doubled beacon loop (e.g. a power cycle that
+		// re-armed the tick while the old one was still pending), a long
+		// gap means the stream silently stalled.
+		period := d.dilate(BeaconInterval)
+		if gap := d.sched.Now() - d.lastBeaconTick; d.lastBeaconTick != 0 && (gap < period/2 || gap > period*3/2) {
+			audit.Reportf(audit.RuleWiHDBeaconCadence, d.sched.Now(),
+				"%s beacon tick gap %v outside [%v, %v]", d.cfg.Name, gap, period/2, period*3/2)
+		}
+	}
+	d.lastBeaconTick = d.sched.Now()
 	d.sendBeacon(0)
 	d.sched.After(d.dilate(BeaconInterval), d.beaconTick)
 }
@@ -489,6 +508,16 @@ const difsGuard = phy.SIFS + 2*phy.SlotTime
 func (d *Device) sendVideoFrame(f phy.Frame, dur time.Duration, deferrals int, done func()) {
 	if !d.paired || !d.powered || !d.streaming {
 		return
+	}
+	if audit.On() && deferrals == 0 {
+		limit := MaxFrameAir
+		if d.cfg.MaxFrameAir > 0 {
+			limit = d.cfg.MaxFrameAir
+		}
+		if dur > limit {
+			audit.Reportf(audit.RuleWiHDBurstAir, d.sched.Now(),
+				"%s video frame of %d bytes occupies %v, over the %v cap", d.cfg.Name, f.PayloadBytes, dur, limit)
+		}
 	}
 	if d.cfg.CarrierSense && deferrals < 500 {
 		if d.med.Busy(d.radio, d.cfg.CSThresholdDBm) {

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// The file-level tolerance defaults written by UpdateGolden and used by
+// any golden series without explicit overrides. The quick campaign is
+// fully deterministic on one machine, so the defaults are tight: they
+// absorb only cross-architecture floating-point variation (fused
+// multiply-add contraction differs between platforms).
+const (
+	DefaultRelTol = 1e-6
+	DefaultAbsTol = 1e-9
+)
+
+// Golden is the committed golden snapshot (GOLDEN.json).
+type Golden struct {
+	// DefaultRelTol and DefaultAbsTol apply to every series without its
+	// own override. A measured mean m matches a golden mean g when
+	// |m-g| <= max(abs_tol, rel_tol*|g|).
+	DefaultRelTol float64     `json:"default_rel_tol"`
+	DefaultAbsTol float64     `json:"default_abs_tol"`
+	Experiments   []GoldenExp `json:"experiments"`
+}
+
+// GoldenExp is one experiment's expected fingerprint.
+type GoldenExp struct {
+	ID     string         `json:"id"`
+	Pass   bool           `json:"pass"`
+	Series []GoldenSeries `json:"series,omitempty"`
+}
+
+// GoldenSeries is one series' expected summary plus optional tolerance
+// overrides.
+type GoldenSeries struct {
+	Label string `json:"label"`
+	N     int    `json:"n"`
+	Mean  Float  `json:"mean"`
+	// RelTol and AbsTol override the file defaults when non-nil — the
+	// hand-tuned slack for metrics known to vary across platforms.
+	RelTol *float64 `json:"rel_tol,omitempty"`
+	AbsTol *float64 `json:"abs_tol,omitempty"`
+}
+
+// ReadGolden loads a golden snapshot.
+func ReadGolden(path string) (Golden, error) {
+	var g Golden
+	err := readJSON(path, &g)
+	return g, err
+}
+
+// Compare returns one human-readable line per drifted metric, sorted
+// for stable output. An empty slice means the campaign reproduced the
+// snapshot within tolerances.
+func Compare(g Golden, m File) []string {
+	var drifts []string
+	for rule, n := range m.Audit {
+		drifts = append(drifts, fmt.Sprintf("audit: rule %s recorded %d violation(s); the gate requires a clean run", rule, n))
+	}
+	byID := make(map[string]Experiment, len(m.Experiments))
+	for _, e := range m.Experiments {
+		byID[e.ID] = e
+	}
+	for _, want := range g.Experiments {
+		got, ok := byID[want.ID]
+		if !ok {
+			drifts = append(drifts, fmt.Sprintf("%s: missing from the campaign metrics", want.ID))
+			continue
+		}
+		delete(byID, want.ID)
+		if got.Pass != want.Pass {
+			drifts = append(drifts, fmt.Sprintf("%s: pass = %v, golden says %v", want.ID, got.Pass, want.Pass))
+		}
+		bySeries := make(map[string]Series, len(got.Series))
+		for _, s := range got.Series {
+			bySeries[s.Label] = s
+		}
+		for _, ws := range want.Series {
+			gs, ok := bySeries[ws.Label]
+			if !ok {
+				drifts = append(drifts, fmt.Sprintf("%s: series %q missing", want.ID, ws.Label))
+				continue
+			}
+			if gs.N != ws.N {
+				drifts = append(drifts, fmt.Sprintf("%s: series %q has %d points, golden says %d", want.ID, ws.Label, gs.N, ws.N))
+				continue
+			}
+			rel, abs := g.DefaultRelTol, g.DefaultAbsTol
+			if ws.RelTol != nil {
+				rel = *ws.RelTol
+			}
+			if ws.AbsTol != nil {
+				abs = *ws.AbsTol
+			}
+			if d, tol, ok := meanDrift(float64(gs.Mean), float64(ws.Mean), rel, abs); !ok {
+				drifts = append(drifts, fmt.Sprintf("%s: series %q mean %v, golden %v (|Δ|=%.3g > tol %.3g)",
+					want.ID, ws.Label, float64(gs.Mean), float64(ws.Mean), d, tol))
+			}
+		}
+	}
+	for id := range byID {
+		drifts = append(drifts, fmt.Sprintf("%s: not in the golden snapshot (regenerate with -update)", id))
+	}
+	sort.Strings(drifts)
+	return drifts
+}
+
+// meanDrift reports whether a measured mean matches a golden mean.
+// Non-finite values must match exactly in kind; finite values match
+// within max(abs, rel*|golden|).
+func meanDrift(got, want, rel, abs float64) (diff, tol float64, ok bool) {
+	switch {
+	case math.IsNaN(want) || math.IsNaN(got):
+		return math.NaN(), 0, math.IsNaN(want) && math.IsNaN(got)
+	case math.IsInf(want, 0) || math.IsInf(got, 0):
+		return math.Inf(1), 0, got == want
+	}
+	diff = math.Abs(got - want)
+	tol = math.Max(abs, rel*math.Abs(want))
+	return diff, tol, diff <= tol
+}
+
+// UpdateGolden regenerates the snapshot at path from a metrics file,
+// carrying over per-series tolerance overrides from any existing
+// snapshot for series that keep their experiment and label.
+func UpdateGolden(path string, m File) error {
+	overrides := map[string]GoldenSeries{}
+	if old, err := ReadGolden(path); err == nil {
+		for _, e := range old.Experiments {
+			for _, s := range e.Series {
+				if s.RelTol != nil || s.AbsTol != nil {
+					overrides[e.ID+"\x00"+s.Label] = s
+				}
+			}
+		}
+	}
+	g := Golden{DefaultRelTol: DefaultRelTol, DefaultAbsTol: DefaultAbsTol}
+	for _, e := range m.Experiments {
+		ge := GoldenExp{ID: e.ID, Pass: e.Pass}
+		for _, s := range e.Series {
+			gs := GoldenSeries{Label: s.Label, N: s.N, Mean: s.Mean}
+			if o, ok := overrides[e.ID+"\x00"+s.Label]; ok {
+				gs.RelTol, gs.AbsTol = o.RelTol, o.AbsTol
+			}
+			ge.Series = append(ge.Series, gs)
+		}
+		g.Experiments = append(g.Experiments, ge)
+	}
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

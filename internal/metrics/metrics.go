@@ -1,0 +1,127 @@
+// Package metrics defines the campaign metrics snapshot shared by mmsim
+// (which writes one per run via -metrics) and goldencheck (which
+// compares one against the committed GOLDEN.json): per experiment the
+// pass/fail verdict and the mean of every data series. Means are stable
+// across -workers settings — campaigns are deterministic — so the
+// snapshot is a tight regression fingerprint while staying compact
+// enough to commit with tolerances.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/core"
+)
+
+// Float is a float64 that survives JSON round-trips for every value the
+// experiments produce: ±Inf power levels and NaN placeholders encode as
+// strings, which encoding/json rejects for plain float64.
+type Float float64
+
+// MarshalJSON encodes non-finite values as "NaN", "+Inf", or "-Inf".
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON accepts both plain numbers and the non-finite strings.
+func (f *Float) UnmarshalJSON(b []byte) error {
+	var v float64
+	if err := json.Unmarshal(b, &v); err == nil {
+		*f = Float(v)
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("metrics: %s is neither a number nor a non-finite marker", b)
+	}
+	switch s {
+	case "NaN":
+		*f = Float(math.NaN())
+	case "+Inf", "Inf":
+		*f = Float(math.Inf(1))
+	case "-Inf":
+		*f = Float(math.Inf(-1))
+	default:
+		return fmt.Errorf("metrics: unknown float marker %q", s)
+	}
+	return nil
+}
+
+// File is one campaign's metrics snapshot.
+type File struct {
+	// Experiments holds one entry per campaign experiment, in run order.
+	Experiments []Experiment `json:"experiments"`
+	// Audit carries the auditor's per-rule violation counts when
+	// auditing was enabled; the golden gate requires it empty.
+	Audit map[string]uint64 `json:"audit,omitempty"`
+}
+
+// Experiment fingerprints one experiment result.
+type Experiment struct {
+	ID     string   `json:"id"`
+	Pass   bool     `json:"pass"`
+	Series []Series `json:"series,omitempty"`
+}
+
+// Series summarizes one data series.
+type Series struct {
+	Label string `json:"label"`
+	N     int    `json:"n"`
+	Mean  Float  `json:"mean"`
+}
+
+// FromResult fingerprints a completed experiment result.
+func FromResult(res core.Result) Experiment {
+	e := Experiment{ID: res.ID, Pass: res.Pass()}
+	for _, s := range res.Series {
+		sum := 0.0
+		for _, y := range s.Y {
+			sum += y
+		}
+		mean := 0.0
+		if len(s.Y) > 0 {
+			mean = sum / float64(len(s.Y))
+		}
+		e.Series = append(e.Series, Series{Label: s.Label, N: len(s.Y), Mean: Float(mean)})
+	}
+	return e
+}
+
+// WriteFile marshals the snapshot to path, indented, newline-terminated.
+func (f File) WriteFile(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a metrics snapshot.
+func ReadFile(path string) (File, error) {
+	var f File
+	err := readJSON(path, &f)
+	return f, err
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Float must round-trip every value the experiments produce, including
+// the non-finite dBm levels plain float64 JSON rejects.
+func TestFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, -61.5, 1e300, math.Inf(1), math.Inf(-1), math.NaN()} {
+		data, err := json.Marshal(Float(v))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back Float
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if g := float64(back); g != v && !(math.IsNaN(g) && math.IsNaN(v)) {
+			t.Errorf("%v round-tripped to %v via %s", v, g, data)
+		}
+	}
+	var f Float
+	if err := json.Unmarshal([]byte(`"bogus"`), &f); err == nil {
+		t.Error("unknown marker accepted")
+	}
+}
+
+func TestFromResult(t *testing.T) {
+	res := core.Result{ID: "F9", Series: []core.Series{
+		{Label: "goodput", Y: []float64{10, 20, 30}},
+		{Label: "empty"},
+	}}
+	res.AddCheck("x", "a", "a", true)
+	e := FromResult(res)
+	if e.ID != "F9" || !e.Pass || len(e.Series) != 2 {
+		t.Fatalf("bad fingerprint: %+v", e)
+	}
+	if e.Series[0].N != 3 || float64(e.Series[0].Mean) != 20 {
+		t.Errorf("mean wrong: %+v", e.Series[0])
+	}
+	if e.Series[1].N != 0 || float64(e.Series[1].Mean) != 0 {
+		t.Errorf("empty series not zeroed: %+v", e.Series[1])
+	}
+}
+
+func golden() Golden {
+	return Golden{
+		DefaultRelTol: 1e-6,
+		DefaultAbsTol: 1e-9,
+		Experiments: []GoldenExp{
+			{ID: "T1", Pass: true, Series: []GoldenSeries{
+				{Label: "rate", N: 4, Mean: 100},
+			}},
+			{ID: "F9", Pass: true},
+		},
+	}
+}
+
+func measured() File {
+	return File{Experiments: []Experiment{
+		{ID: "T1", Pass: true, Series: []Series{{Label: "rate", N: 4, Mean: 100}}},
+		{ID: "F9", Pass: true},
+	}}
+}
+
+// The tolerance ladder: exact match, within-tolerance drift, and every
+// mismatch class must be reported under a recognizable line.
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*File)
+		want   string // substring of a drift line; "" = clean
+	}{
+		{"identical", func(*File) {}, ""},
+		{"within rel tol", func(m *File) { m.Experiments[0].Series[0].Mean = 100 + 5e-5 }, ""},
+		{"beyond rel tol", func(m *File) { m.Experiments[0].Series[0].Mean = 100.1 }, `series "rate" mean`},
+		{"pass flip", func(m *File) { m.Experiments[1].Pass = false }, "pass = false"},
+		{"point count", func(m *File) { m.Experiments[0].Series[0].N = 5 }, "has 5 points"},
+		{"series gone", func(m *File) { m.Experiments[0].Series = nil }, `series "rate" missing`},
+		{"experiment gone", func(m *File) { m.Experiments = m.Experiments[1:] }, "T1: missing"},
+		{"new experiment", func(m *File) {
+			m.Experiments = append(m.Experiments, Experiment{ID: "Z9", Pass: true})
+		}, "not in the golden snapshot"},
+		{"audit violations", func(m *File) { m.Audit = map[string]uint64{"wigig.nav.decrease": 2} }, "wigig.nav.decrease"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := measured()
+			tc.mutate(&m)
+			drifts := Compare(golden(), m)
+			if tc.want == "" {
+				if len(drifts) != 0 {
+					t.Fatalf("spurious drift: %v", drifts)
+				}
+				return
+			}
+			found := false
+			for _, d := range drifts {
+				if strings.Contains(d, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no drift containing %q in %v", tc.want, drifts)
+			}
+		})
+	}
+}
+
+// A per-series override must widen (or tighten) the gate for just that
+// metric.
+func TestCompareToleranceOverride(t *testing.T) {
+	g := golden()
+	rel := 0.05
+	g.Experiments[0].Series[0].RelTol = &rel
+	m := measured()
+	m.Experiments[0].Series[0].Mean = 103 // 3% off: inside the override, way outside the default
+	if drifts := Compare(g, m); len(drifts) != 0 {
+		t.Fatalf("override not honoured: %v", drifts)
+	}
+	m.Experiments[0].Series[0].Mean = 110 // 10% off: outside even the override
+	if drifts := Compare(g, m); len(drifts) == 0 {
+		t.Fatal("10% drift slipped through a 5% override")
+	}
+}
+
+// Non-finite means must compare by kind, never by subtraction.
+func TestCompareNonFinite(t *testing.T) {
+	g := golden()
+	g.Experiments[0].Series[0].Mean = Float(math.Inf(-1))
+	m := measured()
+	m.Experiments[0].Series[0].Mean = Float(math.Inf(-1))
+	if drifts := Compare(g, m); len(drifts) != 0 {
+		t.Fatalf("-Inf vs -Inf drifted: %v", drifts)
+	}
+	m.Experiments[0].Series[0].Mean = -200
+	if drifts := Compare(g, m); len(drifts) == 0 {
+		t.Fatal("-200 matched a golden -Inf")
+	}
+}
+
+// UpdateGolden must regenerate means while preserving hand-tuned
+// per-series tolerance overrides, and the files must round-trip.
+func TestUpdateGoldenPreservesOverrides(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "GOLDEN.json")
+	g := golden()
+	rel := 0.05
+	g.Experiments[0].Series[0].RelTol = &rel
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := measured()
+	m.Experiments[0].Series[0].Mean = 250 // new baseline
+	if err := UpdateGolden(path, m); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGolden(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g2.Experiments[0].Series[0]
+	if float64(s.Mean) != 250 {
+		t.Errorf("mean not refreshed: %v", s.Mean)
+	}
+	if s.RelTol == nil || *s.RelTol != 0.05 {
+		t.Errorf("override lost: %+v", s)
+	}
+	if drifts := Compare(g2, m); len(drifts) != 0 {
+		t.Errorf("freshly updated golden drifts against its own source: %v", drifts)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/geom"
 	"repro/internal/phy"
 	"repro/internal/rf"
@@ -255,12 +256,27 @@ func (m *Medium) InvalidateChannels() {
 
 // InvalidateRadio drops only the cached pairs touching the given radio —
 // the correct invalidation after moving that radio, leaving every other
-// pair's ray-traced channel intact.
+// pair's ray-traced channel intact. Unknown IDs panic: a typoed ID here
+// would silently leave stale channels in the cache, which is exactly the
+// class of bug this call exists to prevent.
 func (m *Medium) InvalidateRadio(id int) {
+	m.checkRadioID("InvalidateRadio", id)
 	for key := range m.paths {
 		if key[0] == id || key[1] == id {
 			delete(m.paths, key)
 		}
+	}
+}
+
+// checkRadioID panics with a descriptive message when id does not name a
+// registered radio. IDs are assigned densely by AddRadio, so anything
+// outside [0, len) is a caller bug — accepting it silently would turn a
+// typo into a no-op (InvalidateRadio) or a phantom link entry
+// (SetLinkOffset) that never affects a real pair.
+func (m *Medium) checkRadioID(method string, id int) {
+	if id < 0 || id >= len(m.radios) {
+		panic(fmt.Sprintf("sim: Medium.%s: unknown radio ID %d (%d radios registered, valid IDs are 0..%d)",
+			method, id, len(m.radios), len(m.radios)-1))
 	}
 }
 
@@ -280,13 +296,21 @@ func (m *Medium) linkOffset(a, b int) float64 {
 // long-run stability experiment (Fig. 14) drives a gentle random walk
 // through this to provoke beam realignments in an otherwise static
 // scene.
+// Unknown IDs panic (see checkRadioID).
 func (m *Medium) SetLinkOffset(aID, bID int, db float64) {
+	m.checkRadioID("SetLinkOffset", aID)
+	m.checkRadioID("SetLinkOffset", bID)
 	m.linkOffsetDB[pairKey(aID, bID)] = db
 }
 
 // LinkOffset returns the current slow shadowing offset of a pair (drawing
-// it if the pair has not been used yet).
-func (m *Medium) LinkOffset(aID, bID int) float64 { return m.linkOffset(aID, bID) }
+// it if the pair has not been used yet). Unknown IDs panic (see
+// checkRadioID).
+func (m *Medium) LinkOffset(aID, bID int) float64 {
+	m.checkRadioID("LinkOffset", aID)
+	m.checkRadioID("LinkOffset", bID)
+	return m.linkOffset(aID, bID)
+}
 
 // SetDeliveryFilter installs (or, with nil, removes) the delivery
 // filter: before any frame is handed to a radio's Handler, the filter
@@ -330,10 +354,43 @@ func (m *Medium) EnergyDBm(r *Radio) float64 {
 			total += math.Pow(10, p/10)
 		}
 	}
+	if audit.On() {
+		m.auditEnergy(r, now, total)
+	}
 	if total == 0 {
 		return math.Inf(-1)
 	}
 	return 10 * math.Log10(total)
+}
+
+// auditEnergy re-derives the energy-detect total independently (walking
+// the live transmissions in reverse, re-reading each contribution) and
+// confirms the two accumulations agree — catching any accounting drift
+// between what is on air and what carrier sensing reports. It also
+// sweeps the active list for transmissions that end before they start.
+func (m *Medium) auditEnergy(r *Radio, now Time, total float64) {
+	check := 0.0
+	for i := len(m.active) - 1; i >= 0; i-- {
+		t := m.active[i]
+		if t.end < t.start {
+			audit.Reportf(audit.RuleMediumTxDuration, now,
+				"active transmission from %s ends at %v before its start %v", t.tx.Name, t.end, t.start)
+		}
+		if t.tx == r || t.end <= now || r.ID >= len(t.rxPowerDBm) {
+			continue
+		}
+		if p := t.rxPowerDBm[r.ID]; !math.IsInf(p, -1) {
+			check += math.Pow(10, p/10)
+		}
+	}
+	// The two sums accumulate the same terms in opposite orders; any gap
+	// beyond float rounding means a contribution was double-counted or
+	// dropped.
+	tol := 1e-9 * math.Max(total, check)
+	if diff := math.Abs(total - check); diff > tol && diff > 1e-300 {
+		audit.Reportf(audit.RuleMediumEnergyConserved, now,
+			"energy-detect at %s: forward sum %.6g mW vs independent sum %.6g mW", r.Name, total, check)
+	}
 }
 
 // Busy reports whether the air at r carries energy above the threshold.
@@ -345,12 +402,24 @@ func (m *Medium) Busy(r *Radio, thresholdDBm float64) bool {
 // fire at the frame end on every other radio above its listen floor.
 func (m *Medium) Transmit(r *Radio, f phy.Frame) {
 	now := m.Sched.Now()
+	// The MCS legality check runs before Duration(): an off-ladder MCS
+	// would panic inside the rate lookup, and the audit must classify it
+	// under its rule first (in strict mode the violation panic wins).
+	if audit.On() && (f.MCS < phy.MCS0 || f.MCS > phy.MaxDataMCS) {
+		audit.Reportf(audit.RulePhyMCSRange, now,
+			"%s frame from %s carries MCS %d (ladder is %d..%d)",
+			f.Type, r.Name, int(f.MCS), int(phy.MCS0), int(phy.MaxDataMCS))
+	}
 	t := &transmission{
 		frame:      f,
 		tx:         r,
 		start:      now,
 		end:        now + f.Duration(),
 		rxPowerDBm: make([]float64, len(m.radios)),
+	}
+	if audit.On() && t.end <= t.start {
+		audit.Reportf(audit.RuleMediumTxDuration, now,
+			"%s frame from %s occupies the air for %v", f.Type, r.Name, t.end-t.start)
 	}
 	for _, rx := range m.radios {
 		if rx == r {
@@ -405,6 +474,9 @@ func (m *Medium) finish(t *transmission) {
 			bits = 160
 		}
 		per := t.frame.MCS.PER(sinr, bits)
+		if audit.On() {
+			m.auditDelivery(t, rx, p, sinr, per, now)
+		}
 		ok := !m.rng.Bool(per)
 		rx.Handler.OnFrame(t.frame, Reception{
 			From:            t.tx.ID,
@@ -416,6 +488,35 @@ func (m *Medium) finish(t *transmission) {
 			Start:           t.start,
 			End:             t.end,
 		})
+	}
+}
+
+// MaxArrayGainDB bounds the coupled transmit-plus-receive array gain any
+// lawful delivery can enjoy: phased arrays in this class top out well
+// under 25 dBi a side, and every real path adds loss on top, so a frame
+// arriving above TxPowerDBm+MaxArrayGainDB means a sign or accounting
+// bug in the power bookkeeping, not a good antenna.
+const MaxArrayGainDB = 50
+
+// auditDelivery checks the PHY lawfulness of one frame delivery:
+// received power bounded by the link budget, PER a probability, and the
+// effective SINR under the EVM ceiling.
+func (m *Medium) auditDelivery(t *transmission, rx *Radio, p, sinr, per float64, now Time) {
+	if p > t.tx.TxPowerDBm+MaxArrayGainDB {
+		audit.Reportf(audit.RuleMediumRxOverpower, now,
+			"%s frame %s→%s delivered at %.1f dBm, above tx power %.1f dBm + %d dB max array gain",
+			t.frame.Type, t.tx.Name, rx.Name, p, t.tx.TxPowerDBm, MaxArrayGainDB)
+	}
+	if math.IsNaN(per) || per < 0 || per > 1 {
+		audit.Reportf(audit.RulePhyPERRange, now,
+			"PER %v for %s frame %s→%s at SINR %.2f dB", per, t.frame.Type, t.tx.Name, rx.Name, sinr)
+	}
+	// The distortion floor adds like noise, so the effective SINR can
+	// approach the ceiling but never pass it.
+	if m.Budget.EVMFloorDB > 0 && sinr > m.Budget.EVMFloorDB+1e-9 {
+		audit.Reportf(audit.RulePhySINREVMCap, now,
+			"effective SINR %.3f dB above the %.1f dB EVM ceiling (%s→%s)",
+			sinr, m.Budget.EVMFloorDB, t.tx.Name, rx.Name)
 	}
 }
 

@@ -7,9 +7,12 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/audit"
 )
 
 // Time is simulation time, measured as a duration since the start of the
@@ -96,6 +99,15 @@ func (e *DeadlineError) Error() string {
 		e.Budget, e.Elapsed.Round(time.Millisecond), e.SimTime)
 }
 
+// ErrDeadline is the errors.Is target every *DeadlineError wraps, so
+// callers can classify deadline failures without holding the concrete
+// type — including through the campaign runner's FAIL synthesis, which
+// wraps the recovered panic in par.PointError chains.
+var ErrDeadline = errors.New("sim: wall-clock deadline exceeded")
+
+// Unwrap makes errors.Is(err, ErrDeadline) hold through wrapping.
+func (e *DeadlineError) Unwrap() error { return ErrDeadline }
+
 // defaultWallBudget is the process-wide budget newly created schedulers
 // inherit (nanoseconds; 0 = unlimited). The campaign runner sets it from
 // the -deadline flag so every scheduler of every experiment — including
@@ -110,11 +122,13 @@ func SetDefaultWallBudget(d time.Duration) time.Duration {
 	return time.Duration(defaultWallBudget.Swap(int64(d)))
 }
 
-// watchdogCheckEvery spaces the wall-clock checks: one time.Now() per
+// DefaultWatchdogEvery spaces the wall-clock checks: one time.Now() per
 // this many events keeps the watchdog far off the hot path (an event
 // dispatch costs well under a microsecond; 4096 events bound the
 // detection latency to a few milliseconds of simulation work).
-const watchdogCheckEvery = 4096
+// Audit-heavy runs can tighten the cadence per scheduler with
+// SetWatchdogEvery — the heap-consistency audit shares it.
+const DefaultWatchdogEvery = 4096
 
 // Scheduler is a single-threaded discrete-event executor. All simulation
 // code runs on the scheduler goroutine; the models need no locking.
@@ -129,13 +143,18 @@ type Scheduler struct {
 	wallBudget  time.Duration
 	wallStart   time.Time // zero until the first watched Run
 	eventsRun   uint64
+	checkEvery  uint64
 	interrupted atomic.Bool
 }
 
 // NewScheduler returns a scheduler at time zero, inheriting the process
-// default wall-clock budget (SetDefaultWallBudget).
+// default wall-clock budget (SetDefaultWallBudget) and the default
+// watchdog cadence.
 func NewScheduler() *Scheduler {
-	return &Scheduler{wallBudget: time.Duration(defaultWallBudget.Load())}
+	return &Scheduler{
+		wallBudget: time.Duration(defaultWallBudget.Load()),
+		checkEvery: DefaultWatchdogEvery,
+	}
 }
 
 // SetWallBudget overrides this scheduler's wall-clock budget. The clock
@@ -145,6 +164,21 @@ func (s *Scheduler) SetWallBudget(d time.Duration) {
 	s.wallBudget = d
 	s.wallStart = time.Time{}
 }
+
+// SetWatchdogEvery sets how many events pass between wall-clock deadline
+// checks (and, when auditing is on, heap-consistency sweeps). Values
+// below one restore DefaultWatchdogEvery. Tighter cadences bound
+// deadline-detection latency at the cost of more time.Now() calls.
+func (s *Scheduler) SetWatchdogEvery(n int) {
+	if n < 1 {
+		s.checkEvery = DefaultWatchdogEvery
+		return
+	}
+	s.checkEvery = uint64(n)
+}
+
+// WatchdogEvery returns the active check cadence.
+func (s *Scheduler) WatchdogEvery() int { return int(s.checkEvery) }
 
 // Interrupt makes Run return cleanly at the next event boundary. It is
 // the only Scheduler method safe to call from another goroutine —
@@ -207,10 +241,19 @@ func (s *Scheduler) Run(until Time) Time {
 			continue
 		}
 		s.eventsRun++
-		if s.wallBudget > 0 && s.eventsRun%watchdogCheckEvery == 0 {
-			if el := time.Since(s.wallStart); el > s.wallBudget {
-				panic(&DeadlineError{Budget: s.wallBudget, Elapsed: el, SimTime: next.at})
+		if s.eventsRun%s.checkEvery == 0 {
+			if s.wallBudget > 0 {
+				if el := time.Since(s.wallStart); el > s.wallBudget {
+					panic(&DeadlineError{Budget: s.wallBudget, Elapsed: el, SimTime: next.at})
+				}
 			}
+			if audit.On() {
+				s.auditHeap(next.at)
+			}
+		}
+		if audit.On() && next.at < s.now {
+			audit.Reportf(audit.RuleSchedTimeMonotone, s.now,
+				"event scheduled for %v popped at clock %v", next.at, s.now)
 		}
 		s.now = next.at
 		next.fn()
@@ -219,4 +262,30 @@ func (s *Scheduler) Run(until Time) Time {
 		s.now = until
 	}
 	return s.now
+}
+
+// auditHeap verifies the event-queue invariants Pending depends on: the
+// heap order property holds, every queued timer's index matches its
+// slot, and no canceled timer lingers in the queue (Cancel removes its
+// slot immediately, so Pending counts exactly the live events). Runs on
+// the watchdog cadence when auditing is enabled.
+func (s *Scheduler) auditHeap(now Time) {
+	for i, tm := range s.events {
+		if tm.index != i {
+			audit.Reportf(audit.RuleSchedHeapConsistent, now,
+				"timer at slot %d records index %d", i, tm.index)
+			return
+		}
+		if tm.canceled {
+			audit.Reportf(audit.RuleSchedHeapConsistent, now,
+				"canceled timer (at %v) still queued at slot %d; Pending=%d overcounts", tm.at, i, s.events.Len())
+			return
+		}
+		if parent := (i - 1) / 2; i > 0 && s.events.Less(i, parent) {
+			audit.Reportf(audit.RuleSchedHeapConsistent, now,
+				"heap order broken: slot %d (at %v, seq %d) sorts before parent slot %d (at %v, seq %d)",
+				i, tm.at, tm.seq, parent, s.events[parent].at, s.events[parent].seq)
+			return
+		}
+	}
 }

@@ -16,7 +16,7 @@ func TestWallBudgetTripsDeadline(t *testing.T) {
 	s := NewScheduler()
 	s.SetWallBudget(20 * time.Millisecond)
 	// A self-rescheduling busy event that burns real time: the watchdog
-	// checks every watchdogCheckEvery events, so keep them cheap and
+	// checks every DefaultWatchdogEvery events, so keep them cheap and
 	// numerous.
 	var tick func()
 	n := 0
@@ -48,14 +48,14 @@ func TestZeroBudgetNeverTrips(t *testing.T) {
 	var tick func()
 	tick = func() {
 		ran++
-		if ran < 3*watchdogCheckEvery {
+		if ran < 3*DefaultWatchdogEvery {
 			s.After(time.Nanosecond, tick)
 		}
 	}
 	s.After(0, tick)
 	s.Run(time.Hour)
-	if ran != 3*watchdogCheckEvery {
-		t.Errorf("ran %d events, want %d", ran, 3*watchdogCheckEvery)
+	if ran != 3*DefaultWatchdogEvery {
+		t.Errorf("ran %d events, want %d", ran, 3*DefaultWatchdogEvery)
 	}
 }
 

@@ -1,0 +1,85 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/sim"
+)
+
+// withAudit runs fn with the auditor in warn mode and clean counters,
+// restoring the previous mode afterwards.
+func withAudit(t *testing.T, fn func()) {
+	t.Helper()
+	prev := audit.SetMode(audit.Warn)
+	audit.Reset()
+	defer func() {
+		audit.SetMode(prev)
+		audit.Reset()
+	}()
+	fn()
+}
+
+// A lossy transfer exercises slow start, fast retransmit, and RTO
+// recovery; all of them must keep the sequence and window invariants.
+func TestTCPAuditCleanLossyTransfer(t *testing.T) {
+	withAudit(t, func() {
+		s := sim.NewScheduler()
+		fwd := newFakeLink(s, 100*time.Microsecond, 0.05, 21)
+		rev := newFakeLink(s, 100*time.Microsecond, 0.05, 22)
+		f := NewFlow(s, fwd, rev, Config{TotalBytes: 1 << 20})
+		f.Start()
+		s.Run(30 * time.Second)
+		if !f.Done() {
+			t.Fatalf("transfer incomplete: delivered=%d", f.Delivered)
+		}
+		if f.Retransmits == 0 && f.Timeouts == 0 {
+			t.Fatal("lossy link exercised no recovery paths")
+		}
+		if n := audit.Total(); n != 0 {
+			t.Fatalf("lossy transfer recorded %d violations: %s", n, audit.Summary())
+		}
+	})
+}
+
+// A corrupted ACK number (beyond the send point) and a poisoned cwnd
+// must be classified under their rules.
+func TestTCPAuditCatchesCorruptState(t *testing.T) {
+	withAudit(t, func() {
+		s := sim.NewScheduler()
+		fwd := newFakeLink(s, 100*time.Microsecond, 0, 23)
+		rev := newFakeLink(s, 100*time.Microsecond, 0, 24)
+		f := NewFlow(s, fwd, rev, Config{})
+		f.Start()
+		s.Run(10 * time.Millisecond)
+		f.onAck(f.maxSent + 100) // acknowledges data never sent
+		if audit.Counts()[audit.RuleTCPSeqOrder] == 0 {
+			t.Fatalf("phantom ACK not caught: %s", audit.Summary())
+		}
+		f.cwnd = 0 // a broken multiplicative decrease
+		f.onAck(f.ackedSeq)
+		if audit.Counts()[audit.RuleTCPCwndRange] == 0 {
+			t.Fatalf("cwnd underflow not caught: %s", audit.Summary())
+		}
+	})
+}
+
+func TestTCPAuditOffRecordsNothing(t *testing.T) {
+	prev := audit.SetMode(audit.Off)
+	audit.Reset()
+	defer func() {
+		audit.SetMode(prev)
+		audit.Reset()
+	}()
+	s := sim.NewScheduler()
+	fwd := newFakeLink(s, 100*time.Microsecond, 0, 25)
+	rev := newFakeLink(s, 100*time.Microsecond, 0, 26)
+	f := NewFlow(s, fwd, rev, Config{})
+	f.Start()
+	s.Run(10 * time.Millisecond)
+	f.onAck(f.maxSent + 100)
+	if audit.Total() != 0 {
+		t.Fatalf("off mode recorded: %s", audit.Summary())
+	}
+}

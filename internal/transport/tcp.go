@@ -12,6 +12,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/mac"
 	"repro/internal/sim"
 )
@@ -72,6 +73,7 @@ type Flow struct {
 
 	// Sender state, in segment units.
 	nextSeq   int64 // next segment to send (beyond highest sent)
+	maxSent   int64 // high-water mark: one past the highest segment ever sent
 	ackedSeq  int64 // cumulative: all segments < ackedSeq delivered
 	dupAcks   int
 	cwnd      float64 // in segments
@@ -270,6 +272,9 @@ func (f *Flow) sendSegment(seq int64, retx bool) bool {
 	if !ok {
 		return false
 	}
+	if seq >= f.maxSent {
+		f.maxSent = seq + 1
+	}
 	if retx {
 		f.Retransmits++
 	} else {
@@ -321,10 +326,36 @@ func (f *Flow) onSegmentArrive(seq int64) {
 	}
 }
 
+// auditState checks the sender's sequence and window invariants after a
+// congestion-control transition: the cumulative ACK point never passes
+// the highest segment ever sent (nextSeq itself may lawfully sit below
+// it after a go-back-N rollback), the window stays at least one segment
+// and finite, and ssthresh never collapses below its two-segment floor.
+func (f *Flow) auditState(where string) {
+	now := f.sched.Now()
+	if f.ackedSeq > f.maxSent {
+		audit.Reportf(audit.RuleTCPSeqOrder, now,
+			"%s: cumulative ACK %d beyond the %d segments ever sent", where, f.ackedSeq, f.maxSent)
+	}
+	if math.IsNaN(f.cwnd) || math.IsInf(f.cwnd, 0) || f.cwnd < 1 {
+		audit.Reportf(audit.RuleTCPCwndRange, now, "%s: cwnd=%v segments", where, f.cwnd)
+	}
+	if math.IsNaN(f.ssthresh) || f.ssthresh < 2 {
+		audit.Reportf(audit.RuleTCPCwndRange, now, "%s: ssthresh=%v segments", where, f.ssthresh)
+	}
+}
+
 // onAck runs at the sender when a cumulative ACK arrives.
 func (f *Flow) onAck(ackNo int64) {
 	if f.done {
 		return
+	}
+	if audit.On() {
+		if ackNo > f.maxSent {
+			audit.Reportf(audit.RuleTCPSeqOrder, f.sched.Now(),
+				"ACK %d acknowledges data never sent (%d segments ever sent)", ackNo, f.maxSent)
+		}
+		defer f.auditState("onAck")
 	}
 	if ackNo > f.ackedSeq {
 		newly := ackNo - f.ackedSeq
@@ -407,6 +438,9 @@ func (f *Flow) onRTO() {
 	// Go-back-N from the last cumulative ACK.
 	f.nextSeq = f.ackedSeq
 	f.rttSeq = -1
+	if audit.On() {
+		f.auditState("onRTO")
+	}
 	f.pump()
 	f.armRTO()
 }

@@ -1,0 +1,20 @@
+#!/bin/sh
+# golden_check.sh — the golden-metrics regression gate.
+#
+# Runs the full quick campaign under the strict runtime auditor (any
+# invariant violation aborts its experiment and fails the gate), dumps
+# the campaign metrics, and compares them against the committed snapshot
+# GOLDEN.json with per-metric tolerances via cmd/goldencheck.
+#
+# Usage:
+#   scripts/golden_check.sh            # gate: exit 1 on any drift
+#   scripts/golden_check.sh -update    # refresh GOLDEN.json from a clean run
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "golden gate: quick campaign under -audit=strict..." >&2
+go run ./cmd/mmsim -quick -audit=strict -metrics "$tmp/metrics.json" run all
+go run ./cmd/goldencheck -golden GOLDEN.json -metrics "$tmp/metrics.json" "$@"
