@@ -177,5 +177,42 @@ func OrientQuasiOmni(cb *antenna.Codebook, idx int, boresight float64) sim.GainF
 	return antenna.Oriented{Pattern: cb.QuasiOmni[idx%len(cb.QuasiOmni)], Boresight: boresight}.GainFunc()
 }
 
+// OrientedCodebook holds every codeword of a codebook pre-oriented at a
+// fixed boresight. A device's mounting angle never changes, so building
+// the gain closures once at construction lets beam switches (sector
+// changes, quasi-omni listening rotation, the per-sub-element discovery
+// sweep) reuse them instead of allocating a fresh closure per switch —
+// the dominant per-frame allocation in the MAC hot path.
+type OrientedCodebook struct {
+	sectors []sim.GainFunc
+	quasi   []sim.GainFunc
+}
+
+// OrientCodebook orients every sector and quasi-omni codeword of cb at
+// the given boresight.
+func OrientCodebook(cb *antenna.Codebook, boresight float64) *OrientedCodebook {
+	oc := &OrientedCodebook{
+		sectors: make([]sim.GainFunc, len(cb.Sectors)),
+		quasi:   make([]sim.GainFunc, len(cb.QuasiOmni)),
+	}
+	for i, s := range cb.Sectors {
+		oc.sectors[i] = antenna.Oriented{Pattern: s.Pattern, Boresight: boresight}.GainFunc()
+	}
+	for i, q := range cb.QuasiOmni {
+		oc.quasi[i] = antenna.Oriented{Pattern: q, Boresight: boresight}.GainFunc()
+	}
+	return oc
+}
+
+// Sector returns the pre-oriented gain function of sector idx.
+func (oc *OrientedCodebook) Sector(idx int) sim.GainFunc { return oc.sectors[idx] }
+
+// QuasiOmni returns the pre-oriented gain function of quasi-omni
+// codeword idx (wrapped modulo the codebook size, matching
+// OrientQuasiOmni).
+func (oc *OrientedCodebook) QuasiOmni(idx int) sim.GainFunc {
+	return oc.quasi[idx%len(oc.quasi)]
+}
+
 // Towards returns the global angle from a to b.
 func Towards(a, b geom.Vec2) float64 { return b.Sub(a).Angle() }

@@ -159,9 +159,9 @@ type Device struct {
 	pendingFrame phy.Frame
 	awaitingCTS  bool
 
-	ackTimer    *sim.Timer
-	ctsTimer    *sim.Timer
-	accessTimer *sim.Timer
+	ackTimer    sim.Timer
+	ctsTimer    sim.Timer
+	accessTimer sim.Timer
 
 	mcs             phy.MCS
 	snrEst          *stats.EWMA
@@ -178,6 +178,32 @@ type Device struct {
 	maxAggAir   time.Duration
 	breakReason string
 	navUntil    sim.Time
+
+	// oriented holds the codebook's gain functions pre-oriented at the
+	// mounting boresight, which is fixed for the device's lifetime —
+	// beam switches reuse these instead of allocating a closure per
+	// pattern change (the discovery sweep switches per sub-element).
+	oriented *mac.OrientedCodebook
+	// Pre-bound scheduler callbacks: binding each method value once here
+	// keeps the per-frame CSMA/beacon/retransmission loops free of
+	// closure allocations.
+	accessSlotFn     func()
+	sendDataFrameFn  func()
+	onAckTimeoutFn   func()
+	beaconTickFn     func()
+	rotateListenFn   func()
+	discoverySweepFn func()
+	beaconRetryFn    func()
+	ctsTimeoutFn     func()
+	ctsReplyFn       func()
+	beaconReplyFn    func()
+	sendAckFn        func()
+	// ackSeq is the sequence number the pending block-ACK (sendAckFn)
+	// acknowledges; data frames are serialized per link, so at most one
+	// ACK is pending at a time.
+	ackSeq int64
+	// beaconAttempt counts busy-air deferrals of the current beacon.
+	beaconAttempt int
 
 	// trainingFault, when set, intercepts every sector-sweep outcome:
 	// it receives the honest winner and the codebook size and returns
@@ -219,6 +245,18 @@ func NewDevice(med *sim.Medium, cfg Config) *Device {
 		lossEst:   stats.NewEWMA(0.05),
 		powerEst:  stats.NewEWMA(0.1),
 	}
+	d.oriented = mac.OrientCodebook(cb, d.boresight())
+	d.accessSlotFn = d.accessSlot
+	d.sendDataFrameFn = d.sendDataFrame
+	d.onAckTimeoutFn = d.onAckTimeout
+	d.beaconTickFn = d.beaconTick
+	d.rotateListenFn = d.rotateListen
+	d.discoverySweepFn = d.discoverySweep
+	d.beaconRetryFn = d.sendBeacon
+	d.ctsTimeoutFn = d.onCTSTimeout
+	d.ctsReplyFn = d.sendCTSReply
+	d.beaconReplyFn = d.sendBeaconReply
+	d.sendAckFn = d.sendAck
 	d.radio = med.AddRadio(&sim.Radio{
 		Name:       cfg.Name,
 		Pos:        cfg.Pos,
@@ -230,7 +268,7 @@ func NewDevice(med *sim.Medium, cfg Config) *Device {
 	// Unassociated devices rotate their quasi-omni listening pattern so
 	// that a deep gap towards the peer (Fig. 16) never pins discovery:
 	// the sweep of patterns guarantees some codeword eventually hears.
-	d.sched.After(listenRotatePeriod, d.rotateListen)
+	d.sched.After(listenRotatePeriod, d.rotateListenFn)
 	return d
 }
 
@@ -242,7 +280,7 @@ func (d *Device) rotateListen() {
 		d.qoListen = (d.qoListen + 1) % len(d.cb.QuasiOmni)
 		d.setQuasiOmni(d.qoListen)
 	}
-	d.sched.After(listenRotatePeriod, d.rotateListen)
+	d.sched.After(listenRotatePeriod, d.rotateListenFn)
 }
 
 // Connect pairs two devices (one Dock, one Station).
@@ -354,14 +392,14 @@ func (d *Device) Send(m mac.MPDU) bool {
 func (d *Device) boresight() float64 { return geom.Rad(d.cfg.BoresightDeg) }
 
 func (d *Device) setQuasiOmni(idx int) {
-	g := mac.OrientQuasiOmni(d.cb, idx, d.boresight())
+	g := d.oriented.QuasiOmni(idx)
 	d.radio.TxGain = g
 	d.radio.RxGain = g
 }
 
 func (d *Device) setSector(idx int) {
 	d.sector = idx
-	g := mac.OrientSector(d.cb, idx, d.boresight())
+	g := d.oriented.Sector(idx)
 	d.radio.TxGain = g
 	d.radio.RxGain = g
 }
@@ -385,7 +423,7 @@ func (d *Device) transmit(f phy.Frame) {
 // --- Discovery ---------------------------------------------------------
 
 func (d *Device) scheduleDiscovery(delay sim.Time) {
-	d.sched.After(d.dilate(delay), d.discoverySweep)
+	d.sched.After(d.dilate(delay), d.discoverySweepFn)
 }
 
 // discoverySweep emits the 32-sub-element discovery frame of Fig. 3:
@@ -401,7 +439,7 @@ func (d *Device) discoverySweep() {
 			if d.state == StateAssociated {
 				return
 			}
-			d.radio.TxGain = mac.OrientQuasiOmni(d.cb, i, d.boresight())
+			d.radio.TxGain = d.oriented.QuasiOmni(i)
 			d.med.Transmit(d.radio, phy.Frame{
 				Type: phy.FrameDiscovery,
 				Src:  d.radio.ID,
@@ -489,7 +527,7 @@ func (d *Device) associate() {
 	d.snrEst.Update(snr)
 	d.adaptRate()
 	if d.cfg.Role == Dock {
-		d.sched.After(d.dilate(BeaconInterval), d.beaconTick)
+		d.sched.After(d.dilate(BeaconInterval), d.beaconTickFn)
 	}
 	if d.txq.Len() > 0 {
 		d.startAccess()
@@ -536,15 +574,9 @@ func (d *Device) teardown() {
 	d.accessing = false
 	d.awaitingCTS = false
 	d.pending = nil
-	if d.ackTimer != nil {
-		d.ackTimer.Cancel()
-	}
-	if d.ctsTimer != nil {
-		d.ctsTimer.Cancel()
-	}
-	if d.accessTimer != nil {
-		d.accessTimer.Cancel()
-	}
+	d.ackTimer.Cancel()
+	d.ctsTimer.Cancel()
+	d.accessTimer.Cancel()
 	d.setQuasiOmni(0)
 }
 
@@ -564,19 +596,21 @@ func (d *Device) beaconTick() {
 	// exchanges (a beacon launched into the peer's TXOP would corrupt a
 	// data frame — the real device schedules beacons into gaps).
 	if !d.inTXOP {
-		d.sendBeacon(0)
+		d.beaconAttempt = 0
+		d.sendBeacon()
 	}
-	d.sched.After(d.dilate(BeaconInterval), d.beaconTick)
+	d.sched.After(d.dilate(BeaconInterval), d.beaconTickFn)
 }
 
-func (d *Device) sendBeacon(attempt int) {
+func (d *Device) sendBeacon() {
 	if d.state != StateAssociated || d.inTXOP {
 		return
 	}
 	now := d.sched.Now()
-	if attempt < 12 &&
+	if d.beaconAttempt < 12 &&
 		(d.med.Busy(d.radio, CSThresholdDBm) || now < d.navUntil || now < d.txBusyUntil) {
-		d.sched.After(30*time.Microsecond, func() { d.sendBeacon(attempt + 1) })
+		d.beaconAttempt++
+		d.sched.After(30*time.Microsecond, d.beaconRetryFn)
 		return
 	}
 	d.transmit(phy.Frame{Type: phy.FrameBeacon, Src: d.radio.ID, Dst: d.peer.radio.ID})
@@ -604,11 +638,14 @@ func (d *Device) onBeacon(rx sim.Reception) {
 	// exchange); the SIFS-spaced response needs no deferral — the beacon
 	// it answers just reserved the air.
 	if d.cfg.Role == Station && !d.inTXOP {
-		d.sched.After(phy.SIFS, func() {
-			if d.state == StateAssociated && !d.inTXOP && d.sched.Now() >= d.txBusyUntil {
-				d.transmit(phy.Frame{Type: phy.FrameBeacon, Src: d.radio.ID, Dst: d.peer.radio.ID})
-			}
-		})
+		d.sched.After(phy.SIFS, d.beaconReplyFn)
+	}
+}
+
+// sendBeaconReply answers the dock's beacon (pre-bound as beaconReplyFn).
+func (d *Device) sendBeaconReply() {
+	if d.state == StateAssociated && !d.inTXOP && d.sched.Now() >= d.txBusyUntil {
+		d.transmit(phy.Frame{Type: phy.FrameBeacon, Src: d.radio.ID, Dst: d.peer.radio.ID})
 	}
 }
 
@@ -676,7 +713,7 @@ func (d *Device) startAccess() {
 	d.accessing = true
 	d.backoff = d.rng.Intn(d.cw)
 	d.deferredCS = false
-	d.accessTimer = d.sched.After(DIFS, d.accessSlot)
+	d.accessTimer = d.sched.After(DIFS, d.accessSlotFn)
 }
 
 func (d *Device) accessSlot() {
@@ -690,13 +727,13 @@ func (d *Device) accessSlot() {
 			d.Stats.CSDefers++
 			d.deferredCS = true
 		}
-		d.accessTimer = d.sched.After(phy.SlotTime, d.accessSlot)
+		d.accessTimer = d.sched.After(phy.SlotTime, d.accessSlotFn)
 		return
 	}
 	d.deferredCS = false
 	if d.backoff > 0 {
 		d.backoff--
-		d.accessTimer = d.sched.After(phy.SlotTime, d.accessSlot)
+		d.accessTimer = d.sched.After(phy.SlotTime, d.accessSlotFn)
 		return
 	}
 	d.accessing = false
@@ -716,16 +753,20 @@ func (d *Device) beginTXOP() {
 	rtsDur := phy.Frame{Type: phy.FrameRTS}.Duration()
 	ctsDur := phy.Frame{Type: phy.FrameCTS}.Duration()
 	timeout := rtsDur + phy.SIFS + ctsDur + 10*time.Microsecond
-	d.ctsTimer = d.sched.After(timeout, func() {
-		if !d.awaitingCTS {
-			return
-		}
-		d.awaitingCTS = false
-		d.inTXOP = false
-		d.bumpCW()
-		d.Stats.AckTimeouts++
-		d.startAccess()
-	})
+	d.ctsTimer = d.sched.After(timeout, d.ctsTimeoutFn)
+}
+
+// onCTSTimeout abandons a TXOP whose RTS went unanswered (pre-bound as
+// ctsTimeoutFn).
+func (d *Device) onCTSTimeout() {
+	if !d.awaitingCTS {
+		return
+	}
+	d.awaitingCTS = false
+	d.inTXOP = false
+	d.bumpCW()
+	d.Stats.AckTimeouts++
+	d.startAccess()
 }
 
 func (d *Device) onCTS(rx sim.Reception) {
@@ -733,22 +774,24 @@ func (d *Device) onCTS(rx sim.Reception) {
 		return
 	}
 	d.awaitingCTS = false
-	if d.ctsTimer != nil {
-		d.ctsTimer.Cancel()
-	}
-	d.sched.After(phy.SIFS, d.sendDataFrame)
+	d.ctsTimer.Cancel()
+	d.sched.After(phy.SIFS, d.sendDataFrameFn)
 }
 
 func (d *Device) onRTS(rx sim.Reception) {
 	if d.state != StateAssociated || rx.From != d.peer.radio.ID || !rx.OK {
 		return
 	}
-	d.sched.After(phy.SIFS, func() {
-		if d.state == StateAssociated {
-			cycle := d.mcs.FrameDuration(d.mcs.MaxAggBytes(MaxAggAir)) + phy.AckDuration + 3*phy.SIFS
-			d.transmit(phy.Frame{Type: phy.FrameCTS, Src: d.radio.ID, Dst: d.peer.radio.ID, NAV: cycle})
-		}
-	})
+	d.sched.After(phy.SIFS, d.ctsReplyFn)
+}
+
+// sendCTSReply answers a decoded RTS after SIFS (pre-bound as
+// ctsReplyFn).
+func (d *Device) sendCTSReply() {
+	if d.state == StateAssociated {
+		cycle := d.mcs.FrameDuration(d.mcs.MaxAggBytes(MaxAggAir)) + phy.AckDuration + 3*phy.SIFS
+		d.transmit(phy.Frame{Type: phy.FrameCTS, Src: d.radio.ID, Dst: d.peer.radio.ID, NAV: cycle})
+	}
 }
 
 // sendDataFrame aggregates the head of the queue into one PPDU bounded
@@ -830,7 +873,7 @@ func (d *Device) transmitPending(retry bool) {
 	}
 	d.Stats.TxAirTime += dur
 	timeout := dur + phy.SIFS + phy.AckDuration + 10*time.Microsecond
-	d.ackTimer = d.sched.After(timeout, d.onAckTimeout)
+	d.ackTimer = d.sched.After(timeout, d.onAckTimeoutFn)
 }
 
 func (d *Device) onAckTimeout() {
@@ -874,9 +917,7 @@ func (d *Device) onAck(f phy.Frame, rx sim.Reception) {
 	if d.pending == nil || rx.From != d.peer.radio.ID || !rx.OK || f.Seq != d.pendingFrame.Seq {
 		return
 	}
-	if d.ackTimer != nil {
-		d.ackTimer.Cancel()
-	}
+	d.ackTimer.Cancel()
 	d.snrEst.Update(d.rssiSNR(rx))
 	d.lossEst.Update(0)
 	d.lastHeard = d.sched.Now()
@@ -886,7 +927,7 @@ func (d *Device) onAck(f phy.Frame, rx sim.Reception) {
 	d.consecFails = 0
 	d.cw = CWMin
 	if d.txq.Len() > 0 && d.inTXOP {
-		d.sched.After(phy.SIFS, d.sendDataFrame)
+		d.sched.After(phy.SIFS, d.sendDataFrameFn)
 		return
 	}
 	d.endTXOP()
@@ -917,12 +958,20 @@ func (d *Device) onData(f phy.Frame, rx sim.Reception) {
 			}
 		}
 	}
-	// Block-ACK after SIFS (duplicates are re-ACKed).
-	d.sched.After(phy.SIFS, func() {
-		if d.state == StateAssociated {
-			d.transmit(phy.Frame{Type: phy.FrameAck, Src: d.radio.ID, Dst: d.peer.radio.ID, Seq: f.Seq})
-		}
-	})
+	// Block-ACK after SIFS (duplicates are re-ACKed). Data frames are
+	// serialized per link, so stashing the sequence in ackSeq (rather
+	// than capturing it in a closure) is safe: the next data frame
+	// cannot arrive before this ACK's SIFS elapses.
+	d.ackSeq = f.Seq
+	d.sched.After(phy.SIFS, d.sendAckFn)
+}
+
+// sendAck emits the pending block-ACK for ackSeq (pre-bound as
+// sendAckFn).
+func (d *Device) sendAck() {
+	if d.state == StateAssociated {
+		d.transmit(phy.Frame{Type: phy.FrameAck, Src: d.radio.ID, Dst: d.peer.radio.ID, Seq: d.ackSeq})
+	}
 }
 
 func (d *Device) endTXOP() {

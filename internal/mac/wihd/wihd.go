@@ -129,6 +129,26 @@ type Device struct {
 	// reference (fresh pairing or a power cycle).
 	lastBeaconTick sim.Time
 
+	// oriented pre-orients every codeword at the fixed mounting
+	// boresight so beam switches (including the shuffled discovery
+	// sweep) allocate nothing.
+	oriented *mac.OrientedCodebook
+	// Pre-bound scheduler callbacks for the periodic loops (the dense
+	// 224 µs beacon/video ticks dominate the WiHD event rate).
+	beaconTickFn   func()
+	videoTickFn    func()
+	rotateListenFn func()
+	discoveryFn    func()
+	burstNextFn    func()
+	burstStartedFn func()
+	// burst is the reusable video-burst buffer videoTick drains from;
+	// burstIdx walks it and burstDur is the air time of the frame
+	// currently starting (bursts are strictly serialized, so one set of
+	// fields suffices).
+	burst    []phy.Frame
+	burstIdx int
+	burstDur time.Duration
+
 	// Stats mirrors the WiGig counters where meaningful.
 	Stats mac.Stats
 	// FramesHeard counts data frames the receiver saw (decoded or not).
@@ -162,6 +182,13 @@ func NewDevice(med *sim.Medium, cfg Config) *Device {
 		powered:   true,
 		dataMCS:   DefaultDataMCS,
 	}
+	d.oriented = mac.OrientCodebook(cb, d.boresight())
+	d.beaconTickFn = d.beaconTick
+	d.videoTickFn = d.videoTick
+	d.rotateListenFn = d.rotateListen
+	d.discoveryFn = d.discoveryTick
+	d.burstNextFn = d.sendVideoBurst
+	d.burstStartedFn = d.burstStarted
 	d.radio = med.AddRadio(&sim.Radio{
 		Name:       cfg.Name,
 		Pos:        cfg.Pos,
@@ -172,7 +199,7 @@ func NewDevice(med *sim.Medium, cfg Config) *Device {
 	d.setQuasiOmni(0)
 	// Rotate the unpaired listening pattern so quasi-omni gaps cannot
 	// pin discovery (see the wigig package for the same mechanism).
-	d.sched.After(listenRotatePeriod, d.rotateListen)
+	d.sched.After(listenRotatePeriod, d.rotateListenFn)
 	return d
 }
 
@@ -184,7 +211,7 @@ func (d *Device) rotateListen() {
 		d.qoListen = (d.qoListen + 1) % len(d.cb.QuasiOmni)
 		d.setQuasiOmni(d.qoListen)
 	}
-	d.sched.After(listenRotatePeriod, d.rotateListen)
+	d.sched.After(listenRotatePeriod, d.rotateListenFn)
 }
 
 // Connect pairs the transmitter with its receiver.
@@ -196,7 +223,7 @@ func Connect(tx, rx *Device) {
 // Start launches discovery on the transmitter.
 func (d *Device) Start() {
 	if d.cfg.Role == TX {
-		d.sched.After(0, d.discoveryTick)
+		d.sched.After(0, d.discoveryFn)
 	}
 }
 
@@ -234,7 +261,7 @@ func (d *Device) SetStreaming(on bool) {
 	}
 	d.streaming = on
 	if on && d.powered {
-		d.sched.After(0, d.videoTick)
+		d.sched.After(0, d.videoTickFn)
 	}
 }
 
@@ -257,15 +284,15 @@ func (d *Device) PowerOn() {
 	if d.cfg.Role == TX {
 		if d.paired {
 			if d.streaming {
-				d.sched.After(0, d.videoTick)
+				d.sched.After(0, d.videoTickFn)
 			}
 		} else {
-			d.sched.After(0, d.discoveryTick)
+			d.sched.After(0, d.discoveryFn)
 		}
 		if d.peer != nil && d.peer.paired {
 			// Fresh cadence reference: the off-time gap is not a violation.
 			d.peer.lastBeaconTick = 0
-			d.peer.sched.After(0, d.peer.beaconTick)
+			d.peer.sched.After(0, d.peer.beaconTickFn)
 		}
 	}
 }
@@ -273,14 +300,14 @@ func (d *Device) PowerOn() {
 func (d *Device) boresight() float64 { return geom.Rad(d.cfg.BoresightDeg) }
 
 func (d *Device) setQuasiOmni(idx int) {
-	g := mac.OrientQuasiOmni(d.cb, idx, d.boresight())
+	g := d.oriented.QuasiOmni(idx)
 	d.radio.TxGain = g
 	d.radio.RxGain = g
 }
 
 func (d *Device) setSector(idx int) {
 	d.sector = idx
-	g := mac.OrientSector(d.cb, idx, d.boresight())
+	g := d.oriented.Sector(idx)
 	d.radio.TxGain = g
 	d.radio.RxGain = g
 }
@@ -304,7 +331,7 @@ func (d *Device) discoveryTick() {
 			if d.paired || !d.powered {
 				return
 			}
-			d.radio.TxGain = mac.OrientQuasiOmni(d.cb, perm[i], d.boresight())
+			d.radio.TxGain = d.oriented.QuasiOmni(perm[i])
 			d.med.Transmit(d.radio, phy.Frame{
 				Type: phy.FrameDiscovery,
 				Src:  d.radio.ID,
@@ -313,7 +340,7 @@ func (d *Device) discoveryTick() {
 			})
 		})
 	}
-	d.sched.After(DiscoveryInterval, d.discoveryTick)
+	d.sched.After(DiscoveryInterval, d.discoveryFn)
 }
 
 func (d *Device) onDiscoveryHeard(rx sim.Reception) {
@@ -344,7 +371,7 @@ func (d *Device) onPairReq(rx sim.Reception) {
 		d.med.Transmit(d.radio, phy.Frame{Type: phy.FrameAssocResp, Src: d.radio.ID, Dst: d.peer.radio.ID})
 	})
 	if d.streaming {
-		d.sched.After(BeaconInterval, d.videoTick)
+		d.sched.After(BeaconInterval, d.videoTickFn)
 	}
 }
 
@@ -359,7 +386,7 @@ func (d *Device) onPairResp(rx sim.Reception) {
 	// the real protocol this capability feedback rides the pairing
 	// response.
 	d.peer.pickDataMCS()
-	d.sched.After(BeaconInterval, d.beaconTick)
+	d.sched.After(BeaconInterval, d.beaconTickFn)
 }
 
 // --- Paired operation ---------------------------------------------------
@@ -386,7 +413,7 @@ func (d *Device) beaconTick() {
 	}
 	d.lastBeaconTick = d.sched.Now()
 	d.sendBeacon(0)
-	d.sched.After(d.dilate(BeaconInterval), d.beaconTick)
+	d.sched.After(d.dilate(BeaconInterval), d.beaconTickFn)
 }
 
 func (d *Device) sendBeacon(deferrals int) {
@@ -448,14 +475,14 @@ func (d *Device) videoTick() {
 		frameAir = d.cfg.MaxFrameAir
 	}
 	maxBytes := d.dataMCS.MaxAggBytes(frameAir)
-	var frames []phy.Frame
+	d.burst = d.burst[:0]
 	for d.queueBytes > 0 {
 		n := d.queueBytes
 		if n > maxBytes {
 			n = maxBytes
 		}
 		d.queueBytes -= n
-		frames = append(frames, phy.Frame{
+		d.burst = append(d.burst, phy.Frame{
 			Type:         phy.FrameData,
 			Src:          d.radio.ID,
 			Dst:          d.peer.radio.ID,
@@ -464,21 +491,27 @@ func (d *Device) videoTick() {
 			MPDUs:        (n + videoChunkBytes - 1) / videoChunkBytes,
 		})
 	}
-	d.sendVideoBurst(frames)
+	d.burstIdx = 0
+	d.sendVideoBurst()
 }
 
-// sendVideoBurst transmits the queued frames one after another, then
-// re-arms the source tick.
-func (d *Device) sendVideoBurst(frames []phy.Frame) {
-	if len(frames) == 0 || !d.paired || !d.powered || !d.streaming {
-		d.sched.After(d.dilate(BeaconInterval), d.videoTick)
+// sendVideoBurst transmits the buffered burst frames one after another
+// (burstIdx walks the reusable buffer), then re-arms the source tick.
+func (d *Device) sendVideoBurst() {
+	if d.burstIdx >= len(d.burst) || !d.paired || !d.powered || !d.streaming {
+		d.sched.After(d.dilate(BeaconInterval), d.videoTickFn)
 		return
 	}
-	f := frames[0]
-	dur := f.Duration()
-	d.sendVideoFrame(f, dur, 0, func() {
-		d.sched.After(dur+phy.SIFS, func() { d.sendVideoBurst(frames[1:]) })
-	})
+	f := d.burst[d.burstIdx]
+	d.burstDur = f.Duration()
+	d.sendVideoFrame(f, d.burstDur, 0, d.burstStartedFn)
+}
+
+// burstStarted runs at the instant the current burst frame goes on air:
+// the next frame follows after this one's air time plus a SIFS.
+func (d *Device) burstStarted() {
+	d.burstIdx++
+	d.sched.After(d.burstDur+phy.SIFS, d.burstNextFn)
 }
 
 // pickDataMCS probes the trained link and fixes the video MCS: the

@@ -94,8 +94,8 @@ func TestAuditOverpowerDelivery(t *testing.T) {
 	})
 }
 
-// The heap-consistency sweep must flag a canceled timer that skipped
-// heap.Remove (Pending would overcount it) and a timer whose recorded
+// The heap-consistency sweep must flag a recycled event record still in
+// the queue (Pending would overcount it) and a timer whose recorded
 // index drifted from its slot.
 func TestAuditHeapInconsistency(t *testing.T) {
 	withAudit(t, func() {
@@ -104,10 +104,12 @@ func TestAuditHeapInconsistency(t *testing.T) {
 		for i := 0; i < 8; i++ {
 			s.At(time.Duration(i)*time.Millisecond, func() {})
 		}
-		s.events[5].canceled = true // bypass Cancel's heap.Remove
-		s.Run(10 * time.Millisecond)
+		s.events[5].fn = nil // simulate a recycle that skipped heap.Remove
+		// Stop short of the corrupted record's fire time: the sweep runs
+		// on the first pops and must flag it while it is still queued.
+		s.Run(2 * time.Millisecond)
 		if audit.Counts()[audit.RuleSchedHeapConsistent] == 0 {
-			t.Fatalf("canceled-in-queue not caught: %s", audit.Summary())
+			t.Fatalf("recycled-in-queue not caught: %s", audit.Summary())
 		}
 	})
 	withAudit(t, func() {

@@ -77,11 +77,20 @@ type Radio struct {
 	// Handler receives frame deliveries; nil radios are transmit-only.
 	Handler Handler
 	// ListenFloorDBm suppresses OnFrame callbacks for frames arriving
-	// weaker than this (they still contribute interference). Defaults to
-	// -90 dBm at registration if zero.
+	// weaker than this (they still contribute interference). Left at zero
+	// without ListenFloorSet, it defaults to -90 dBm at registration.
 	ListenFloorDBm float64
+	// ListenFloorSet marks ListenFloorDBm as intentionally configured, so
+	// a radio with a genuine 0 dBm listen floor survives AddRadio's
+	// defaulting instead of being silently reset to -90.
+	ListenFloorSet bool
 
 	medium *Medium
+	// txGainFn/rxGainFn are the nil-safe gain accessors bound once at
+	// registration (the wrappers read TxGain/RxGain at call time, so
+	// beam switches still take effect); rebinding the method values per
+	// power computation would allocate two closures per RxPowerDBm.
+	txGainFn, rxGainFn GainFunc
 }
 
 func (r *Radio) txGain(a float64) float64 {
@@ -98,7 +107,10 @@ func (r *Radio) rxGain(a float64) float64 {
 	return r.RxGain(a)
 }
 
-// transmission is one frame on air.
+// transmission is one frame on air. Transmissions are pooled by their
+// medium: once pruned from the active list they are recycled, keeping
+// the rxPowerDBm backing array and the pre-bound finish callback so a
+// steady-state Transmit allocates nothing.
 type transmission struct {
 	frame      phy.Frame
 	tx         *Radio
@@ -107,6 +119,9 @@ type transmission struct {
 	// indexed by radio ID (computed once at start, since patterns are
 	// fixed for the duration of a frame).
 	rxPowerDBm []float64
+	// fire is the end-of-frame callback, bound to this struct once at
+	// first allocation and reused across recycles.
+	fire func()
 }
 
 // Medium connects radios through the propagation engine. All methods
@@ -116,14 +131,22 @@ type Medium struct {
 	Budget rf.LinkBudget
 	tracer *rf.Tracer
 	radios []*Radio
-	// paths caches ray-traced channels keyed by radio ID pair.
+	// paths caches ray-traced channels keyed by canonical (low ID, high
+	// ID) radio pair.
 	paths map[[2]int][]rf.Path
+	// revPaths caches the mirrored orientation of each entry in paths
+	// (high ID transmitting to low ID), built lazily on first reverse
+	// use. Entries are derived from paths and invalidated with them, so
+	// a reverse-direction transmission never re-allocates the reversal.
+	revPaths map[[2]int][]rf.Path
 	// roomEpoch is the geometry epoch the path cache was built against;
 	// channel() resyncs lazily when the room mutates (geom.Room.MoveWall
 	// et al.), invalidating only the pairs a move can affect.
 	roomEpoch uint64
 	// active transmissions currently on air.
 	active []*transmission
+	// txFree recycles transmission structs pruned from the active list.
+	txFree []*transmission
 	rng    *stats.RNG
 	// FadingSigmaDB adds a per-frame, per-receiver fast-fading jitter.
 	FadingSigmaDB float64
@@ -148,6 +171,7 @@ func NewMedium(s *Scheduler, room *geom.Room, freqHz float64, budget rf.LinkBudg
 		Budget:        budget,
 		tracer:        rf.NewTracer(room, freqHz),
 		paths:         make(map[[2]int][]rf.Path),
+		revPaths:      make(map[[2]int][]rf.Path),
 		roomEpoch:     room.Epoch(),
 		rng:           stats.NewRNG(seed),
 		FadingSigmaDB: 0.8,
@@ -165,10 +189,12 @@ func (m *Medium) RNG() *stats.RNG { return m.rng }
 // AddRadio registers the radio and assigns its ID.
 func (m *Medium) AddRadio(r *Radio) *Radio {
 	r.ID = len(m.radios)
-	if r.ListenFloorDBm == 0 {
+	if r.ListenFloorDBm == 0 && !r.ListenFloorSet {
 		r.ListenFloorDBm = -90
 	}
 	r.medium = m
+	r.txGainFn = r.txGain
+	r.rxGainFn = r.rxGain
 	m.radios = append(m.radios, r)
 	return r
 }
@@ -183,11 +209,13 @@ func pairKey(a, b int) [2]int {
 	return [2]int{a, b}
 }
 
-// channel returns the ray-traced paths from tx to rx, cached per pair.
-// Paths are cached in canonical orientation (low ID → high ID) and
-// reversed on demand; reciprocity holds for loss and geometry, while
-// every direction-dependent field (AoD/AoA and the point sequence) is
-// mirrored consistently.
+// channel returns the ray-traced paths from tx to rx, cached per pair in
+// both orientations. Paths are traced once in canonical orientation (low
+// ID → high ID); the mirrored orientation — reciprocity holds for loss
+// and geometry, while every direction-dependent field (AoD/AoA and the
+// point sequence) is swapped consistently — is materialized on first
+// reverse-direction use and cached alongside, so steady-state traffic in
+// either direction allocates nothing.
 func (m *Medium) channel(tx, rx *Radio) []rf.Path {
 	m.syncRoom()
 	key := pairKey(tx.ID, rx.ID)
@@ -205,21 +233,30 @@ func (m *Medium) channel(tx, rx *Radio) []rf.Path {
 		m.paths[key] = ps
 	}
 	if tx.ID > rx.ID {
-		// Reverse the stored direction: swap departure and arrival angles
-		// and walk the reflection points back to front.
-		rev := make([]rf.Path, len(ps))
-		for i, p := range ps {
-			rev[i] = p
-			rev[i].AoD, rev[i].AoA = p.AoA, p.AoD
-			pts := make([]geom.Vec2, len(p.Points))
-			for j, pt := range p.Points {
-				pts[len(pts)-1-j] = pt
-			}
-			rev[i].Points = pts
+		rev, ok := m.revPaths[key]
+		if !ok {
+			rev = reversePaths(ps)
+			m.revPaths[key] = rev
 		}
 		return rev
 	}
 	return ps
+}
+
+// reversePaths mirrors a channel: departure and arrival angles swap and
+// the reflection points walk back to front.
+func reversePaths(ps []rf.Path) []rf.Path {
+	rev := make([]rf.Path, len(ps))
+	for i, p := range ps {
+		rev[i] = p
+		rev[i].AoD, rev[i].AoA = p.AoA, p.AoD
+		pts := make([]geom.Vec2, len(p.Points))
+		for j, pt := range p.Points {
+			pts[len(pts)-1-j] = pt
+		}
+		rev[i].Points = pts
+	}
+	return rev
 }
 
 // syncRoom reconciles the path cache with the room's mutation epoch.
@@ -235,11 +272,13 @@ func (m *Medium) syncRoom() {
 	moves, complete := room.MovesSince(m.roomEpoch)
 	if !complete {
 		m.paths = make(map[[2]int][]rf.Path)
+		m.revPaths = make(map[[2]int][]rf.Path)
 	} else {
 		for key := range m.paths {
 			a, b := m.radios[key[0]], m.radios[key[1]]
 			if m.tracer.PairAffected(a.Pos, b.Pos, moves) {
 				delete(m.paths, key)
+				delete(m.revPaths, key)
 			}
 		}
 	}
@@ -251,6 +290,7 @@ func (m *Medium) syncRoom() {
 // (picked up automatically) after moving an obstacle.
 func (m *Medium) InvalidateChannels() {
 	m.paths = make(map[[2]int][]rf.Path)
+	m.revPaths = make(map[[2]int][]rf.Path)
 	m.roomEpoch = m.tracer.Room.Epoch()
 }
 
@@ -264,6 +304,7 @@ func (m *Medium) InvalidateRadio(id int) {
 	for key := range m.paths {
 		if key[0] == id || key[1] == id {
 			delete(m.paths, key)
+			delete(m.revPaths, key)
 		}
 	}
 }
@@ -332,7 +373,15 @@ const AdjacentChannelLeakageDB = 45
 // transmission from tx with their current patterns (no fading draw).
 func (m *Medium) RxPowerDBm(tx, rx *Radio) float64 {
 	paths := m.channel(tx, rx)
-	p := rf.ReceivedPowerDBm(tx.TxPowerDBm, paths, tx.txGain, rx.rxGain)
+	txG, rxG := tx.txGainFn, rx.rxGainFn
+	// Radios built outside AddRadio (tests) have no bound accessors.
+	if txG == nil {
+		txG = tx.txGain
+	}
+	if rxG == nil {
+		rxG = rx.rxGain
+	}
+	p := rf.ReceivedPowerDBm(tx.TxPowerDBm, paths, txG, rxG)
 	if tx.Channel != rx.Channel {
 		p -= AdjacentChannelLeakageDB
 	}
@@ -410,12 +459,15 @@ func (m *Medium) Transmit(r *Radio, f phy.Frame) {
 			"%s frame from %s carries MCS %d (ladder is %d..%d)",
 			f.Type, r.Name, int(f.MCS), int(phy.MCS0), int(phy.MaxDataMCS))
 	}
-	t := &transmission{
-		frame:      f,
-		tx:         r,
-		start:      now,
-		end:        now + f.Duration(),
-		rxPowerDBm: make([]float64, len(m.radios)),
+	t := m.newTransmission()
+	t.frame = f
+	t.tx = r
+	t.start = now
+	t.end = now + f.Duration()
+	if n := len(m.radios); cap(t.rxPowerDBm) < n {
+		t.rxPowerDBm = make([]float64, n)
+	} else {
+		t.rxPowerDBm = t.rxPowerDBm[:n]
 	}
 	if audit.On() && t.end <= t.start {
 		audit.Reportf(audit.RuleMediumTxDuration, now,
@@ -433,7 +485,30 @@ func (m *Medium) Transmit(r *Radio, f phy.Frame) {
 		t.rxPowerDBm[rx.ID] = p
 	}
 	m.active = append(m.active, t)
-	m.Sched.At(t.end, func() { m.finish(t) })
+	m.Sched.At(t.end, t.fire)
+}
+
+// newTransmission pops a recycled transmission or builds a fresh one.
+// The finish callback is bound once here and reused across recycles, so
+// scheduling the end-of-frame event never allocates a closure.
+func (m *Medium) newTransmission() *transmission {
+	if n := len(m.txFree); n > 0 {
+		t := m.txFree[n-1]
+		m.txFree[n-1] = nil
+		m.txFree = m.txFree[:n-1]
+		return t
+	}
+	t := &transmission{}
+	t.fire = func() { m.finish(t) }
+	return t
+}
+
+// releaseTransmission recycles a transmission pruned from the active
+// list, dropping references the pooled struct must not keep alive.
+func (m *Medium) releaseTransmission(t *transmission) {
+	t.frame = phy.Frame{}
+	t.tx = nil
+	m.txFree = append(m.txFree, t)
 }
 
 // pruneWindow keeps ended transmissions around long enough that frames
@@ -453,6 +528,8 @@ func (m *Medium) finish(t *transmission) {
 	for _, a := range m.active {
 		if a.end > now-pruneWindow {
 			keep = append(keep, a)
+		} else {
+			m.releaseTransmission(a)
 		}
 	}
 	m.active = keep

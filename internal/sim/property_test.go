@@ -74,7 +74,7 @@ func TestSchedulerCancelProperty(t *testing.T) {
 		s := NewScheduler()
 		firedCount := 0
 		canceled := 0
-		var timers []*Timer
+		var timers []Timer
 		for i, off := range offsets {
 			timers = append(timers, s.At(Time(off)*time.Microsecond, func() { firedCount++ }))
 			if i < len(cancelMask) && cancelMask[i] {

@@ -20,37 +20,62 @@ import (
 // PHY preambles and the 80-minute stability experiment of Fig. 14.
 type Time = time.Duration
 
-// Timer is a scheduled callback; it can be canceled before it fires.
+// timerEvent is the pooled, heap-resident record of one scheduled
+// callback. Events are owned by their scheduler: firing or canceling
+// recycles the record onto a free list, and gen is bumped on every
+// recycle so stale Timer handles can never touch the event's next
+// incarnation.
+type timerEvent struct {
+	at    Time
+	seq   uint64
+	gen   uint64
+	fn    func()
+	index int // heap position, -1 once popped
+	sched *Scheduler
+}
+
+// Timer is a cancelable handle to a scheduled callback. It is a small
+// value — copy it freely. The zero Timer is inert: Cancel is a no-op and
+// Active reports false. Once the event fires or is canceled, the handle
+// goes dead (the underlying record is recycled for a later Schedule, and
+// the generation stamp keeps the dead handle from touching it).
 type Timer struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	index    int // heap position, -1 once popped
-	sched    *Scheduler
+	ev  *timerEvent
+	gen uint64
 }
 
 // Cancel prevents the timer from firing and releases its slot in the
 // event queue immediately — a canceled timer does not linger until its
-// fire time. Canceling an already-fired or already-canceled timer is a
-// no-op.
-func (t *Timer) Cancel() {
-	if t.canceled {
+// fire time. Canceling an already-fired or already-canceled timer (or
+// the zero Timer) is a no-op: the generation stamp detects that the
+// pooled event record has moved on, even if it has since been reused for
+// an unrelated event.
+func (t Timer) Cancel() {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen {
 		return
 	}
-	t.canceled = true
-	if t.index >= 0 && t.sched != nil {
-		heap.Remove(&t.sched.events, t.index)
+	s := ev.sched
+	if ev.index >= 0 {
+		heap.Remove(&s.events, ev.index)
 	}
+	s.recycle(ev)
 }
 
-// Canceled reports whether Cancel was called.
-func (t *Timer) Canceled() bool { return t.canceled }
+// Active reports whether the event is still queued: not yet fired and
+// not canceled. The zero Timer is inactive.
+func (t Timer) Active() bool { return t.ev != nil && t.ev.gen == t.gen }
 
-// At returns the scheduled fire time.
-func (t *Timer) At() Time { return t.at }
+// At returns the scheduled fire time while the timer is active, and 0
+// once the handle is dead (fired, canceled, or zero).
+func (t Timer) At() Time {
+	if !t.Active() {
+		return 0
+	}
+	return t.ev.at
+}
 
-type timerHeap []*Timer
+type timerHeap []*timerEvent
 
 func (h timerHeap) Len() int { return len(h) }
 func (h timerHeap) Less(i, j int) bool {
@@ -65,7 +90,7 @@ func (h timerHeap) Swap(i, j int) {
 	h[j].index = j
 }
 func (h *timerHeap) Push(x any) {
-	t := x.(*Timer)
+	t := x.(*timerEvent)
 	t.index = len(*h)
 	*h = append(*h, t)
 }
@@ -138,6 +163,7 @@ type Scheduler struct {
 	now     Time
 	seq     uint64
 	events  timerHeap
+	free    []*timerEvent // recycled event records (fired or canceled)
 	stopped bool
 
 	wallBudget  time.Duration
@@ -194,20 +220,38 @@ func (s *Scheduler) Interrupted() bool { return s.interrupted.Load() }
 func (s *Scheduler) Now() Time { return s.now }
 
 // At schedules fn at absolute simulation time t. Scheduling in the past
-// fires at the current time (events never travel backwards).
-func (s *Scheduler) At(t Time, fn func()) *Timer {
+// fires at the current time (events never travel backwards). The event
+// record comes from the scheduler's free list, so steady-state
+// scheduling does not allocate.
+func (s *Scheduler) At(t Time, fn func()) Timer {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	tm := &Timer{at: t, seq: s.seq, fn: fn, sched: s}
-	heap.Push(&s.events, tm)
-	return tm
+	var ev *timerEvent
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &timerEvent{sched: s}
+	}
+	ev.at, ev.seq, ev.fn = t, s.seq, fn
+	heap.Push(&s.events, ev)
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn after delay d.
-func (s *Scheduler) After(d Time, fn func()) *Timer {
+func (s *Scheduler) After(d Time, fn func()) Timer {
 	return s.At(s.now+d, fn)
+}
+
+// recycle returns a popped or canceled event record to the free list.
+// Bumping the generation kills every outstanding Timer handle to it.
+func (s *Scheduler) recycle(ev *timerEvent) {
+	ev.gen++
+	ev.fn = nil // release the captured callback
+	s.free = append(s.free, ev)
 }
 
 // Stop makes Run return after the current event.
@@ -237,26 +281,29 @@ func (s *Scheduler) Run(until Time) Time {
 			break
 		}
 		heap.Pop(&s.events)
-		if next.canceled {
-			continue
-		}
+		// Recycle before dispatch: the callback may schedule new events,
+		// and reusing this record immediately keeps the free list short.
+		// Canceled events never reach this loop — Cancel removes them from
+		// the heap on the spot.
+		at, fn := next.at, next.fn
+		s.recycle(next)
 		s.eventsRun++
 		if s.eventsRun%s.checkEvery == 0 {
 			if s.wallBudget > 0 {
 				if el := time.Since(s.wallStart); el > s.wallBudget {
-					panic(&DeadlineError{Budget: s.wallBudget, Elapsed: el, SimTime: next.at})
+					panic(&DeadlineError{Budget: s.wallBudget, Elapsed: el, SimTime: at})
 				}
 			}
 			if audit.On() {
-				s.auditHeap(next.at)
+				s.auditHeap(at)
 			}
 		}
-		if audit.On() && next.at < s.now {
+		if audit.On() && at < s.now {
 			audit.Reportf(audit.RuleSchedTimeMonotone, s.now,
-				"event scheduled for %v popped at clock %v", next.at, s.now)
+				"event scheduled for %v popped at clock %v", at, s.now)
 		}
-		s.now = next.at
-		next.fn()
+		s.now = at
+		fn()
 	}
 	if s.now < until && !s.stopped && !s.interrupted.Load() {
 		s.now = until
@@ -266,9 +313,10 @@ func (s *Scheduler) Run(until Time) Time {
 
 // auditHeap verifies the event-queue invariants Pending depends on: the
 // heap order property holds, every queued timer's index matches its
-// slot, and no canceled timer lingers in the queue (Cancel removes its
-// slot immediately, so Pending counts exactly the live events). Runs on
-// the watchdog cadence when auditing is enabled.
+// slot, and no recycled event record lingers in the queue (Cancel and
+// fire both remove the heap slot before recycling, so Pending counts
+// exactly the live events). Runs on the watchdog cadence when auditing
+// is enabled.
 func (s *Scheduler) auditHeap(now Time) {
 	for i, tm := range s.events {
 		if tm.index != i {
@@ -276,9 +324,9 @@ func (s *Scheduler) auditHeap(now Time) {
 				"timer at slot %d records index %d", i, tm.index)
 			return
 		}
-		if tm.canceled {
+		if tm.fn == nil {
 			audit.Reportf(audit.RuleSchedHeapConsistent, now,
-				"canceled timer (at %v) still queued at slot %d; Pending=%d overcounts", tm.at, i, s.events.Len())
+				"recycled event record (at %v) still queued at slot %d; Pending=%d overcounts", tm.at, i, s.events.Len())
 			return
 		}
 		if parent := (i - 1) / 2; i > 0 && s.events.Less(i, parent) {

@@ -59,9 +59,12 @@ func TestSchedulerCancel(t *testing.T) {
 	s := NewScheduler()
 	fired := false
 	tm := s.After(time.Millisecond, func() { fired = true })
+	if !tm.Active() {
+		t.Error("Active() false before cancel")
+	}
 	tm.Cancel()
-	if !tm.Canceled() {
-		t.Error("Canceled() false")
+	if tm.Active() {
+		t.Error("Active() true after cancel")
 	}
 	s.Run(time.Second)
 	if fired {
@@ -74,7 +77,7 @@ func TestSchedulerCancel(t *testing.T) {
 // Pending reports live events only.
 func TestSchedulerCancelReleasesHeapSlot(t *testing.T) {
 	s := NewScheduler()
-	var timers []*Timer
+	var timers []Timer
 	for i := 1; i <= 10; i++ {
 		timers = append(timers, s.After(Time(i)*time.Second, func() {}))
 	}
@@ -97,11 +100,11 @@ func TestSchedulerCancelReleasesHeapSlot(t *testing.T) {
 	fired := 0
 	last := Time(-1)
 	for _, tm := range timers {
-		if tm.Canceled() {
+		if !tm.Active() {
 			continue
 		}
 		at := tm.At()
-		tm.fn = func() {
+		tm.ev.fn = func() {
 			fired++
 			if at < last {
 				t.Errorf("out-of-order fire at %v after %v", at, last)

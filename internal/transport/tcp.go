@@ -79,8 +79,8 @@ type Flow struct {
 	cwnd      float64 // in segments
 	ssthresh  float64
 	inFast    bool
-	rtoTimer  *sim.Timer
-	paceTimer *sim.Timer
+	rtoTimer  sim.Timer
+	paceTimer sim.Timer
 	srtt      float64 // seconds
 	rttvar    float64
 	rttSeq    int64    // segment whose send time we are timing
@@ -92,6 +92,12 @@ type Flow struct {
 	// Pacing token bucket (Ethernet feed model).
 	paceTokens float64
 	paceLast   sim.Time
+
+	// Pre-bound scheduler callbacks (RTO and pace wakeups fire once per
+	// timeout/batch; binding the method values once keeps the per-ACK
+	// armRTO cycle allocation-free).
+	onRTOFn func()
+	pumpFn  func()
 
 	// Receiver state.
 	rcvNext int64
@@ -123,6 +129,8 @@ func NewFlow(sched *sim.Scheduler, fwd, rev LinkSender, cfg Config) *Flow {
 		ooo:      make(map[int64]bool),
 		rttSeq:   -1,
 	}
+	f.onRTOFn = f.onRTO
+	f.pumpFn = f.pump
 	return f
 }
 
@@ -137,9 +145,7 @@ func (f *Flow) Start() {
 // Stop freezes the flow (no further sends; in-flight traffic drains).
 func (f *Flow) Stop() {
 	f.done = true
-	if f.rtoTimer != nil {
-		f.rtoTimer.Cancel()
-	}
+	f.rtoTimer.Cancel()
 }
 
 // Done reports completion (file mode only).
@@ -244,16 +250,14 @@ func (f *Flow) pump() {
 	if f.cfg.PacingBps > 0 && (sendFailed || (f.nextSeq >= avail && f.nextSeq-f.ackedSeq < win)) {
 		// Paced source waiting for data (or for the MAC to recover): a
 		// single outstanding wakeup suffices — rescheduling on every ACK
-		// would flood the event queue.
-		if f.paceTimer == nil || f.paceTimer.Canceled() {
+		// would flood the event queue. A fired wakeup deactivates its
+		// handle automatically, so Active gates exactly one in flight.
+		if !f.paceTimer.Active() {
 			delay := time.Duration(float64(MSS*8) / f.cfg.PacingBps * float64(time.Second))
 			if sendFailed {
 				delay = time.Millisecond
 			}
-			f.paceTimer = f.sched.After(delay, func() {
-				f.paceTimer.Cancel()
-				f.pump()
-			})
+			f.paceTimer = f.sched.After(delay, f.pumpFn)
 		}
 	}
 	if sentAny {
@@ -317,9 +321,7 @@ func (f *Flow) onSegmentArrive(seq int64) {
 	})
 	if f.cfg.TotalBytes > 0 && f.Delivered >= f.cfg.TotalBytes && !f.done {
 		f.done = true
-		if f.rtoTimer != nil {
-			f.rtoTimer.Cancel()
-		}
+		f.rtoTimer.Cancel()
 		if f.OnComplete != nil {
 			f.OnComplete()
 		}
@@ -417,13 +419,11 @@ func (f *Flow) rto() time.Duration {
 }
 
 func (f *Flow) armRTO() {
-	if f.rtoTimer != nil {
-		f.rtoTimer.Cancel()
-	}
+	f.rtoTimer.Cancel()
 	if f.nextSeq == f.ackedSeq {
 		return // nothing in flight
 	}
-	f.rtoTimer = f.sched.After(f.rto(), f.onRTO)
+	f.rtoTimer = f.sched.After(f.rto(), f.onRTOFn)
 }
 
 func (f *Flow) onRTO() {

@@ -21,6 +21,12 @@ trap 'rm -f "$raw"' EXIT
 echo "running benchmarks (-benchtime $benchtime)..." >&2
 go test -run '^$' -bench '^Benchmark' -benchmem -benchtime "$benchtime" . | tee "$raw" >&2
 
+# The hot-path microbenchmarks are nanosecond-scale, so they get a fixed
+# iteration count instead of the campaign benchtime: one iteration would
+# make ns/op meaningless while allocs/op stays exact either way.
+echo "running hot-path microbenchmarks (-benchtime 1000x)..." >&2
+go test -run '^$' -bench '^Benchmark' -benchmem -benchtime 1000x ./internal/sim/ | tee -a "$raw" >&2
+
 time_campaign() {
     # Prints the wall-clock seconds of a quick single-threaded campaign
     # run at the given sweep-worker count.
