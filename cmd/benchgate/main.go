@@ -11,18 +11,26 @@
 //	benchgate -baseline BENCH_campaign.json -bench bench.out           # gate (exit 1 on regression)
 //	benchgate -baseline BENCH_campaign.json -bench bench.out -update   # refresh the snapshot
 //
-// Only allocs/op and B/op are gated — wall time is too noisy for shared
-// CI runners, and -benchtime 1x makes the smoke fast while leaving the
-// per-op allocation counts representative (they are averages over the
-// run either way). A benchmark is a regression when it exceeds the
-// baseline by both the relative tolerance and a small absolute slack
+// By default only allocs/op and B/op are gated — wall time is too noisy
+// for shared CI runners, and -benchtime 1x makes the smoke fast while
+// leaving the per-op allocation counts representative (they are averages
+// over the run either way). A benchmark is a regression when it exceeds
+// the baseline by both the relative tolerance and a small absolute slack
 // (tiny benchmarks jitter by a handful of allocations).
 //
+// With -ns, wall time joins the gate for the benchmarks that opt in: an
+// entry carrying an explicit ns_rel_tol field in the snapshot is held to
+// baseline*(1+ns_rel_tol) ns/op (plus the -ns-slack absolute floor).
+// Entries without ns_rel_tol are never time-gated, so only benchmarks
+// whose runtime is long and stable enough to be meaningful (the
+// deterministic -quick campaign drivers) participate, and the opt-in
+// lives in the committed snapshot rather than in CI flags.
+//
 // Tolerances resolve per benchmark: explicit allocs_rel_tol /
-// bytes_rel_tol fields on the snapshot entry win, otherwise the
-// -allocs-tol / -bytes-tol defaults apply. -update preserves those
-// hand-tuned overrides for benchmarks that keep their name, mirroring
-// goldencheck -update.
+// bytes_rel_tol / ns_rel_tol fields on the snapshot entry win, otherwise
+// the -allocs-tol / -bytes-tol defaults apply (ns has no default: no
+// field, no time gate). -update preserves those hand-tuned overrides for
+// benchmarks that keep their name, mirroring goldencheck -update.
 package main
 
 import (
@@ -47,17 +55,28 @@ type Bench struct {
 	Pass         *float64 `json:"pass,omitempty"`
 	AllocsRelTol *float64 `json:"allocs_rel_tol,omitempty"`
 	BytesRelTol  *float64 `json:"bytes_rel_tol,omitempty"`
+	// NsRelTol opts this benchmark into wall-time gating under -ns; see
+	// the package comment. Absent means never time-gated.
+	NsRelTol *float64 `json:"ns_rel_tol,omitempty"`
+}
+
+// CampaignSeconds records the wall-clock time of a quick campaign run at
+// two sweep-worker counts; their ratio is the snapshot's speedup figure.
+type CampaignSeconds struct {
+	Workers1    float64 `json:"workers_1"`
+	WorkersNCPU float64 `json:"workers_ncpu"`
 }
 
 // Snapshot mirrors BENCH_campaign.json, keeping the campaign-timing
-// fields bench_snapshot.sh writes so -update round-trips them.
+// fields so -update round-trips them (or refreshes them when the
+// -campaign-* flags are given).
 type Snapshot struct {
-	Date                 string          `json:"date"`
-	Benchmarks           []Bench         `json:"benchmarks"`
-	NCPU                 *int            `json:"ncpu,omitempty"`
-	CampaignQuickSeconds json.RawMessage `json:"campaign_quick_seconds,omitempty"`
-	Speedup              *float64        `json:"speedup,omitempty"`
-	Note                 string          `json:"note,omitempty"`
+	Date                 string           `json:"date"`
+	Benchmarks           []Bench          `json:"benchmarks"`
+	NCPU                 *int             `json:"ncpu,omitempty"`
+	CampaignQuickSeconds *CampaignSeconds `json:"campaign_quick_seconds,omitempty"`
+	Speedup              *float64         `json:"speedup,omitempty"`
+	Note                 string           `json:"note,omitempty"`
 }
 
 // gomaxprocsSuffix strips the -N GOMAXPROCS tag go test appends to
@@ -141,7 +160,12 @@ func main() {
 	bytesTol := flag.Float64("bytes-tol", 0.15, "default relative tolerance on B/op")
 	allocsSlack := flag.Float64("allocs-slack", 32, "absolute allocs/op slack below which differences never gate")
 	bytesSlack := flag.Float64("bytes-slack", 8192, "absolute B/op slack below which differences never gate")
+	nsGate := flag.Bool("ns", false, "also gate ns/op for snapshot entries that carry an ns_rel_tol field")
+	nsSlack := flag.Float64("ns-slack", 5e7, "absolute ns/op slack below which time differences never gate")
 	update := flag.Bool("update", false, "refresh the snapshot's entries from the bench output instead of comparing")
+	campT1 := flag.Float64("campaign-t1", 0, "with -update: quick-campaign seconds at 1 sweep worker")
+	campTn := flag.Float64("campaign-tn", 0, "with -update: quick-campaign seconds at -campaign-ncpu sweep workers")
+	campNCPU := flag.Int("campaign-ncpu", 0, "with -update: CPU count the campaign timing ran at")
 	flag.Parse()
 	if *benchPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -bench is required")
@@ -177,6 +201,7 @@ func main() {
 				// Preserve hand-tuned tolerance overrides.
 				r.AllocsRelTol = snap.Benchmarks[i].AllocsRelTol
 				r.BytesRelTol = snap.Benchmarks[i].BytesRelTol
+				r.NsRelTol = snap.Benchmarks[i].NsRelTol
 				snap.Benchmarks[i] = r
 			} else {
 				byName[r.Name] = len(snap.Benchmarks)
@@ -184,6 +209,16 @@ func main() {
 			}
 		}
 		snap.Date = time.Now().Format("2006-01-02")
+		if *campT1 > 0 && *campTn > 0 && *campNCPU > 0 {
+			snap.NCPU = campNCPU
+			snap.CampaignQuickSeconds = &CampaignSeconds{Workers1: *campT1, WorkersNCPU: *campTn}
+			snap.Speedup = ptr(float64(int(*campT1 / *campTn * 100 + 0.5)) / 100)
+			if *campNCPU == 1 {
+				snap.Note = "single-CPU host: the sweep pool cannot show a speedup here; run on a multi-core machine to measure it"
+			} else {
+				snap.Note = ""
+			}
+		}
 		if err := writeSnapshot(*baselinePath, snap); err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(2)
@@ -218,6 +253,9 @@ func main() {
 			{"allocs/op", r.AllocsPerOp, base.AllocsPerOp, tolOr(base.AllocsRelTol, *allocsTol), *allocsSlack},
 			{"B/op", r.BytesPerOp, base.BytesPerOp, tolOr(base.BytesRelTol, *bytesTol), *bytesSlack},
 		}
+		if *nsGate && base.NsRelTol != nil {
+			dims = append(dims, dim{"ns/op", ptr(r.NsPerOp), ptr(base.NsPerOp), *base.NsRelTol, *nsSlack})
+		}
 		for _, d := range dims {
 			if d.measured == nil || d.base == nil {
 				continue
@@ -236,10 +274,10 @@ func main() {
 		fmt.Printf("benchgate: %d metric(s) improved beyond tolerance — consider refreshing the baseline with -update\n", improved)
 	}
 	if regressions > 0 {
-		fmt.Printf("benchgate: %d allocation regression(s) against %s\n", regressions, *baselinePath)
+		fmt.Printf("benchgate: %d regression(s) against %s\n", regressions, *baselinePath)
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmark(s) within the allocation budget of %s\n", checked, *baselinePath)
+	fmt.Printf("benchgate: %d benchmark(s) within the budget of %s\n", checked, *baselinePath)
 }
 
 func tolOr(override *float64, def float64) float64 {

@@ -59,6 +59,10 @@ type PhasedArray struct {
 	// table instead of each paying the build. Any mutation clears the key:
 	// the table it names no longer describes the weights.
 	lutKey string
+	// linTab is the float32 linear-gain slab derived from lut for the
+	// batch kernels (see batch.go); nil until requested, invalidated with
+	// the LUT.
+	linTab *rf.PatternTable
 }
 
 // lutCache maps lutKey → []float64 gain tables shared across all arrays
@@ -80,6 +84,7 @@ func (a *PhasedArray) invalidateLUT() {
 	a.lut = nil
 	a.lutCalls = 0
 	a.lutKey = ""
+	a.linTab = nil
 }
 
 func (a *PhasedArray) buildLUT() {

@@ -1,0 +1,147 @@
+package antenna
+
+import (
+	"math"
+
+	"repro/internal/rf"
+)
+
+// This file is the antenna side of the batched channel math: float32
+// linear-gain slabs derived from the existing dB LUTs, the probes that
+// publish them to the rf batch kernels, and the bulk codebook-sweep
+// evaluator. The slabs reuse the same 4096-bin angular grid and the same
+// bin-selection arithmetic as the scalar LUT path (rf.AngleBin mirrors
+// GainDBi's indexing), so a tabulated batch lookup and a scalar LUT
+// lookup agree bin-for-bin; the only divergence is float32 rounding of
+// the stored linear gain, which is the BatchEpsilonDB error budget.
+
+// linSuffix extends a pattern's LUT fingerprint to name its derived
+// float32 linear slab in the process-wide cache.
+const linSuffix = "#lin32"
+
+// ensureLUT tabulates the pattern immediately, bypassing the lazy
+// call-count trigger. Bulk evaluators use it: a codebook sweep touches
+// every bin's worth of angles, so tabulation is always profitable there.
+func (a *PhasedArray) ensureLUT() {
+	if a.lut == nil {
+		a.buildLUT()
+	}
+}
+
+// LinearTable returns the float32 linear-gain slab for the current
+// weights, tabulating the pattern first if needed. Fingerprinted
+// patterns share one slab per codebook entry through the process-wide
+// cache, exactly like the dB LUTs they are derived from.
+func (a *PhasedArray) LinearTable() *rf.PatternTable {
+	if a.linTab != nil {
+		return a.linTab
+	}
+	a.ensureLUT()
+	key := ""
+	if a.lutKey != "" {
+		key = a.lutKey + linSuffix
+		if v, ok := lutCache.Load(key); ok {
+			a.linTab = v.(*rf.PatternTable)
+			return a.linTab
+		}
+	}
+	tab := &rf.PatternTable{Lin: make([]float32, len(a.lut)), MaxDB: math.Inf(-1)}
+	for i, db := range a.lut {
+		tab.Lin[i] = float32(rf.DbToLin(db))
+		if db > tab.MaxDB {
+			tab.MaxDB = db
+		}
+	}
+	if key != "" {
+		v, _ := lutCache.LoadOrStore(key, tab)
+		tab = v.(*rf.PatternTable)
+	}
+	a.linTab = tab
+	return tab
+}
+
+// LinearTableIfHot returns the linear slab only once the pattern has
+// crossed the scalar path's lazy tabulation threshold, and nil before
+// that. Batch kernels poll this so cold patterns keep paying the scalar
+// GainFunc — preserving the build-crossover economics (and the exact
+// lutCalls counting) of the unbatched code.
+func (a *PhasedArray) LinearTableIfHot() *rf.PatternTable {
+	if a.lut == nil {
+		return nil
+	}
+	return a.LinearTable()
+}
+
+// TableProbe adapts any Pattern into the polling hook of an
+// rf.PatternRef: phased arrays surface their linear slab once hot, every
+// other pattern type reports none and stays on the scalar fallback.
+func TableProbe(p Pattern) func() *rf.PatternTable {
+	a, ok := p.(*PhasedArray)
+	if !ok {
+		if o, isOriented := p.(Oriented); isOriented {
+			return TableProbe(o.Pattern)
+		}
+		return nil
+	}
+	return a.LinearTableIfHot
+}
+
+// SweepSectorGainsDBi evaluates every directional sector of the codebook
+// towards every local-frame angle in thetas, writing the gains in dBi
+// into dst sector-major (dst[s*len(thetas)+k] is sector s towards
+// thetas[k]). dst must hold len(Sectors)*len(thetas) entries; the filled
+// slab is returned. Phased-array sectors are tabulated up front and
+// gathered straight from their dB LUTs, so a full 22-sector sweep costs
+// loads rather than per-(sector,angle) array-factor evaluations.
+func (cb *Codebook) SweepSectorGainsDBi(dst []float32, thetas []float64) []float32 {
+	for s, sec := range cb.Sectors {
+		row := dst[s*len(thetas) : (s+1)*len(thetas)]
+		if a, ok := sec.Pattern.(*PhasedArray); ok {
+			a.ensureLUT()
+			for k, th := range thetas {
+				row[k] = float32(a.lut[rf.AngleBin(th, len(a.lut))])
+			}
+			continue
+		}
+		for k, th := range thetas {
+			row[k] = float32(sec.Pattern.GainDBi(th))
+		}
+	}
+	return dst
+}
+
+// SectorRefs appends one rf.PatternRef per directional sector, oriented
+// at the given global boresight, onto dst. The refs start cold (table
+// polling only), so handing them to the batch kernels changes nothing
+// about when each sector's pattern gets tabulated.
+func (cb *Codebook) SectorRefs(dst []rf.PatternRef, boresight float64) []rf.PatternRef {
+	for _, s := range cb.Sectors {
+		dst = append(dst, rf.PatternRef{
+			Bore: boresight,
+			Gain: Oriented{Pattern: s.Pattern, Boresight: boresight}.GainFunc(),
+			Poll: TableProbe(s.Pattern),
+		})
+	}
+	return dst
+}
+
+// QuasiOmniRefs is SectorRefs for the discovery codewords.
+func (cb *Codebook) QuasiOmniRefs(dst []rf.PatternRef, boresight float64) []rf.PatternRef {
+	for _, q := range cb.QuasiOmni {
+		dst = append(dst, rf.PatternRef{
+			Bore: boresight,
+			Gain: Oriented{Pattern: q, Boresight: boresight}.GainFunc(),
+			Poll: TableProbe(q),
+		})
+	}
+	return dst
+}
+
+// Ref builds the rf.PatternRef for a single pattern at a boresight.
+func Ref(p Pattern, boresight float64) rf.PatternRef {
+	return rf.PatternRef{
+		Bore: boresight,
+		Gain: Oriented{Pattern: p, Boresight: boresight}.GainFunc(),
+		Poll: TableProbe(p),
+	}
+}

@@ -1,0 +1,211 @@
+package antenna
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rf"
+	"repro/internal/stats"
+)
+
+// The float32 linear slab must be the exact image of the dB LUT it is
+// derived from, entry for entry, with MaxDB its peak.
+func TestLinearTableMatchesLUT(t *testing.T) {
+	a := NewD5000Array(rf.FreqChannel2Hz)
+	a.Steer(0.4)
+	tab := a.LinearTable()
+	if a.lut == nil {
+		t.Fatal("LinearTable did not force the dB LUT")
+	}
+	if len(tab.Lin) != len(a.lut) {
+		t.Fatalf("slab has %d bins, LUT %d", len(tab.Lin), len(a.lut))
+	}
+	peak := math.Inf(-1)
+	for i, db := range a.lut {
+		if tab.Lin[i] != float32(rf.DbToLin(db)) {
+			t.Fatalf("bin %d: slab %v, want float32(10^(%v/10))", i, tab.Lin[i], db)
+		}
+		if db > peak {
+			peak = db
+		}
+	}
+	if tab.MaxDB != peak {
+		t.Errorf("MaxDB = %v, want %v", tab.MaxDB, peak)
+	}
+}
+
+// LinearTableIfHot must stay nil until the scalar path has crossed its
+// lazy tabulation threshold — the batch kernels must not change when a
+// pattern pays for its LUT build.
+func TestLinearTableIfHotLazy(t *testing.T) {
+	a := NewD5000Array(rf.FreqChannel2Hz)
+	a.Steer(-0.2)
+	if tab := a.LinearTableIfHot(); tab != nil {
+		t.Fatal("cold array published a table")
+	}
+	forceLUT(t, a)
+	if tab := a.LinearTableIfHot(); tab == nil {
+		t.Fatal("hot array still hides its table")
+	}
+}
+
+// Mutating the weights must drop the linear slab together with the dB
+// LUT (the slab is derived state; a stale one would freeze the old beam
+// in every batch kernel).
+func TestSteerInvalidatesLinearTable(t *testing.T) {
+	a := NewD5000Array(rf.FreqChannel2Hz)
+	a.LinearTable()
+	if a.linTab == nil {
+		t.Fatal("slab not cached")
+	}
+	a.Steer(1.1)
+	if a.linTab != nil {
+		t.Error("Steer left a stale linear slab")
+	}
+}
+
+// Two codebooks of the same model and seed fingerprint identically, so
+// the same sector on two radios must share one slab through the
+// process-wide cache, mirroring the dB LUT sharing. Hand-steered
+// (unfingerprinted) arrays must each keep a private slab.
+func TestLinearTableShared(t *testing.T) {
+	_, cb1 := D5000Codebook(rf.FreqChannel2Hz, 99)
+	_, cb2 := D5000Codebook(rf.FreqChannel2Hz, 99)
+	a1 := cb1.Sectors[3].Pattern.(*PhasedArray)
+	a2 := cb2.Sectors[3].Pattern.(*PhasedArray)
+	if a1 == a2 {
+		t.Fatal("test needs distinct array instances")
+	}
+	if a1.LinearTable() != a2.LinearTable() {
+		t.Error("fingerprinted twins built distinct slabs")
+	}
+
+	p1 := NewD5000Array(rf.FreqChannel2Hz)
+	p1.Steer(0.7)
+	p2 := NewD5000Array(rf.FreqChannel2Hz)
+	p2.Steer(0.7)
+	if p1.LinearTable() == p2.LinearTable() {
+		t.Error("unfingerprinted arrays unexpectedly shared a slab")
+	}
+}
+
+// The bulk codebook sweep must agree with the scalar per-(sector,angle)
+// evaluation bit for bit: both read the same dB LUT bins through the
+// same indexing and the same float32 conversion.
+func TestSweepSectorGainsParity(t *testing.T) {
+	a := NewD5000Array(rf.FreqChannel2Hz)
+	cb := NewCodebook(a, 12, 60, 4, 3)
+	rng := stats.NewRNG(10)
+	thetas := make([]float64, 33)
+	for i := range thetas {
+		thetas[i] = rng.Range(-4, 4)
+	}
+	dst := make([]float32, len(cb.Sectors)*len(thetas))
+	cb.SweepSectorGainsDBi(dst, thetas)
+	for s, sec := range cb.Sectors {
+		for k, th := range thetas {
+			want := float32(sec.Pattern.GainDBi(th))
+			if got := dst[s*len(thetas)+k]; got != want {
+				t.Fatalf("sector %d θ=%.3f: batch %v, scalar %v", s, th, got, want)
+			}
+		}
+	}
+}
+
+// Metamorphic sector relabeling: sweeping a codebook whose sectors are a
+// permutation of the original must permute the output rows exactly.
+func TestSweepSectorPermutation(t *testing.T) {
+	a := NewD5000Array(rf.FreqChannel2Hz)
+	cb := NewCodebook(a, 9, 55, 2, 4)
+	rng := stats.NewRNG(11)
+	thetas := make([]float64, 17)
+	for i := range thetas {
+		thetas[i] = rng.Range(-math.Pi, math.Pi)
+	}
+	n := len(cb.Sectors)
+	dst := make([]float32, n*len(thetas))
+	cb.SweepSectorGainsDBi(dst, thetas)
+
+	perm := rng.Perm(n)
+	relabeled := &Codebook{QuasiOmni: cb.QuasiOmni}
+	for _, p := range perm {
+		relabeled.Sectors = append(relabeled.Sectors, cb.Sectors[p])
+	}
+	dst2 := make([]float32, n*len(thetas))
+	relabeled.SweepSectorGainsDBi(dst2, thetas)
+	for i, p := range perm {
+		for k := range thetas {
+			if dst2[i*len(thetas)+k] != dst[p*len(thetas)+k] {
+				t.Fatalf("row %d (was %d), col %d: %v != %v",
+					i, p, k, dst2[i*len(thetas)+k], dst[p*len(thetas)+k])
+			}
+		}
+	}
+}
+
+// A codebook sweep into caller storage must not allocate once every
+// sector's LUT is built.
+func TestSweepSectorGainsZeroAlloc(t *testing.T) {
+	a := NewD5000Array(rf.FreqChannel2Hz)
+	cb := NewCodebook(a, 8, 60, 2, 5)
+	thetas := []float64{-2.1, -0.5, 0, 0.4, 1.7, 3.0}
+	dst := make([]float32, len(cb.Sectors)*len(thetas))
+	cb.SweepSectorGainsDBi(dst, thetas) // warm: builds every LUT
+	if avg := testing.AllocsPerRun(200, func() {
+		cb.SweepSectorGainsDBi(dst, thetas)
+	}); avg != 0 {
+		t.Errorf("codebook sweep allocates %.1f/op, want 0", avg)
+	}
+}
+
+// SectorRefs must produce refs whose scalar closure matches the mounted
+// pattern and whose poll stays nil-returning until the pattern is hot.
+func TestSectorRefsColdThenHot(t *testing.T) {
+	a := NewD5000Array(rf.FreqChannel2Hz)
+	cb := NewCodebook(a, 5, 50, 2, 6)
+	bore := geom.Rad(30)
+	refs := cb.SectorRefs(nil, bore)
+	if len(refs) != len(cb.Sectors) {
+		t.Fatalf("%d refs for %d sectors", len(refs), len(cb.Sectors))
+	}
+	for s := range refs {
+		r := &refs[s]
+		if r.Bore != bore {
+			t.Fatalf("sector %d: bore %v", s, r.Bore)
+		}
+		want := Oriented{Pattern: cb.Sectors[s].Pattern, Boresight: bore}.GainFunc()(0.9)
+		if got := r.Gain(0.9); got != want {
+			t.Fatalf("sector %d: ref gain %v, oriented gain %v", s, got, want)
+		}
+	}
+	// The probes answer only after the underlying pattern crosses the
+	// scalar threshold.
+	if refs[0].Table() != nil {
+		t.Fatal("cold sector published a table through its ref")
+	}
+	arr := cb.Sectors[0].Pattern.(*PhasedArray)
+	forceLUT(t, arr)
+	if refs[0].Table() == nil {
+		t.Fatal("hot sector's ref still has no table")
+	}
+}
+
+// BenchmarkCodebookSweepBatch is the codebook-sweep batch microbenchmark:
+// all sectors × a ray bundle's worth of angles in one call.
+func BenchmarkCodebookSweepBatch(b *testing.B) {
+	a := NewD5000Array(rf.FreqChannel2Hz)
+	cb := NewCodebook(a, 22, 60, 4, 7)
+	rng := stats.NewRNG(12)
+	thetas := make([]float64, 8)
+	for i := range thetas {
+		thetas[i] = rng.Range(-math.Pi, math.Pi)
+	}
+	dst := make([]float32, len(cb.Sectors)*len(thetas))
+	cb.SweepSectorGainsDBi(dst, thetas)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cb.SweepSectorGainsDBi(dst, thetas)
+	}
+}

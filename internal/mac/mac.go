@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/antenna"
 	"repro/internal/geom"
+	"repro/internal/rf"
 	"repro/internal/sim"
 )
 
@@ -126,9 +127,10 @@ type Stats struct {
 	TxAirTime sim.Time
 }
 
-// SelectSector evaluates every sector of the codebook as the transmit
-// pattern of dev towards peer (peer listening quasi-omni) and returns the
-// index with the highest received power, along with that power in dBm.
+// SelectSector evaluates every sector of the oriented codebook as the
+// transmit pattern of dev towards peer (peer listening quasi-omni) and
+// returns the index with the highest received power, along with that
+// power in dBm.
 //
 // This is the fixed point a sector-level sweep (SLS) converges to; both
 // MAC models run it after exchanging their association frames rather
@@ -138,19 +140,17 @@ type Stats struct {
 // device orientation all influence which sector wins, which is exactly
 // how the misaligned-dock experiments (Figs. 17/22 "rotated") select a
 // boundary sector with degraded directionality.
-func SelectSector(med *sim.Medium, dev, peer *sim.Radio, cb *antenna.Codebook, boresight float64) (int, float64) {
-	savedTx := dev.TxGain
-	savedRx := peer.RxGain
-	defer func() {
-		dev.TxGain = savedTx
-		peer.RxGain = savedRx
-	}()
-	// Peer listens on a representative quasi-omni pattern.
-	peer.RxGain = antenna.Oriented{Pattern: cb.QuasiOmni[0], Boresight: peerBoresight(dev, peer)}.GainFunc()
+//
+// The whole sweep is one batched kernel call (sim.Medium.SweepTxPowerDBm
+// over the pair's cached ray bundle); neither radio's mounted pattern is
+// touched. Ties keep the first (lowest-index) sector, matching the
+// scalar sweep this replaced.
+func SelectSector(med *sim.Medium, dev, peer *sim.Radio, oc *OrientedCodebook) (int, float64) {
+	probe := oc.probe(peerBoresight(dev, peer))
+	powers := med.SweepTxPowerDBm(dev, peer, oc.sectorRefs, probe)
 	bestIdx, bestP := -1, math.Inf(-1)
-	for i, s := range cb.Sectors {
-		dev.TxGain = antenna.Oriented{Pattern: s.Pattern, Boresight: boresight}.GainFunc()
-		if p := med.RxPowerDBm(dev, peer); p > bestP {
+	for i, p := range powers {
+		if p > bestP {
 			bestP = p
 			bestIdx = i
 		}
@@ -184,34 +184,59 @@ func OrientQuasiOmni(cb *antenna.Codebook, idx int, boresight float64) sim.GainF
 // sweep) reuse them instead of allocating a fresh closure per switch —
 // the dominant per-frame allocation in the MAC hot path.
 type OrientedCodebook struct {
-	sectors []sim.GainFunc
-	quasi   []sim.GainFunc
+	cb         *antenna.Codebook
+	sectorRefs []rf.PatternRef
+	quasiRefs  []rf.PatternRef
+	// probeRef is the cached peer-listening reference (quasi-omni
+	// codeword 0 pointed at the peer), rebuilt only when the probe
+	// direction changes — devices are static, so in practice once.
+	probeRef  rf.PatternRef
+	probeBore float64
+	probeOk   bool
 }
 
 // OrientCodebook orients every sector and quasi-omni codeword of cb at
-// the given boresight.
+// the given boresight, building the batched pattern references the
+// medium's kernels evaluate. Each ref carries the scalar gain closure
+// plus a table probe, so installing one on a radio keeps the public
+// GainFunc view intact while the batch path gathers from float32 slabs
+// once the pattern is hot.
 func OrientCodebook(cb *antenna.Codebook, boresight float64) *OrientedCodebook {
-	oc := &OrientedCodebook{
-		sectors: make([]sim.GainFunc, len(cb.Sectors)),
-		quasi:   make([]sim.GainFunc, len(cb.QuasiOmni)),
+	return &OrientedCodebook{
+		cb:         cb,
+		sectorRefs: cb.SectorRefs(nil, boresight),
+		quasiRefs:  cb.QuasiOmniRefs(nil, boresight),
 	}
-	for i, s := range cb.Sectors {
-		oc.sectors[i] = antenna.Oriented{Pattern: s.Pattern, Boresight: boresight}.GainFunc()
-	}
-	for i, q := range cb.QuasiOmni {
-		oc.quasi[i] = antenna.Oriented{Pattern: q, Boresight: boresight}.GainFunc()
-	}
-	return oc
 }
 
 // Sector returns the pre-oriented gain function of sector idx.
-func (oc *OrientedCodebook) Sector(idx int) sim.GainFunc { return oc.sectors[idx] }
+func (oc *OrientedCodebook) Sector(idx int) sim.GainFunc { return oc.sectorRefs[idx].Gain }
+
+// SectorRef returns the batched pattern reference of sector idx, for
+// installation via sim.Radio.SetTxPattern / SetRxPattern.
+func (oc *OrientedCodebook) SectorRef(idx int) rf.PatternRef { return oc.sectorRefs[idx] }
 
 // QuasiOmni returns the pre-oriented gain function of quasi-omni
 // codeword idx (wrapped modulo the codebook size, matching
 // OrientQuasiOmni).
 func (oc *OrientedCodebook) QuasiOmni(idx int) sim.GainFunc {
-	return oc.quasi[idx%len(oc.quasi)]
+	return oc.quasiRefs[idx%len(oc.quasiRefs)].Gain
+}
+
+// QuasiOmniRef returns the batched pattern reference of quasi-omni
+// codeword idx (wrapped like QuasiOmni).
+func (oc *OrientedCodebook) QuasiOmniRef(idx int) rf.PatternRef {
+	return oc.quasiRefs[idx%len(oc.quasiRefs)]
+}
+
+// probe returns the peer-listening reference pointed at bore.
+func (oc *OrientedCodebook) probe(bore float64) *rf.PatternRef {
+	if !oc.probeOk || oc.probeBore != bore {
+		oc.probeRef = antenna.Ref(oc.cb.QuasiOmni[0], bore)
+		oc.probeBore = bore
+		oc.probeOk = true
+	}
+	return &oc.probeRef
 }
 
 // Towards returns the global angle from a to b.

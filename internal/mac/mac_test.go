@@ -106,7 +106,7 @@ func TestSelectSectorPointsAtPeer(t *testing.T) {
 	peer := med.AddRadio(&sim.Radio{Name: "peer", Pos: geom.V(3, 3)})
 	_, cb := antenna.D5000Codebook(rf.FreqChannel2Hz, 61)
 	// Device mounted at 0°: the peer sits at +45°.
-	idx, p := SelectSector(med, dev, peer, cb, 0)
+	idx, p := SelectSector(med, dev, peer, OrientCodebook(cb, 0))
 	if idx < 0 {
 		t.Fatal("no sector")
 	}
@@ -116,9 +116,10 @@ func TestSelectSectorPointsAtPeer(t *testing.T) {
 	if math.IsInf(p, -1) {
 		t.Error("no power measured")
 	}
-	// Patterns restored after probing.
+	// The batched sweep is a pure query: neither radio's mounted
+	// pattern is touched.
 	if dev.TxGain != nil || peer.RxGain != nil {
-		t.Error("probe did not restore patterns")
+		t.Error("probe mutated radio patterns")
 	}
 }
 
@@ -131,7 +132,7 @@ func TestSelectSectorRespectsBoresight(t *testing.T) {
 	peer := med.AddRadio(&sim.Radio{Name: "peer", Pos: geom.V(3, 0)})
 	_, cb := antenna.D5000Codebook(rf.FreqChannel2Hz, 62)
 	// Mounted rotated 60°: the peer is at -60° local.
-	idx, _ := SelectSector(med, dev, peer, cb, geom.Rad(60))
+	idx, _ := SelectSector(med, dev, peer, OrientCodebook(cb, geom.Rad(60)))
 	if cb.Sectors[idx].SteerDeg > -40 {
 		t.Errorf("rotated mount picked %.0f°, want near -60°", cb.Sectors[idx].SteerDeg)
 	}

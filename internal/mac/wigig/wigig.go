@@ -324,7 +324,7 @@ func (d *Device) dilate(t time.Duration) time.Duration {
 // trainSector runs one sector sweep against the peer and returns the
 // adopted index, routed through the training-fault hook when installed.
 func (d *Device) trainSector() int {
-	idx, _ := mac.SelectSector(d.med, d.radio, d.peer.radio, d.cb, d.boresight())
+	idx, _ := mac.SelectSector(d.med, d.radio, d.peer.radio, d.oriented)
 	if d.trainingFault != nil {
 		if n := len(d.cb.Sectors); n > 0 {
 			idx = ((d.trainingFault(idx, n) % n) + n) % n
@@ -392,16 +392,16 @@ func (d *Device) Send(m mac.MPDU) bool {
 func (d *Device) boresight() float64 { return geom.Rad(d.cfg.BoresightDeg) }
 
 func (d *Device) setQuasiOmni(idx int) {
-	g := d.oriented.QuasiOmni(idx)
-	d.radio.TxGain = g
-	d.radio.RxGain = g
+	ref := d.oriented.QuasiOmniRef(idx)
+	d.radio.SetTxPattern(ref)
+	d.radio.SetRxPattern(ref)
 }
 
 func (d *Device) setSector(idx int) {
 	d.sector = idx
-	g := d.oriented.Sector(idx)
-	d.radio.TxGain = g
-	d.radio.RxGain = g
+	ref := d.oriented.SectorRef(idx)
+	d.radio.SetTxPattern(ref)
+	d.radio.SetRxPattern(ref)
 }
 
 // transmit serializes the device's own transmissions (half duplex).
@@ -439,7 +439,7 @@ func (d *Device) discoverySweep() {
 			if d.state == StateAssociated {
 				return
 			}
-			d.radio.TxGain = d.oriented.QuasiOmni(i)
+			d.radio.SetTxPattern(d.oriented.QuasiOmniRef(i))
 			d.med.Transmit(d.radio, phy.Frame{
 				Type: phy.FrameDiscovery,
 				Src:  d.radio.ID,
@@ -522,7 +522,7 @@ func (d *Device) associate() {
 	d.cw = CWMin
 	// Initial MCS from a direct channel probe; subsequent adaptation
 	// follows beacon SNR.
-	snr := d.med.Budget.EffectiveSINRdB(d.med.Budget.SNRdB(d.med.RxPowerDBm(d.peer.radio, d.radio)))
+	snr := d.med.EffectiveSNRdB(d.med.RxPowerDBm(d.peer.radio, d.radio))
 	d.snrEst.Reset()
 	d.snrEst.Update(snr)
 	d.adaptRate()
@@ -652,7 +652,7 @@ func (d *Device) sendBeaconReply() {
 // rssiSNR converts a reception's signal strength into the SNR the
 // device's channel estimator reports (EVM-capped, interference-blind).
 func (d *Device) rssiSNR(rx sim.Reception) float64 {
-	return d.med.Budget.EffectiveSINRdB(d.med.Budget.SNRdB(rx.PowerDBm))
+	return d.med.EffectiveSNRdB(rx.PowerDBm)
 }
 
 // adaptRate maps the smoothed SNR onto the MCS ladder; below the MinData

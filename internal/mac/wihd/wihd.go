@@ -300,16 +300,16 @@ func (d *Device) PowerOn() {
 func (d *Device) boresight() float64 { return geom.Rad(d.cfg.BoresightDeg) }
 
 func (d *Device) setQuasiOmni(idx int) {
-	g := d.oriented.QuasiOmni(idx)
-	d.radio.TxGain = g
-	d.radio.RxGain = g
+	ref := d.oriented.QuasiOmniRef(idx)
+	d.radio.SetTxPattern(ref)
+	d.radio.SetRxPattern(ref)
 }
 
 func (d *Device) setSector(idx int) {
 	d.sector = idx
-	g := d.oriented.Sector(idx)
-	d.radio.TxGain = g
-	d.radio.RxGain = g
+	ref := d.oriented.SectorRef(idx)
+	d.radio.SetTxPattern(ref)
+	d.radio.SetRxPattern(ref)
 }
 
 // --- Discovery / pairing ------------------------------------------------
@@ -331,7 +331,7 @@ func (d *Device) discoveryTick() {
 			if d.paired || !d.powered {
 				return
 			}
-			d.radio.TxGain = d.oriented.QuasiOmni(perm[i])
+			d.radio.SetTxPattern(d.oriented.QuasiOmniRef(perm[i]))
 			d.med.Transmit(d.radio, phy.Frame{
 				Type: phy.FrameDiscovery,
 				Src:  d.radio.ID,
@@ -363,7 +363,7 @@ func (d *Device) onPairReq(rx sim.Reception) {
 	if d.cfg.Role != TX || d.paired || !d.powered || rx.From != d.peer.radio.ID || !rx.OK {
 		return
 	}
-	idx, _ := mac.SelectSector(d.med, d.radio, d.peer.radio, d.cb, d.boresight())
+	idx, _ := mac.SelectSector(d.med, d.radio, d.peer.radio, d.oriented)
 	d.setSector(idx)
 	d.pickDataMCS()
 	d.paired = true
@@ -379,7 +379,7 @@ func (d *Device) onPairResp(rx sim.Reception) {
 	if d.cfg.Role != RX || d.paired || rx.From != d.peer.radio.ID || !rx.OK {
 		return
 	}
-	idx, _ := mac.SelectSector(d.med, d.radio, d.peer.radio, d.cb, d.boresight())
+	idx, _ := mac.SelectSector(d.med, d.radio, d.peer.radio, d.oriented)
 	d.setSector(idx)
 	d.paired = true
 	// With both ends trained, the transmitter fixes its stream MCS — in
@@ -518,7 +518,7 @@ func (d *Device) burstStarted() {
 // strongest scheme that still has dataMCSMarginDB of headroom, clamped
 // to the HRP-like ceiling. WiHD then never rate-adapts mid-stream.
 func (d *Device) pickDataMCS() {
-	snr := d.med.Budget.EffectiveSINRdB(d.med.Budget.SNRdB(d.med.RxPowerDBm(d.radio, d.peer.radio)))
+	snr := d.med.EffectiveSNRdB(d.med.RxPowerDBm(d.radio, d.peer.radio))
 	m, ok := phy.SelectMCS(snr, dataMCSMarginDB)
 	if !ok {
 		m = phy.MCS1

@@ -99,6 +99,23 @@ func (r *Registry) Lookup(name string) (Material, error) {
 	return m, nil
 }
 
+// ResolveInto resolves a batch of material names in one call, appending
+// the definitions onto dst (reusing its capacity) in input order. The ray
+// tracer uses this to materialize a dense wall→material slab once per
+// room revision, so the per-leg hot loops index a slice instead of
+// hashing a name per crossed wall. Any unknown name fails the whole
+// batch, matching Lookup's fail-loudly contract.
+func (r *Registry) ResolveInto(dst []Material, names []string) ([]Material, error) {
+	for _, n := range names {
+		m, ok := r.byName[n]
+		if !ok {
+			return nil, fmt.Errorf("mat: unknown material %q", n)
+		}
+		dst = append(dst, m)
+	}
+	return dst, nil
+}
+
 // MustLookup is Lookup but panics on unknown names; scenario builders use
 // it with the built-in material set.
 func (r *Registry) MustLookup(name string) Material {

@@ -122,7 +122,15 @@ func SelectMCS(snrDB, marginDB float64) (MCS, bool) {
 func (m MCS) PER(snrDB float64, lengthBits int) float64 {
 	info := m.Lookup()
 	c := info.MinSNRdB - 0.5
-	base := 1 / (1 + math.Exp(3*(snrDB-c)))
+	x := 3 * (snrDB - c)
+	if x >= 60 {
+		// p₀ < e⁻⁶⁰ ≈ 9e-27 here, so even the longest legal aggregate
+		// (L/Lref in the hundreds) has PER below the resolution of a
+		// 64-bit uniform draw. Skip the two transcendentals — a link
+		// comfortably above threshold is the common case.
+		return 0
+	}
+	base := 1 / (1 + math.Exp(x))
 	lf := float64(lengthBits) / 8000 // reference: 1000-byte MPDU
 	if lf < 0.25 {
 		lf = 0.25

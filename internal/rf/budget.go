@@ -89,6 +89,58 @@ func (b LinkBudget) SINRdB(rxPowerDBm, interferenceDBm float64) float64 {
 	return 10 * math.Log10(sigMw/(noiseMw+intfMw))
 }
 
+// BudgetEval caches the linear-domain constants derived from a
+// LinkBudget (noise floor in mW, inverse EVM ceiling) so the delivery
+// hot path can turn already-linear signal and interference powers into
+// an effective SINR with a single logarithm. LinkBudget is a small
+// comparable struct, so Sync detects parameter changes with one struct
+// compare and re-derives lazily.
+type BudgetEval struct {
+	budget LinkBudget
+	valid  bool
+	// NoiseFloor is the budget's noise floor in dBm.
+	NoiseFloor float64
+	noiseMw    float64
+	evmInv     float64
+}
+
+// Sync re-derives the cached constants if b differs from the budget the
+// cache was built for.
+func (e *BudgetEval) Sync(b LinkBudget) {
+	if e.valid && e.budget == b {
+		return
+	}
+	e.budget = b
+	e.NoiseFloor = b.NoiseFloorDBm()
+	e.noiseMw = DbToLin(e.NoiseFloor)
+	e.evmInv = 0
+	if b.EVMFloorDB > 0 {
+		e.evmInv = DbToLin(-b.EVMFloorDB)
+	}
+	e.valid = true
+}
+
+// EffectiveSINRdBFromMw fuses SINRdB and EffectiveSINRdB for linear
+// inputs: signal and interference in mW. Because both the EVM floor and
+// the noise+interference term add in the inverse-linear domain,
+//
+//	SINR_eff = -10·log10((noise+intf)/sig + 10^(-EVM/10))
+//
+// which costs one log instead of the scalar path's three pows and two
+// logs. A non-positive signal degenerates to -Inf.
+func (e *BudgetEval) EffectiveSINRdBFromMw(sigMw, intfMw float64) float64 {
+	if sigMw <= 0 {
+		return math.Inf(-1)
+	}
+	return -LinToDb((e.noiseMw+intfMw)/sigMw + e.evmInv)
+}
+
+// EffectiveSNRdB is the interference-free variant over a dBm input: the
+// budget's EffectiveSINRdB(SNRdB(rxPowerDBm)) composition in one call.
+func (e *BudgetEval) EffectiveSNRdB(rxPowerDBm float64) float64 {
+	return e.EffectiveSINRdBFromMw(DbToLin(rxPowerDBm), 0)
+}
+
 // DrawAtmosphericOffsetDB samples one experiment-day's link-margin offset.
 func (b LinkBudget) DrawAtmosphericOffsetDB(rng *stats.RNG) float64 {
 	if b.AtmosphericSigmaDB <= 0 {

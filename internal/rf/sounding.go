@@ -64,7 +64,7 @@ func RMSDelaySpreadNs(taps []Tap) float64 {
 	}
 	var pSum, tSum float64
 	for _, t := range taps {
-		p := math.Pow(10, t.PowerDBm/10)
+		p := DbToLin(t.PowerDBm)
 		pSum += p
 		tSum += p * t.DelayNs
 	}
@@ -74,7 +74,7 @@ func RMSDelaySpreadNs(taps []Tap) float64 {
 	mean := tSum / pSum
 	var v float64
 	for _, t := range taps {
-		p := math.Pow(10, t.PowerDBm/10)
+		p := DbToLin(t.PowerDBm)
 		d := t.DelayNs - mean
 		v += p * d * d
 	}
@@ -91,18 +91,18 @@ func RicianKdB(taps []Tap) float64 {
 	best := math.Inf(-1)
 	var total float64
 	for _, t := range taps {
-		p := math.Pow(10, t.PowerDBm/10)
+		p := DbToLin(t.PowerDBm)
 		total += p
 		if t.PowerDBm > best {
 			best = t.PowerDBm
 		}
 	}
-	dom := math.Pow(10, best/10)
+	dom := DbToLin(best)
 	rest := total - dom
 	if rest <= 0 {
 		return math.Inf(1)
 	}
-	return 10 * math.Log10(dom/rest)
+	return LinToDb(dom / rest)
 }
 
 // AngularSpreadRad returns the power-weighted circular spread of the
@@ -114,7 +114,7 @@ func AngularSpreadRad(taps []Tap) float64 {
 	}
 	var pSum, sx, sy float64
 	for _, t := range taps {
-		p := math.Pow(10, t.PowerDBm/10)
+		p := DbToLin(t.PowerDBm)
 		pSum += p
 		sx += p * math.Cos(t.AoARad)
 		sy += p * math.Sin(t.AoARad)

@@ -27,6 +27,38 @@ type Tracer struct {
 	// MaxLossDB drops paths weaker than this total propagation loss to
 	// keep channel lists short; 0 means keep everything.
 	MaxLossDB float64
+
+	// wallMats is the dense wall→material slab, resolved in one batch via
+	// mat.ResolveInto and re-synced whenever the room epoch moves. The
+	// per-leg and per-bounce loops index it instead of hashing material
+	// names, which removes the map lookups from the tracing hot path.
+	wallMats     []mat.Material
+	wallMatNames []string
+	matEpoch     uint64
+	matsValid    bool
+}
+
+// syncMaterials refreshes the wall→material slab when the room has been
+// edited since the last trace (wall moves keep materials but also bump
+// the epoch; the re-resolve is one map hit per wall, paid per room
+// revision rather than per path leg).
+func (t *Tracer) syncMaterials() error {
+	if t.matsValid && t.matEpoch == t.Room.Epoch() && len(t.wallMats) == len(t.Room.Walls) {
+		return nil
+	}
+	t.wallMatNames = t.wallMatNames[:0]
+	for _, w := range t.Room.Walls {
+		t.wallMatNames = append(t.wallMatNames, w.Material)
+	}
+	mats, err := t.Materials.ResolveInto(t.wallMats[:0], t.wallMatNames)
+	if err != nil {
+		t.matsValid = false
+		return err
+	}
+	t.wallMats = mats
+	t.matEpoch = t.Room.Epoch()
+	t.matsValid = true
+	return nil
 }
 
 // NewTracer returns a tracer for the room with the default material set,
@@ -48,8 +80,9 @@ const blockEps = 1e-9
 // legLoss accumulates penetration losses of walls crossed by the open
 // segment from a to b, skipping the walls indexed in skip (the mirrors a
 // reflected path legitimately touches). It reports blocked=true when a
-// Blocking wall is crossed.
-func (t *Tracer) legLoss(a, b geom.Vec2, skip map[int]bool) (lossDB float64, blocked bool, err error) {
+// Blocking wall is crossed. Materials come from the pre-resolved slab, so
+// the caller must have run syncMaterials first.
+func (t *Tracer) legLoss(a, b geom.Vec2, skip map[int]bool) (lossDB float64, blocked bool) {
 	seg := geom.Seg(a, b)
 	for i, w := range t.Room.Walls {
 		if skip[i] {
@@ -59,24 +92,17 @@ func (t *Tracer) legLoss(a, b geom.Vec2, skip map[int]bool) (lossDB float64, blo
 			continue
 		}
 		if w.Blocking {
-			return 0, true, nil
+			return 0, true
 		}
-		m, lerr := t.Materials.Lookup(w.Material)
-		if lerr != nil {
-			return 0, false, lerr
-		}
-		lossDB += m.PenetrationLossDB
+		lossDB += t.wallMats[i].PenetrationLossDB
 	}
-	return lossDB, false, nil
+	return lossDB, false
 }
 
-// reflectionLoss returns the specular loss of a bounce at point p on wall
-// w for a ray arriving from 'from'.
-func (t *Tracer) reflectionLoss(w geom.Wall, from, p geom.Vec2) (float64, error) {
-	m, err := t.Materials.Lookup(w.Material)
-	if err != nil {
-		return 0, err
-	}
+// reflectionLoss returns the specular loss of a bounce at point p on the
+// wall at index wi for a ray arriving from 'from'.
+func (t *Tracer) reflectionLoss(wi int, from, p geom.Vec2) float64 {
+	w := t.Room.Walls[wi]
 	dir := p.Sub(from).Unit()
 	n := w.Normal()
 	// Incidence angle from the surface normal.
@@ -85,7 +111,7 @@ func (t *Tracer) reflectionLoss(w geom.Wall, from, p geom.Vec2) (float64, error)
 		c = 1
 	}
 	incidence := math.Acos(c)
-	return m.ReflectionLossDB(incidence), nil
+	return t.wallMats[wi].ReflectionLossDB(incidence)
 }
 
 func (t *Tracer) finishPath(points []geom.Vec2, extraLossDB float64, order int) Path {
@@ -111,6 +137,9 @@ func (t *Tracer) finishPath(points []geom.Vec2, extraLossDB float64, order int) 
 // reflections, strongest first is NOT guaranteed; callers that need
 // ordering sort by LossDB.
 func (t *Tracer) Trace(tx, rx geom.Vec2) ([]Path, error) {
+	if err := t.syncMaterials(); err != nil {
+		return nil, err
+	}
 	var paths []Path
 
 	keep := func(p Path) {
@@ -122,29 +151,21 @@ func (t *Tracer) Trace(tx, rx geom.Vec2) ([]Path, error) {
 
 	// Line of sight.
 	if tx.Dist(rx) > 0 {
-		loss, blocked, err := t.legLoss(tx, rx, nil)
-		if err != nil {
-			return nil, err
-		}
-		if !blocked {
+		if loss, blocked := t.legLoss(tx, rx, nil); !blocked {
 			keep(t.finishPath([]geom.Vec2{tx, rx}, loss, 0))
 		}
 	}
 
 	if t.MaxOrder >= 1 {
-		if err := t.traceFirstOrder(tx, rx, keep); err != nil {
-			return nil, err
-		}
+		t.traceFirstOrder(tx, rx, keep)
 	}
 	if t.MaxOrder >= 2 {
-		if err := t.traceSecondOrder(tx, rx, keep); err != nil {
-			return nil, err
-		}
+		t.traceSecondOrder(tx, rx, keep)
 	}
 	return paths, nil
 }
 
-func (t *Tracer) traceFirstOrder(tx, rx geom.Vec2, keep func(Path)) error {
+func (t *Tracer) traceFirstOrder(tx, rx geom.Vec2, keep func(Path)) {
 	for i, w := range t.Room.Walls {
 		// A specular bounce requires both endpoints on the same side of
 		// the mirror wall.
@@ -158,27 +179,17 @@ func (t *Tracer) traceFirstOrder(tx, rx geom.Vec2, keep func(Path)) error {
 		}
 		p := w.Point(u)
 		skip := map[int]bool{i: true}
-		l1, b1, err := t.legLoss(tx, p, skip)
-		if err != nil {
-			return err
-		}
-		l2, b2, err := t.legLoss(p, rx, skip)
-		if err != nil {
-			return err
-		}
+		l1, b1 := t.legLoss(tx, p, skip)
+		l2, b2 := t.legLoss(p, rx, skip)
 		if b1 || b2 {
 			continue
 		}
-		rl, err := t.reflectionLoss(w, tx, p)
-		if err != nil {
-			return err
-		}
+		rl := t.reflectionLoss(i, tx, p)
 		keep(t.finishPath([]geom.Vec2{tx, p, rx}, l1+l2+rl, 1))
 	}
-	return nil
 }
 
-func (t *Tracer) traceSecondOrder(tx, rx geom.Vec2, keep func(Path)) error {
+func (t *Tracer) traceSecondOrder(tx, rx geom.Vec2, keep func(Path)) {
 	walls := t.Room.Walls
 	for i, w1 := range walls {
 		img1 := w1.Mirror(tx)
@@ -206,33 +217,17 @@ func (t *Tracer) traceSecondOrder(tx, rx geom.Vec2, keep func(Path)) error {
 				continue
 			}
 			skip := map[int]bool{i: true, j: true}
-			l1, b1, err := t.legLoss(tx, p1, skip)
-			if err != nil {
-				return err
-			}
-			l2, b2, err := t.legLoss(p1, p2, skip)
-			if err != nil {
-				return err
-			}
-			l3, b3, err := t.legLoss(p2, rx, skip)
-			if err != nil {
-				return err
-			}
+			l1, b1 := t.legLoss(tx, p1, skip)
+			l2, b2 := t.legLoss(p1, p2, skip)
+			l3, b3 := t.legLoss(p2, rx, skip)
 			if b1 || b2 || b3 {
 				continue
 			}
-			rl1, err := t.reflectionLoss(w1, tx, p1)
-			if err != nil {
-				return err
-			}
-			rl2, err := t.reflectionLoss(w2, p1, p2)
-			if err != nil {
-				return err
-			}
+			rl1 := t.reflectionLoss(i, tx, p1)
+			rl2 := t.reflectionLoss(j, p1, p2)
 			keep(t.finishPath([]geom.Vec2{tx, p1, p2, rx}, l1+l2+l3+rl1+rl2, 2))
 		}
 	}
-	return nil
 }
 
 // PairAffected reports whether the channel between tx and rx can have
@@ -357,12 +352,12 @@ func ReceivedPowerDBm(txPowerDBm float64, paths []Path, txGain, rxGain GainFunc)
 	totalMw := 0.0
 	for _, p := range paths {
 		gainDB := txPowerDBm + txGain(p.AoD) + rxGain(p.AoA) - p.LossDB
-		totalMw += math.Pow(10, gainDB/10)
+		totalMw += DbToLin(gainDB)
 	}
 	if totalMw <= 0 {
 		return math.Inf(-1)
 	}
-	return 10 * math.Log10(totalMw)
+	return LinToDb(totalMw)
 }
 
 // StrongestPath returns the index of the path with the highest received

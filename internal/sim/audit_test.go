@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/phy"
+	"repro/internal/rf"
 )
 
 // withAudit runs fn with the auditor in warn mode and clean counters,
@@ -83,7 +84,7 @@ func TestAuditOverpowerDelivery(t *testing.T) {
 		m.Transmit(a, f)
 		// Reach into the live transmission and inflate b's cached power,
 		// as a sign bug in the budget math would.
-		m.active[0].rxPowerDBm[b.ID] = a.TxPowerDBm + MaxArrayGainDB + 10
+		m.active[0].rxPowerMw[b.ID] = rf.DbToLin(a.TxPowerDBm + MaxArrayGainDB + 10)
 		s.Run(time.Second)
 		if !heard {
 			t.Fatal("frame not delivered")

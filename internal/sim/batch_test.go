@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/antenna"
+	"repro/internal/geom"
+	"repro/internal/phy"
+	"repro/internal/rf"
+)
+
+// batchTestScene builds a reflective room with two pattern-equipped
+// radios: r[0] transmitting sector 3 of a D5000 codebook, r[1] listening
+// on a quasi-omni codeword, both installed through the batched setters.
+func batchTestScene(t testing.TB) (*Medium, []*Radio, *antenna.Codebook) {
+	t.Helper()
+	room := geom.Open()
+	room.AddWall(geom.V(-3, 2), geom.V(8, 2), "metal")
+	room.AddWall(geom.V(-3, -1.5), geom.V(8, -1.5), "brick")
+	m, r := testMedium(room, 2)
+	r[0].Pos, r[1].Pos = geom.V(0, 0), geom.V(5, 0.7)
+	_, cb := antenna.D5000Codebook(rf.FreqChannel2Hz, 21)
+	r[0].SetTxPattern(antenna.Ref(cb.Sectors[3].Pattern, 0.1))
+	r[0].SetRxPattern(antenna.Ref(cb.QuasiOmni[1], 0.1))
+	r[1].SetTxPattern(antenna.Ref(cb.Sectors[18].Pattern, math.Pi))
+	r[1].SetRxPattern(antenna.Ref(cb.QuasiOmni[0], math.Pi))
+	return m, r, cb
+}
+
+// scalarRxPowerDBm is the retained reference implementation: the scalar
+// per-path sum over the cached channel plus every dB-domain adjustment
+// the medium applies. The batch path must stay within BatchEpsilonDB.
+func scalarRxPowerDBm(m *Medium, tx, rx *Radio) float64 {
+	p := rf.ReceivedPowerDBm(0, m.channel(tx, rx), tx.txGainFn, rx.rxGainFn)
+	adj := tx.TxPowerDBm - m.ExtraLossDB + m.linkOffset(tx.ID, rx.ID)
+	if tx.Channel != rx.Channel {
+		adj -= AdjacentChannelLeakageDB
+	}
+	return p + adj
+}
+
+// Exhaustive parity over a reflective scene: the batched RxPowerDBm must
+// match the scalar reference in both orientations, with the patterns
+// cold (scalar fallback per ray) and hot (float32 slab gathers).
+func TestBatchScalarPowerParity(t *testing.T) {
+	m, r, cb := batchTestScene(t)
+	check := func(stage string) {
+		t.Helper()
+		for _, pair := range [][2]*Radio{{r[0], r[1]}, {r[1], r[0]}} {
+			got := m.RxPowerDBm(pair[0], pair[1])
+			want := scalarRxPowerDBm(m, pair[0], pair[1])
+			if d := math.Abs(got - want); d > rf.BatchEpsilonDB {
+				t.Errorf("%s %s→%s: batch %.6f vs scalar %.6f dBm (Δ %.2g, budget %.2g)",
+					stage, pair[0].Name, pair[1].Name, got, want, d, rf.BatchEpsilonDB)
+			}
+		}
+	}
+	check("cold")
+	// Heat every involved pattern so the kernels switch to table gathers,
+	// then force fresh evaluations past the memo via a pattern reinstall.
+	for _, s := range cb.Sectors {
+		if a, ok := s.Pattern.(*antenna.PhasedArray); ok {
+			a.LinearTable()
+		}
+	}
+	for _, q := range cb.QuasiOmni {
+		if a, ok := q.(*antenna.PhasedArray); ok {
+			a.LinearTable()
+		}
+	}
+	r[0].SetTxPattern(antenna.Ref(cb.Sectors[3].Pattern, 0.1))
+	r[1].SetTxPattern(antenna.Ref(cb.Sectors[18].Pattern, math.Pi))
+	check("hot")
+}
+
+// The medium-level sweep must agree with installing each sector and
+// asking for the pair power one ref at a time.
+func TestSweepMatchesPerSectorPower(t *testing.T) {
+	m, r, cb := batchTestScene(t)
+	refs := cb.SectorRefs(nil, 0.1)
+	probe := antenna.Ref(cb.QuasiOmni[0], math.Pi)
+	powers := m.SweepTxPowerDBm(r[0], r[1], refs, &probe)
+	if len(powers) != len(refs) {
+		t.Fatalf("%d powers for %d refs", len(powers), len(refs))
+	}
+	got := make([]float64, len(powers))
+	copy(got, powers) // medium-owned scratch: next calls overwrite it
+	r[1].SetRxPattern(probe)
+	for s := range refs {
+		r[0].SetTxPattern(refs[s])
+		want := m.RxPowerDBm(r[0], r[1])
+		if d := math.Abs(got[s] - want); d > rf.BatchEpsilonDB {
+			t.Errorf("sector %d: sweep %.6f vs pair %.6f dBm (Δ %.2g)", s, got[s], want, d)
+		}
+	}
+}
+
+// Satellite hazard check: every invalidation route — selective wall
+// moves, radio moves, structural edits — must drop the pair's gain
+// bundle (and its memoized kernel results) in lockstep with the
+// paths/revPaths caches, so no batch evaluation ever reads geometry the
+// tracer has abandoned.
+func TestBundleInvalidationLockstep(t *testing.T) {
+	room := geom.Open()
+	room.AddObstacle(geom.V(1.5, -1), geom.V(1.5, -0.5), "human")
+	walker := len(room.Walls) - 1
+	m, r := testMedium(room, 3)
+	r[0].Pos, r[1].Pos, r[2].Pos = geom.V(0, 0), geom.V(3, 0), geom.V(40, 40)
+
+	// Prime both orientations of (0,1) plus the far pair (0,2).
+	m.RxPowerDBm(r[0], r[1])
+	m.RxPowerDBm(r[1], r[0])
+	m.RxPowerDBm(r[0], r[2])
+	key := pairKey(r[0].ID, r[1].ID)
+	pb, ok := m.bundles[key]
+	if !ok || !pb.revBuilt {
+		t.Fatalf("bundle not primed in both orientations (ok=%v)", ok)
+	}
+
+	// A wall move crossing the near pair's rays drops exactly that
+	// bundle, and the re-evaluated power sees the blocker — in both
+	// directions and in agreement with the scalar reference.
+	before := m.RxPowerDBm(r[1], r[0])
+	room.MoveWall(walker, geom.Seg(geom.V(1.5, -0.2), geom.V(1.5, 0.3)))
+	m.syncRoom()
+	if _, ok := m.bundles[key]; ok {
+		t.Fatal("bundle survived a wall move across its rays")
+	}
+	if _, ok := m.bundles[pairKey(r[0].ID, r[2].ID)]; !ok {
+		t.Error("distant pair's bundle was needlessly dropped")
+	}
+	rev := m.RxPowerDBm(r[1], r[0])
+	if rev >= before-10 {
+		t.Errorf("reverse batch power did not see the blocker: %v -> %v dBm", before, rev)
+	}
+	if d := math.Abs(rev - scalarRxPowerDBm(m, r[1], r[0])); d > rf.BatchEpsilonDB {
+		t.Errorf("post-move batch/scalar disagreement: %.2g dB", d)
+	}
+
+	// Radio move: InvalidateRadio drops the touching bundles.
+	m.RxPowerDBm(r[0], r[1])
+	m.InvalidateRadio(r[0].ID)
+	if _, ok := m.bundles[key]; ok {
+		t.Error("bundle survived InvalidateRadio")
+	}
+
+	// Structural edit: the whole bundle cache goes.
+	m.RxPowerDBm(r[0], r[1])
+	room.AddWall(geom.V(-5, 50), geom.V(5, 50), "glass")
+	m.syncRoom()
+	if len(m.bundles) != 0 {
+		t.Errorf("structural edit left %d bundles", len(m.bundles))
+	}
+}
+
+// A beam switch through the setters must invalidate the memoized kernel
+// result: the next power read reflects the new sector immediately.
+func TestPatternSwitchInvalidatesMemo(t *testing.T) {
+	m, r, cb := batchTestScene(t)
+	p3 := m.RxPowerDBm(r[0], r[1])
+	p3again := m.RxPowerDBm(r[0], r[1]) // memo hit
+	if p3 != p3again {
+		t.Fatalf("repeated read changed: %v vs %v", p3, p3again)
+	}
+	// Steer to the opposite edge of the codebook: a different beam must
+	// change the received power (a stale memo would reproduce p3).
+	r[0].SetTxPattern(antenna.Ref(cb.Sectors[21].Pattern, 0.1))
+	p21 := m.RxPowerDBm(r[0], r[1])
+	if p21 == p3 {
+		t.Error("power unchanged after beam switch: stale memo suspected")
+	}
+	if d := math.Abs(p21 - scalarRxPowerDBm(m, r[0], r[1])); d > rf.BatchEpsilonDB {
+		t.Errorf("post-switch batch/scalar disagreement: %.2g dB", d)
+	}
+	// Radios without installed refs bypass the memo entirely: a direct
+	// GainFunc field write (legacy path) is honored on the next read.
+	m2, rr := testMedium(geom.Open(), 2)
+	rr[0].Pos, rr[1].Pos = geom.V(0, 0), geom.V(3, 0)
+	iso := m2.RxPowerDBm(rr[0], rr[1])
+	rr[0].TxGain = func(float64) float64 { return 10 }
+	if got := m2.RxPowerDBm(rr[0], rr[1]); math.Abs(got-iso-10) > rf.BatchEpsilonDB {
+		t.Errorf("direct TxGain write not honored: %v -> %v dBm", iso, got)
+	}
+}
+
+// SetLinkOffset must write through to the baked per-bundle offset, so a
+// pair that already has a cached bundle sees the new shadowing at once
+// (the Fig. 14 random walk drives this every step).
+func TestSetLinkOffsetWriteThrough(t *testing.T) {
+	m, r, _ := batchTestScene(t)
+	p0 := m.RxPowerDBm(r[0], r[1])
+	off := m.LinkOffset(r[0].ID, r[1].ID)
+	m.SetLinkOffset(r[0].ID, r[1].ID, off+7)
+	p1 := m.RxPowerDBm(r[0], r[1])
+	if math.Abs(p1-p0-7) > 1e-9 {
+		t.Errorf("offset +7 dB moved power by %v dB", p1-p0)
+	}
+	// And the bundle built after a SetLinkOffset must pick the pinned
+	// value up rather than drawing a fresh one.
+	m.InvalidateChannels()
+	if p2 := m.RxPowerDBm(r[0], r[1]); math.Abs(p2-p1) > 1e-9 {
+		t.Errorf("rebuilt bundle lost the pinned offset: %v vs %v dBm", p2, p1)
+	}
+}
+
+// Steady-state batched reads must not allocate: the memo-hit pair power
+// and the codebook sweep both run on medium-owned scratch.
+func TestBatchPowerZeroAlloc(t *testing.T) {
+	m, r, cb := batchTestScene(t)
+	refs := cb.SectorRefs(nil, 0.1)
+	probe := antenna.Ref(cb.QuasiOmni[0], math.Pi)
+	m.RxPowerDBm(r[0], r[1])
+	m.SweepTxPowerDBm(r[0], r[1], refs, &probe)
+	if avg := testing.AllocsPerRun(1000, func() {
+		m.RxPowerDBm(r[0], r[1])
+	}); avg != 0 {
+		t.Errorf("memo-hit RxPowerDBm allocates %.1f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		m.SweepTxPowerDBm(r[0], r[1], refs, &probe)
+	}); avg != 0 {
+		t.Errorf("SweepTxPowerDBm allocates %.1f/op, want 0", avg)
+	}
+}
+
+// --- Microbenchmarks -----------------------------------------------------
+
+// BenchmarkRxPowerBatchHit measures the steady-state pair read: bundle
+// cached, patterns stable, memo hot.
+func BenchmarkRxPowerBatchHit(b *testing.B) {
+	m, r, _ := batchTestScene(b)
+	m.RxPowerDBm(r[0], r[1])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RxPowerDBm(r[0], r[1])
+	}
+}
+
+// BenchmarkSectorSweepBatch measures the full 22-sector training sweep
+// through the medium kernel.
+func BenchmarkSectorSweepBatch(b *testing.B) {
+	m, r, cb := batchTestScene(b)
+	refs := cb.SectorRefs(nil, 0.1)
+	probe := antenna.Ref(cb.QuasiOmni[0], math.Pi)
+	m.SweepTxPowerDBm(r[0], r[1], refs, &probe)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SweepTxPowerDBm(r[0], r[1], refs, &probe)
+	}
+}
+
+// BenchmarkDeviceSetBatch measures one frame against a device set: a
+// transmit fans power out to every registered radio through the batched
+// pair kernel, then the delivery fires.
+func BenchmarkDeviceSetBatch(b *testing.B) {
+	room := geom.Open()
+	room.AddWall(geom.V(-3, 6), geom.V(20, 6), "brick")
+	m, r := testMedium(room, 8)
+	_, cb := antenna.D5000Codebook(rf.FreqChannel2Hz, 5)
+	for i, rad := range r {
+		rad.Pos = geom.V(float64(i*2), float64(i%2))
+		rad.SetTxPattern(antenna.Ref(cb.Sectors[i*2].Pattern, 0))
+		rad.SetRxPattern(antenna.Ref(cb.QuasiOmni[i%4], 0))
+	}
+	r[1].Handler = HandlerFunc(func(phy.Frame, Reception) {})
+	f := phy.Frame{Type: phy.FrameData, Src: r[0].ID, Dst: r[1].ID, MCS: phy.MCS8, PayloadBytes: 2048}
+	s := m.Sched
+	m.Transmit(r[0], f)
+	s.Run(s.Now() + time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Transmit(r[0], f)
+		s.Run(s.Now() + time.Millisecond)
+	}
+}
+
+// BenchmarkVisibilityRebuild measures the invalidation round trip: a
+// logged wall move drops the pair's bundle and the next read re-traces
+// and rebuilds it.
+func BenchmarkVisibilityRebuild(b *testing.B) {
+	room := geom.Open()
+	room.AddObstacle(geom.V(1.5, -1), geom.V(1.5, -0.5), "human")
+	walker := len(room.Walls) - 1
+	m, r := testMedium(room, 2)
+	r[0].Pos, r[1].Pos = geom.V(0, 0), geom.V(3, 0)
+	m.RxPowerDBm(r[0], r[1])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := -1.0 + 0.1*float64(i%3)
+		room.MoveWall(walker, geom.Seg(geom.V(1.5, y), geom.V(1.5, y+0.5)))
+		m.RxPowerDBm(r[0], r[1])
+	}
+}

@@ -91,6 +91,25 @@ type Radio struct {
 	// beam switches still take effect); rebinding the method values per
 	// power computation would allocate two closures per RxPowerDBm.
 	txGainFn, rxGainFn GainFunc
+	// txRef/rxRef hold the batched pattern references installed via
+	// SetTxPattern/SetRxPattern; refSet marks them live. While unset, the
+	// medium falls back to defTxRef/defRxRef, which wrap the dynamic
+	// TxGain/RxGain closures — so radios that only ever assign the public
+	// gain fields keep working unchanged. Once a radio has installed a
+	// ref, later pattern switches must go through the setters too (a
+	// direct TxGain write would leave a stale table behind).
+	txRef, rxRef       rf.PatternRef
+	txRefSet, rxRefSet bool
+	defTxRef, defRxRef rf.PatternRef
+	// patGen counts SetTxPattern/SetRxPattern installs; the per-pair
+	// power memo is keyed to it, so a beam switch invalidates every
+	// memoized kernel result involving this radio for free.
+	patGen uint64
+	// floorMw caches the listen floor in mW keyed to the dBm value it was
+	// derived from, so the per-delivery threshold compare needs no exp.
+	floorMw    float64
+	floorForDB float64
+	floorOk    bool
 }
 
 func (r *Radio) txGain(a float64) float64 {
@@ -107,6 +126,60 @@ func (r *Radio) rxGain(a float64) float64 {
 	return r.RxGain(a)
 }
 
+// SetTxPattern installs a batched pattern reference as the radio's
+// transmit pattern. TxGain is kept in sync (ref.Gain) so scalar readers
+// and traces see the same pattern the batch kernels evaluate.
+func (r *Radio) SetTxPattern(ref rf.PatternRef) {
+	r.TxGain = ref.Gain
+	r.txRef = ref
+	r.txRefSet = true
+	r.patGen++
+}
+
+// SetRxPattern installs a batched pattern reference as the radio's
+// receive pattern; see SetTxPattern.
+func (r *Radio) SetRxPattern(ref rf.PatternRef) {
+	r.RxGain = ref.Gain
+	r.rxRef = ref
+	r.rxRefSet = true
+	r.patGen++
+}
+
+// txPatternRef returns the reference the batch kernels should evaluate
+// for transmissions: the installed ref, or the dynamic default bound to
+// the public TxGain field. The lazy Gain binding covers radios built
+// outside AddRadio (tests).
+func (r *Radio) txPatternRef() *rf.PatternRef {
+	if r.txRefSet {
+		return &r.txRef
+	}
+	if r.defTxRef.Gain == nil {
+		r.defTxRef.Gain = r.txGain
+	}
+	return &r.defTxRef
+}
+
+func (r *Radio) rxPatternRef() *rf.PatternRef {
+	if r.rxRefSet {
+		return &r.rxRef
+	}
+	if r.defRxRef.Gain == nil {
+		r.defRxRef.Gain = r.rxGain
+	}
+	return &r.defRxRef
+}
+
+// listenFloorMw returns the listen floor converted to mW, cached against
+// the current ListenFloorDBm.
+func (r *Radio) listenFloorMw() float64 {
+	if !r.floorOk || r.floorForDB != r.ListenFloorDBm {
+		r.floorMw = rf.DbToLin(r.ListenFloorDBm)
+		r.floorForDB = r.ListenFloorDBm
+		r.floorOk = true
+	}
+	return r.floorMw
+}
+
 // transmission is one frame on air. Transmissions are pooled by their
 // medium: once pruned from the active list they are recycled, keeping
 // the rxPowerDBm backing array and the pre-bound finish callback so a
@@ -115,13 +188,19 @@ type transmission struct {
 	frame      phy.Frame
 	tx         *Radio
 	start, end Time
-	// rxPowerDBm caches per-receiver power for this transmission,
+	// rxPowerMw caches per-receiver power for this transmission in mW,
 	// indexed by radio ID (computed once at start, since patterns are
-	// fixed for the duration of a frame).
-	rxPowerDBm []float64
+	// fixed for the duration of a frame). Zero means no signal (the
+	// transmitter itself, or a fully blocked channel); dBm values are
+	// derived only for frames that actually reach a handler, so energy
+	// detect and interference sums never leave the linear domain.
+	rxPowerMw []float64
 	// fire is the end-of-frame callback, bound to this struct once at
 	// first allocation and reused across recycles.
 	fire func()
+	// liveIdx is this transmission's position in Medium.live while on
+	// air (swap-removed at finish).
+	liveIdx int
 }
 
 // Medium connects radios through the propagation engine. All methods
@@ -139,12 +218,23 @@ type Medium struct {
 	// use. Entries are derived from paths and invalidated with them, so
 	// a reverse-direction transmission never re-allocates the reversal.
 	revPaths map[[2]int][]rf.Path
+	// bundles caches the batched ray-bundle representation of each pair's
+	// channel (per-path linear weights and angles, rf.RayBundle), keyed
+	// like paths and invalidated in lockstep with it at every site that
+	// touches paths/revPaths — a bundle must never outlive the path list
+	// it was built from.
+	bundles map[[2]int]*pairBundles
 	// roomEpoch is the geometry epoch the path cache was built against;
 	// channel() resyncs lazily when the room mutates (geom.Room.MoveWall
 	// et al.), invalidating only the pairs a move can affect.
 	roomEpoch uint64
-	// active transmissions currently on air.
+	// active transmissions: everything on air plus recently ended frames
+	// retained for pruneWindow (interference accounting).
 	active []*transmission
+	// live is the subset of active still on air right now — each entry
+	// leaves at its own finish(). Carrier sensing scans this short list;
+	// the audit layer re-derives totals from the full active list.
+	live []*transmission
 	// txFree recycles transmission structs pruned from the active list.
 	txFree []*transmission
 	rng    *stats.RNG
@@ -161,6 +251,48 @@ type Medium struct {
 	// carrier sensing and interference to overlapping frames — but the
 	// receive chain never surfaced it.
 	deliveryFilter func(f phy.Frame, tx, rx *Radio) bool
+	// beval caches the link budget's linear-domain constants for the
+	// delivery hot path (re-synced by struct compare, so Budget edits
+	// take effect immediately).
+	beval rf.BudgetEval
+	// ovTx/ovFrac are finish()'s per-frame overlap scratch: the list of
+	// concurrent transmissions and their overlap fractions is computed
+	// once per ended frame and reused across all its receivers.
+	ovTx   []*transmission
+	ovFrac []float64
+	// sweepDst/sweepRxLin back SweepTxPowerDBm's returned slab and its
+	// per-ray receive-gain scratch; both are overwritten by the next
+	// sweep on this medium.
+	sweepDst   []float64
+	sweepRxLin []float64
+}
+
+// pairBundles holds both orientations of one pair's cached ray bundle.
+// The canonical orientation (low ID transmitting to high ID) is built
+// with the entry; the mirrored one is materialized on first reverse use,
+// exactly like the revPaths cache. offsetDb bakes the pair's slow
+// shadowing offset next to the bundle so the per-receiver hot path skips
+// the linkOffsetDB map lookup; SetLinkOffset writes through to it.
+type pairBundles struct {
+	fwd, rev rf.RayBundle
+	revBuilt bool
+	offsetDb float64
+	// fwdMemo/revMemo cache the most recent antenna-weighted kernel
+	// result per orientation, keyed to both radios' pattern generations.
+	// Beams are stable between training events, so steady-state traffic
+	// reuses one multiply-accumulate result per pair instead of
+	// re-gathering every ray each frame.
+	fwdMemo, revMemo pairMemo
+}
+
+// pairMemo is one memoized PowerMw result. It is only consulted for
+// radios whose patterns were installed through SetTxPattern/SetRxPattern
+// (txRefSet/rxRefSet): direct GainFunc field writes carry no generation
+// signal, so those radios always re-evaluate.
+type pairMemo struct {
+	kmw          float64
+	txGen, rxGen uint64
+	ok           bool
 }
 
 // NewMedium creates a medium over the given room using the link budget
@@ -172,6 +304,7 @@ func NewMedium(s *Scheduler, room *geom.Room, freqHz float64, budget rf.LinkBudg
 		tracer:        rf.NewTracer(room, freqHz),
 		paths:         make(map[[2]int][]rf.Path),
 		revPaths:      make(map[[2]int][]rf.Path),
+		bundles:       make(map[[2]int]*pairBundles),
 		roomEpoch:     room.Epoch(),
 		rng:           stats.NewRNG(seed),
 		FadingSigmaDB: 0.8,
@@ -219,6 +352,21 @@ func pairKey(a, b int) [2]int {
 func (m *Medium) channel(tx, rx *Radio) []rf.Path {
 	m.syncRoom()
 	key := pairKey(tx.ID, rx.ID)
+	ps := m.canonicalPaths(key, tx, rx)
+	if tx.ID > rx.ID {
+		rev, ok := m.revPaths[key]
+		if !ok {
+			rev = reversePaths(ps)
+			m.revPaths[key] = rev
+		}
+		return rev
+	}
+	return ps
+}
+
+// canonicalPaths returns (tracing on miss) the cached canonical-orientation
+// path list for the pair. The caller must have run syncRoom.
+func (m *Medium) canonicalPaths(key [2]int, tx, rx *Radio) []rf.Path {
 	ps, ok := m.paths[key]
 	if !ok {
 		var err error
@@ -232,15 +380,41 @@ func (m *Medium) channel(tx, rx *Radio) []rf.Path {
 		}
 		m.paths[key] = ps
 	}
-	if tx.ID > rx.ID {
-		rev, ok := m.revPaths[key]
-		if !ok {
-			rev = reversePaths(ps)
-			m.revPaths[key] = rev
-		}
-		return rev
-	}
 	return ps
+}
+
+// pairFor returns the pair's bundle entry, (re)building the canonical
+// bundle from the path list on miss. Bundles hold geometry only —
+// antenna patterns and the global margin are applied per evaluation —
+// so beam switches never touch this cache; room edits and radio moves
+// invalidate it through the same four sites that drop paths/revPaths.
+// The entry's creation also pins the pair's slow shadowing offset
+// (drawing it lazily at exactly the stream position the unbatched code
+// drew it: the first power evaluation for the pair).
+func (m *Medium) pairFor(tx, rx *Radio) *pairBundles {
+	m.syncRoom()
+	key := pairKey(tx.ID, rx.ID)
+	pb, ok := m.bundles[key]
+	if !ok {
+		pb = &pairBundles{}
+		pb.fwd.Rebuild(m.canonicalPaths(key, tx, rx))
+		pb.offsetDb = m.linkOffset(tx.ID, rx.ID)
+		m.bundles[key] = pb
+	}
+	return pb
+}
+
+// oriented returns the tx→rx orientation of the entry's bundle plus its
+// memo slot, materializing the mirrored bundle on first reverse use.
+func (m *Medium) oriented(pb *pairBundles, tx, rx *Radio) (*rf.RayBundle, *pairMemo) {
+	if tx.ID > rx.ID {
+		if !pb.revBuilt {
+			pb.rev.RebuildReversed(m.canonicalPaths(pairKey(tx.ID, rx.ID), tx, rx))
+			pb.revBuilt = true
+		}
+		return &pb.rev, &pb.revMemo
+	}
+	return &pb.fwd, &pb.fwdMemo
 }
 
 // reversePaths mirrors a channel: departure and arrival angles swap and
@@ -273,12 +447,14 @@ func (m *Medium) syncRoom() {
 	if !complete {
 		m.paths = make(map[[2]int][]rf.Path)
 		m.revPaths = make(map[[2]int][]rf.Path)
+		m.bundles = make(map[[2]int]*pairBundles)
 	} else {
 		for key := range m.paths {
 			a, b := m.radios[key[0]], m.radios[key[1]]
 			if m.tracer.PairAffected(a.Pos, b.Pos, moves) {
 				delete(m.paths, key)
 				delete(m.revPaths, key)
+				delete(m.bundles, key)
 			}
 		}
 	}
@@ -291,6 +467,7 @@ func (m *Medium) syncRoom() {
 func (m *Medium) InvalidateChannels() {
 	m.paths = make(map[[2]int][]rf.Path)
 	m.revPaths = make(map[[2]int][]rf.Path)
+	m.bundles = make(map[[2]int]*pairBundles)
 	m.roomEpoch = m.tracer.Room.Epoch()
 }
 
@@ -305,6 +482,7 @@ func (m *Medium) InvalidateRadio(id int) {
 		if key[0] == id || key[1] == id {
 			delete(m.paths, key)
 			delete(m.revPaths, key)
+			delete(m.bundles, key)
 		}
 	}
 }
@@ -341,7 +519,13 @@ func (m *Medium) linkOffset(a, b int) float64 {
 func (m *Medium) SetLinkOffset(aID, bID int, db float64) {
 	m.checkRadioID("SetLinkOffset", aID)
 	m.checkRadioID("SetLinkOffset", bID)
-	m.linkOffsetDB[pairKey(aID, bID)] = db
+	key := pairKey(aID, bID)
+	m.linkOffsetDB[key] = db
+	// Write through to the bundle entry's baked copy so an existing pair
+	// sees the new offset on its next frame.
+	if pb, ok := m.bundles[key]; ok {
+		pb.offsetDb = db
+	}
 }
 
 // LinkOffset returns the current slow shadowing offset of a pair (drawing
@@ -369,23 +553,78 @@ func (m *Medium) SetDeliveryFilter(fn func(f phy.Frame, tx, rx *Radio) bool) {
 // channelization leaves essentially no co-channel energy).
 const AdjacentChannelLeakageDB = 45
 
+// pairPower evaluates the pair's channel through the batch kernel and
+// returns it in factored form: kmw is the antenna-weighted channel power
+// in mW for a 0 dBm reference (zero for a dead channel), adjDb collects
+// every dB-domain adjustment (tx power, channel leakage, global margin,
+// slow shadowing). Callers fold the two with a single exp or log —
+// Transmit pays one DbToLin per receiver (fading folds into adjDb),
+// RxPowerDBm one LinToDb.
+func (m *Medium) pairPower(tx, rx *Radio) (kmw, adjDb float64) {
+	pb := m.pairFor(tx, rx)
+	adjDb = tx.TxPowerDBm - m.ExtraLossDB + pb.offsetDb
+	if tx.Channel != rx.Channel {
+		adjDb -= AdjacentChannelLeakageDB
+	}
+	b, memo := m.oriented(pb, tx, rx)
+	if tx.txRefSet && rx.rxRefSet {
+		if memo.ok && memo.txGen == tx.patGen && memo.rxGen == rx.patGen {
+			return memo.kmw, adjDb
+		}
+		kmw = b.PowerMw(&tx.txRef, &rx.rxRef)
+		*memo = pairMemo{kmw: kmw, txGen: tx.patGen, rxGen: rx.patGen, ok: true}
+		return kmw, adjDb
+	}
+	return b.PowerMw(tx.txPatternRef(), rx.rxPatternRef()), adjDb
+}
+
 // RxPowerDBm computes the instantaneous received power at rx for a
 // transmission from tx with their current patterns (no fading draw).
 func (m *Medium) RxPowerDBm(tx, rx *Radio) float64 {
-	paths := m.channel(tx, rx)
-	txG, rxG := tx.txGainFn, rx.rxGainFn
-	// Radios built outside AddRadio (tests) have no bound accessors.
-	if txG == nil {
-		txG = tx.txGain
+	kmw, adjDb := m.pairPower(tx, rx)
+	if kmw <= 0 {
+		return math.Inf(-1)
 	}
-	if rxG == nil {
-		rxG = rx.rxGain
+	return rf.LinToDb(kmw) + adjDb
+}
+
+// EffectiveSNRdB maps a received power to the effective SNR under the
+// medium's budget, EVM ceiling included — the RSSI the MAC layers read.
+// Equivalent to Budget.EffectiveSINRdB(Budget.SNRdB(p)) at one log.
+func (m *Medium) EffectiveSNRdB(rxPowerDBm float64) float64 {
+	m.beval.Sync(m.Budget)
+	return m.beval.EffectiveSNRdB(rxPowerDBm)
+}
+
+// SweepTxPowerDBm evaluates every transmit pattern in txRefs over the
+// tx→rx channel in one batch call — the sector-sweep primitive behind
+// beam training. rxRef is the receive-side pattern (the peer's quasi-omni
+// probe). The returned slice holds the received power in dBm per ref,
+// indexed like txRefs; it is medium-owned scratch, overwritten by the
+// next sweep.
+func (m *Medium) SweepTxPowerDBm(tx, rx *Radio, txRefs []rf.PatternRef, rxRef *rf.PatternRef) []float64 {
+	pb := m.pairFor(tx, rx)
+	b, _ := m.oriented(pb, tx, rx)
+	if cap(m.sweepDst) < len(txRefs) {
+		m.sweepDst = make([]float64, len(txRefs))
 	}
-	p := rf.ReceivedPowerDBm(tx.TxPowerDBm, paths, txG, rxG)
+	dst := m.sweepDst[:len(txRefs)]
+	if cap(m.sweepRxLin) < b.Len() {
+		m.sweepRxLin = make([]float64, b.Len())
+	}
+	b.SweepPowerMw(dst, txRefs, rxRef, m.sweepRxLin[:b.Len()])
+	adjDb := tx.TxPowerDBm - m.ExtraLossDB + pb.offsetDb
 	if tx.Channel != rx.Channel {
-		p -= AdjacentChannelLeakageDB
+		adjDb -= AdjacentChannelLeakageDB
 	}
-	return p - m.ExtraLossDB + m.linkOffset(tx.ID, rx.ID)
+	for s, mw := range dst {
+		if mw <= 0 {
+			dst[s] = math.Inf(-1)
+		} else {
+			dst[s] = rf.LinToDb(mw) + adjDb
+		}
+	}
+	return dst
 }
 
 // EnergyDBm returns the total power currently on air at radio r,
@@ -395,13 +634,16 @@ func (m *Medium) RxPowerDBm(tx, rx *Radio) float64 {
 func (m *Medium) EnergyDBm(r *Radio) float64 {
 	now := m.Sched.Now()
 	total := 0.0
-	for _, t := range m.active {
-		if t.tx == r || t.end <= now || r.ID >= len(t.rxPowerDBm) {
+	// Only frames still on air can contribute; the live list excludes the
+	// pruneWindow tail of ended frames the active list retains, so this
+	// scan stays proportional to actual channel occupancy. The end guard
+	// remains for frames ending exactly now (their finish has not yet
+	// removed them when a handler senses the channel mid-cascade).
+	for _, t := range m.live {
+		if t.tx == r || t.end <= now || r.ID >= len(t.rxPowerMw) {
 			continue
 		}
-		if p := t.rxPowerDBm[r.ID]; !math.IsInf(p, -1) {
-			total += math.Pow(10, p/10)
-		}
+		total += t.rxPowerMw[r.ID]
 	}
 	if audit.On() {
 		m.auditEnergy(r, now, total)
@@ -409,14 +651,15 @@ func (m *Medium) EnergyDBm(r *Radio) float64 {
 	if total == 0 {
 		return math.Inf(-1)
 	}
-	return 10 * math.Log10(total)
+	return rf.LinToDb(total)
 }
 
-// auditEnergy re-derives the energy-detect total independently (walking
-// the live transmissions in reverse, re-reading each contribution) and
-// confirms the two accumulations agree — catching any accounting drift
-// between what is on air and what carrier sensing reports. It also
-// sweeps the active list for transmissions that end before they start.
+// auditEnergy re-derives the energy-detect total independently — walking
+// the full retained active list in reverse rather than the live-list
+// shortcut the fast path scans — and confirms the two accumulations
+// agree, catching any drift between the live bookkeeping and what is
+// actually on air. It also sweeps the active list for transmissions that
+// end before they start.
 func (m *Medium) auditEnergy(r *Radio, now Time, total float64) {
 	check := 0.0
 	for i := len(m.active) - 1; i >= 0; i-- {
@@ -425,12 +668,10 @@ func (m *Medium) auditEnergy(r *Radio, now Time, total float64) {
 			audit.Reportf(audit.RuleMediumTxDuration, now,
 				"active transmission from %s ends at %v before its start %v", t.tx.Name, t.end, t.start)
 		}
-		if t.tx == r || t.end <= now || r.ID >= len(t.rxPowerDBm) {
+		if t.tx == r || t.end <= now || r.ID >= len(t.rxPowerMw) {
 			continue
 		}
-		if p := t.rxPowerDBm[r.ID]; !math.IsInf(p, -1) {
-			check += math.Pow(10, p/10)
-		}
+		check += t.rxPowerMw[r.ID]
 	}
 	// The two sums accumulate the same terms in opposite orders; any gap
 	// beyond float rounding means a contribution was double-counted or
@@ -464,10 +705,10 @@ func (m *Medium) Transmit(r *Radio, f phy.Frame) {
 	t.tx = r
 	t.start = now
 	t.end = now + f.Duration()
-	if n := len(m.radios); cap(t.rxPowerDBm) < n {
-		t.rxPowerDBm = make([]float64, n)
+	if n := len(m.radios); cap(t.rxPowerMw) < n {
+		t.rxPowerMw = make([]float64, n)
 	} else {
-		t.rxPowerDBm = t.rxPowerDBm[:n]
+		t.rxPowerMw = t.rxPowerMw[:n]
 	}
 	if audit.On() && t.end <= t.start {
 		audit.Reportf(audit.RuleMediumTxDuration, now,
@@ -475,16 +716,21 @@ func (m *Medium) Transmit(r *Radio, f phy.Frame) {
 	}
 	for _, rx := range m.radios {
 		if rx == r {
-			t.rxPowerDBm[rx.ID] = math.Inf(-1)
+			t.rxPowerMw[rx.ID] = 0
 			continue
 		}
-		p := m.RxPowerDBm(r, rx)
+		kmw, adjDb := m.pairPower(r, rx)
+		// The fading draw is unconditional per non-self receiver (when
+		// enabled) to keep the deterministic rng stream aligned even for
+		// dead channels.
 		if m.FadingSigmaDB > 0 {
-			p += m.rng.Norm(0, m.FadingSigmaDB)
+			adjDb += m.rng.Norm(0, m.FadingSigmaDB)
 		}
-		t.rxPowerDBm[rx.ID] = p
+		t.rxPowerMw[rx.ID] = kmw * rf.DbToLin(adjDb)
 	}
 	m.active = append(m.active, t)
+	t.liveIdx = len(m.live)
+	m.live = append(m.live, t)
 	m.Sched.At(t.end, t.fire)
 }
 
@@ -524,41 +770,75 @@ const pruneWindow = 400 * time.Microsecond
 // interference contribution.
 func (m *Medium) finish(t *transmission) {
 	now := m.Sched.Now()
-	keep := m.active[:0]
-	for _, a := range m.active {
-		if a.end > now-pruneWindow {
-			keep = append(keep, a)
-		} else {
-			m.releaseTransmission(a)
-		}
+	// The frame leaves the air: swap-remove it from the live list (each
+	// transmission gets exactly one finish, at its own end time).
+	if n := len(m.live) - 1; t.liveIdx <= n && m.live[t.liveIdx] == t {
+		last := m.live[n]
+		m.live[t.liveIdx] = last
+		last.liveIdx = t.liveIdx
+		m.live[n] = nil
+		m.live = m.live[:n]
 	}
-	m.active = keep
-	for _, rx := range m.radios {
-		if rx == t.tx || rx.Handler == nil || rx.ID >= len(t.rxPowerDBm) {
+	// One pass over the retained list does both jobs: prune entries past
+	// the interference window, and stage the receiver-independent overlap
+	// set (interferers plus overlap fractions, reused across every
+	// delivery of the ended frame). A pruned entry can never be an
+	// interferer — it ended ≥ pruneWindow ago and no PPDU lasts that
+	// long, so t started after it ended.
+	keep := m.active[:0]
+	m.ovTx = m.ovTx[:0]
+	m.ovFrac = m.ovFrac[:0]
+	dur := float64(t.end - t.start)
+	for _, a := range m.active {
+		if a.end <= now-pruneWindow {
+			m.releaseTransmission(a)
 			continue
 		}
-		p := t.rxPowerDBm[rx.ID]
-		if math.IsInf(p, -1) || p < rx.ListenFloorDBm {
+		keep = append(keep, a)
+		if dur <= 0 || a == t || a.tx == t.tx {
+			continue
+		}
+		ovStart := maxTime(t.start, a.start)
+		ovEnd := minTime(t.end, a.end)
+		if ovEnd <= ovStart {
+			continue
+		}
+		m.ovTx = append(m.ovTx, a)
+		m.ovFrac = append(m.ovFrac, float64(ovEnd-ovStart)/dur)
+	}
+	m.active = keep
+	m.beval.Sync(m.Budget)
+	for _, rx := range m.radios {
+		if rx == t.tx || rx.Handler == nil || rx.ID >= len(t.rxPowerMw) {
+			continue
+		}
+		p := t.rxPowerMw[rx.ID]
+		if p <= 0 || p < rx.listenFloorMw() {
 			continue
 		}
 		if m.deliveryFilter != nil && !m.deliveryFilter(t.frame, t.tx, rx) {
 			continue
 		}
-		intf, collided := m.interferenceDBm(t, rx)
-		sinr := m.Budget.EffectiveSINRdB(m.Budget.SINRdB(p, intf))
+		intfMw, collided := m.interferenceMw(rx)
+		sinr := m.beval.EffectiveSINRdBFromMw(p, intfMw)
 		bits := t.frame.PayloadBytes * 8
 		if bits <= 0 {
 			bits = 160
 		}
 		per := t.frame.MCS.PER(sinr, bits)
+		pDBm := rf.LinToDb(p)
 		if audit.On() {
-			m.auditDelivery(t, rx, p, sinr, per, now)
+			m.auditDelivery(t, rx, pDBm, sinr, per, now)
+		}
+		intfDBm := math.Inf(-1)
+		if intfMw > 0 {
+			intfDBm = rf.LinToDb(intfMw)
 		}
 		ok := !m.rng.Bool(per)
 		rx.Handler.OnFrame(t.frame, Reception{
 			From:            t.tx.ID,
-			PowerDBm:        p,
-			InterferenceDBm: intf,
+			PowerDBm:        pDBm,
+			InterferenceDBm: intfDBm,
 			SINRdB:          sinr,
 			OK:              ok,
 			Collided:        collided,
@@ -597,38 +877,27 @@ func (m *Medium) auditDelivery(t *transmission, rx *Radio, p, sinr, per float64,
 	}
 }
 
-// interferenceDBm returns the overlap-weighted interference power seen by
-// rx while t was on air. Each interferer contributes its received power
-// scaled by the fraction of t's air-time it overlapped (bit errors are
-// proportional to exposure).
-func (m *Medium) interferenceDBm(t *transmission, rx *Radio) (float64, bool) {
+// interferenceMw returns the overlap-weighted interference power in mW
+// seen by rx for the frame whose overlap set finish() staged in
+// ovTx/ovFrac. Each interferer contributes its received power scaled by
+// the fraction of the frame's air-time it overlapped (bit errors are
+// proportional to exposure). With the slabs already linear this is pure
+// loads and multiplies — no transcendental per interferer.
+func (m *Medium) interferenceMw(rx *Radio) (float64, bool) {
 	totalMw := 0.0
 	collided := false
-	dur := float64(t.end - t.start)
-	if dur <= 0 {
-		return math.Inf(-1), false
-	}
-	for _, o := range m.active {
-		if o == t || o.tx == rx || o.tx == t.tx || rx.ID >= len(o.rxPowerDBm) {
+	for i, o := range m.ovTx {
+		if o.tx == rx || rx.ID >= len(o.rxPowerMw) {
 			continue
 		}
-		ovStart := maxTime(t.start, o.start)
-		ovEnd := minTime(t.end, o.end)
-		if ovEnd <= ovStart {
+		p := o.rxPowerMw[rx.ID]
+		if p <= 0 {
 			continue
 		}
-		p := o.rxPowerDBm[rx.ID]
-		if math.IsInf(p, -1) {
-			continue
-		}
-		frac := float64(ovEnd-ovStart) / dur
-		totalMw += math.Pow(10, p/10) * frac
+		totalMw += p * m.ovFrac[i]
 		collided = true
 	}
-	if totalMw == 0 {
-		return math.Inf(-1), false
-	}
-	return 10 * math.Log10(totalMw), collided
+	return totalMw, collided
 }
 
 func maxTime(a, b Time) Time {

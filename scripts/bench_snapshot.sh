@@ -4,9 +4,16 @@
 #
 # For every per-experiment benchmark it records ns/op, B/op, allocs/op
 # and the pass metric (1 = the reproduced artifact matched the paper's
-# claim on every check). It then times the quick campaign end to end
-# with 1 sweep worker and with one worker per CPU, so the speedup of the
+# claim on every check), plus the hot-path and batch-kernel
+# microbenchmarks. It then times the quick campaign end to end with 1
+# sweep worker and with one worker per CPU, so the speedup of the
 # intra-experiment sweep engine is part of the snapshot.
+#
+# The snapshot itself is written through `benchgate -update`, which
+# preserves the hand-tuned per-benchmark tolerance overrides
+# (allocs_rel_tol / bytes_rel_tol / ns_rel_tol) committed in the
+# baseline — regenerating the file never silently widens or drops a
+# gate.
 #
 # Usage: scripts/bench_snapshot.sh [benchtime]
 #   benchtime defaults to 1x (one campaign replay per benchmark).
@@ -21,11 +28,13 @@ trap 'rm -f "$raw"' EXIT
 echo "running benchmarks (-benchtime $benchtime)..." >&2
 go test -run '^$' -bench '^Benchmark' -benchmem -benchtime "$benchtime" . | tee "$raw" >&2
 
-# The hot-path microbenchmarks are nanosecond-scale, so they get a fixed
-# iteration count instead of the campaign benchtime: one iteration would
-# make ns/op meaningless while allocs/op stays exact either way.
+# The hot-path and batch-kernel microbenchmarks are nanosecond-to-
+# microsecond scale, so they get a fixed iteration count instead of the
+# campaign benchtime: one iteration would make ns/op meaningless while
+# allocs/op stays exact either way.
 echo "running hot-path microbenchmarks (-benchtime 1000x)..." >&2
-go test -run '^$' -bench '^Benchmark' -benchmem -benchtime 1000x ./internal/sim/ | tee -a "$raw" >&2
+go test -run '^$' -bench '^Benchmark' -benchmem -benchtime 1000x \
+    ./internal/sim/ ./internal/rf/ ./internal/antenna/ | tee -a "$raw" >&2
 
 time_campaign() {
     # Prints the wall-clock seconds of a quick single-threaded campaign
@@ -43,37 +52,7 @@ ncpu=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)
 echo "timing quick campaign with $ncpu sweep worker(s)..." >&2
 tn=$(time_campaign "$ncpu")
 
-awk -v t1="$t1" -v tn="$tn" -v ncpu="$ncpu" '
-/^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = ""; allocs = ""; pass = ""
-    for (i = 2; i < NF; i++) {
-        if ($(i+1) == "ns/op")     ns = $i
-        if ($(i+1) == "B/op")      bytes = $i
-        if ($(i+1) == "allocs/op") allocs = $i
-        if ($(i+1) == "pass")      pass = $i
-    }
-    if (ns == "") next
-    if (n++) printf ",\n"
-    printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
-    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
-    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
-    if (pass != "")   printf ", \"pass\": %s", pass
-    printf "}"
-}
-END {
-    printf "\n  ],\n"
-    printf "  \"ncpu\": %s,\n", ncpu
-    printf "  \"campaign_quick_seconds\": {\"workers_1\": %s, \"workers_ncpu\": %s},\n", t1, tn
-    printf "  \"speedup\": %.2f", t1 / tn
-    if (ncpu + 0 == 1)
-        printf ",\n  \"note\": \"single-CPU host: the sweep pool cannot show a speedup here; run on a multi-core machine to measure it\""
-    printf "\n}\n"
-}
-BEGIN {
-    printf "{\n"
-    printf "  \"date\": \"%s\",\n", strftime("%Y-%m-%d")
-    printf "  \"benchmarks\": [\n"
-}' "$raw" > "$out"
+go run ./cmd/benchgate -baseline "$out" -bench "$raw" -update \
+    -campaign-t1 "$t1" -campaign-tn "$tn" -campaign-ncpu "$ncpu" >&2
 
 echo "wrote $out" >&2
