@@ -24,16 +24,26 @@
 // campaign checkpoint <dir>/campaign.ckpt; -resume reloads it and skips
 // the experiments already on record, emitting their stored results
 // unchanged — a resumed campaign's reports are byte-identical to an
-// uninterrupted run (wall-clock annotations aside).
+// uninterrupted run (wall-clock annotations aside). -resume refuses a
+// checkpoint written under different options or a different experiment
+// set (exit 2) instead of silently re-running a mismatched campaign.
+//
+// Exit codes: 0 all experiments passed, 1 failures, 2 usage or a
+// checkpoint/campaign mismatch, 4 interrupted by SIGINT/SIGTERM (the
+// checkpoint is flushed and sealed before exiting, so -resume picks up
+// exactly where the signal landed).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/audit"
@@ -42,6 +52,11 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/par"
 )
+
+// exitInterrupted is the distinct exit code for a campaign cut short by
+// SIGINT/SIGTERM after its checkpoint was flushed (2 is usage, 1 is
+// experiment failures).
+const exitInterrupted = 4
 
 func main() {
 	// All work happens in run so the profile-flushing defers execute
@@ -174,19 +189,47 @@ func run() int {
 		}
 		var ckpt *experiments.Checkpoint
 		if *captureDir != "" {
-			if !*resume {
+			var err error
+			if *resume {
+				// Fail loudly when the checkpoint on disk belongs to a
+				// different campaign (other seed/fidelity, or experiments
+				// outside the requested set): silently re-running or
+				// merging mismatched records is exactly what -resume must
+				// never do.
+				ckpt, err = experiments.ResumeCheckpoint(*captureDir, opts, ids)
+				if errors.Is(err, experiments.ErrCheckpointMismatch) {
+					fmt.Fprintln(os.Stderr, "mmsim:", err)
+					return 2
+				}
+			} else {
 				// A fresh campaign must not inherit results from an older
 				// one that happened to use the same directory.
 				os.Remove(*captureDir + "/" + experiments.CheckpointFile)
+				ckpt, err = experiments.OpenCheckpoint(*captureDir, opts)
 			}
-			var err error
-			ckpt, err = experiments.OpenCheckpoint(*captureDir, opts)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "mmsim:", err)
 				return 1
 			}
 			defer ckpt.Close()
 		}
+		// A SIGTERM/SIGINT mid-campaign must not die mid-write: seal the
+		// checkpoint (waiting out any in-flight record) so every finished
+		// experiment survives for -resume, then exit with the distinct
+		// interrupted code.
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigs)
+		go func() {
+			s := <-sigs
+			if ckpt != nil {
+				if err := ckpt.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "mmsim:", err)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "mmsim: %v: checkpoint flushed, exiting\n", s)
+			os.Exit(exitInterrupted)
+		}()
 		if runCampaign(runners, opts, *parallel, *deadline, ckpt, *series, *outDir, *metricsFile) > 0 {
 			return 1
 		}

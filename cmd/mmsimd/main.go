@@ -1,0 +1,378 @@
+// Command mmsimd is the simulation-as-a-service daemon: a long-running
+// HTTP server that accepts campaign/experiment job submissions as JSON,
+// runs them on a bounded worker pool through the resilient campaign
+// engine, streams progress back as NDJSON, and persists every job
+// through the campaign checkpoint machinery — a SIGKILLed daemon
+// resumes all in-flight jobs byte-identically on restart.
+//
+// Usage:
+//
+//	mmsimd serve -addr 127.0.0.1:8060 -data /var/lib/mmsim
+//	mmsimd serve -addr 127.0.0.1:0 -data d -jobs 2 -queue 32 -deadline 5m
+//
+//	mmsimd submit -addr HOST:PORT [-seed N] [-quick] [-tenant T] \
+//	              [-priority P] [-job-deadline D] [-capture] <id>... | all
+//	mmsimd status -addr HOST:PORT <job>
+//	mmsimd wait   -addr HOST:PORT [-timeout D] <job>
+//	mmsimd report -addr HOST:PORT <job>
+//	mmsimd events -addr HOST:PORT <job>
+//
+// API surface (all under /v1): POST /jobs submits, GET /jobs/{id} is
+// status, DELETE /jobs/{id} cancels, GET /jobs/{id}/events streams
+// NDJSON progress, GET /jobs/{id}/report returns the campaign report,
+// GET /jobs/{id}/metrics returns the goldencheck-compatible metrics
+// snapshot, GET /healthz and GET /metrics expose daemon health and
+// counters. A full queue answers 429 with Retry-After.
+//
+// Signals: the first SIGTERM/SIGINT drains gracefully — admission
+// closes, running jobs stop launching experiments and flush their
+// checkpoints, queued jobs stay durable — and exits 0. A second signal
+// aborts immediately with exit code 4 (the campaign checkpoints still
+// salvage on the next start).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/par"
+	"repro/internal/serve"
+)
+
+// exitInterrupted mirrors mmsim: a process cut short by a second signal
+// before the drain finished.
+const exitInterrupted = 4
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	if len(os.Args) < 2 {
+		usage()
+		return 2
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "serve":
+		return runServe(args)
+	case "submit":
+		return runSubmit(args)
+	case "status":
+		return runStatus(args)
+	case "wait":
+		return runWait(args)
+	case "report":
+		return runReport(args)
+	case "events":
+		return runEvents(args)
+	default:
+		fmt.Fprintf(os.Stderr, "mmsimd: unknown command %q\n\n", cmd)
+		usage()
+		return 2
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `mmsimd — simulation-as-a-service daemon for the 60 GHz
+experiment campaigns (and its thin HTTP client).
+
+usage:
+  mmsimd serve  -addr HOST:PORT -data DIR [-jobs N] [-queue N]
+                [-parallel N] [-deadline D] [-workers N] [-audit MODE]
+  mmsimd submit -addr HOST:PORT [-seed N] [-quick] [-tenant T]
+                [-priority P] [-job-deadline D] [-capture] <id>... | all
+  mmsimd status -addr HOST:PORT <job>
+  mmsimd wait   -addr HOST:PORT [-timeout D] <job>
+  mmsimd report -addr HOST:PORT <job>
+  mmsimd events -addr HOST:PORT <job>
+`)
+}
+
+// runServe boots the daemon.
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("mmsimd serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8060", "listen address (port 0 picks a free port)")
+	data := fs.String("data", "", "durable job-state directory (required)")
+	jobs := fs.Int("jobs", 2, "concurrently running jobs (worker pool size)")
+	queueCap := fs.Int("queue", 64, "queued-job capacity; submissions beyond it get 429")
+	parallel := fs.Int("parallel", 1, "experiments run concurrently within one job")
+	deadline := fs.Duration("deadline", 0, "per-experiment wall-clock watchdog for every job (0 = unlimited)")
+	workers := fs.Int("workers", par.Workers(), "sweep worker goroutines shared by all jobs")
+	auditFlag := fs.String("audit", "off", "runtime invariant auditing: off, warn, or strict")
+	fs.Parse(args)
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "mmsimd: -data is required")
+		return 2
+	}
+	if *jobs < 1 || *queueCap < 1 || *parallel < 1 || *deadline < 0 {
+		fmt.Fprintln(os.Stderr, "mmsimd: -jobs, -queue, -parallel must be ≥ 1 and -deadline ≥ 0")
+		return 2
+	}
+	mode, err := audit.ParseMode(*auditFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmsimd:", err)
+		return 2
+	}
+	audit.SetMode(mode)
+	par.SetWorkers(*workers)
+
+	srv, err := serve.New(serve.Config{
+		DataDir:     *data,
+		Jobs:        *jobs,
+		QueueCap:    *queueCap,
+		JobParallel: *parallel,
+		Deadline:    *deadline,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmsimd:", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmsimd:", err)
+		return 1
+	}
+	// The literal "listening on" line is the startup handshake smoke
+	// scripts parse for the bound address — keep it first and stable.
+	fmt.Printf("mmsimd: listening on %s (data %s, %d workers, queue %d)\n",
+		ln.Addr(), *data, *jobs, *queueCap)
+
+	srv.Start()
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "mmsimd:", err)
+		return 1
+	case s := <-sigs:
+		fmt.Printf("mmsimd: %v: draining (in-flight experiments finish and checkpoint; signal again to abort)\n", s)
+	}
+	// A second signal during the drain aborts immediately; the per-job
+	// checkpoints are flushed per record, so the next start salvages.
+	done := make(chan struct{})
+	go func() {
+		srv.Drain()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case s := <-sigs:
+		fmt.Fprintf(os.Stderr, "mmsimd: %v during drain: aborting\n", s)
+		return exitInterrupted
+	}
+	hs.Close()
+	fmt.Println("mmsimd: drained")
+	return 0
+}
+
+// client is the thin HTTP client shared by the CLI subcommands.
+type client struct {
+	base string
+}
+
+func newClient(addr string) client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return client{base: strings.TrimRight(addr, "/")}
+}
+
+func (c client) url(path string) string { return c.base + path }
+
+// getJSON decodes a JSON response body into out, surfacing API errors.
+func (c client) getJSON(path string, out any) error {
+	resp, err := http.Get(c.url(path))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, out)
+}
+
+// runSubmit posts a job and prints its ID.
+func runSubmit(args []string) int {
+	fs := flag.NewFlagSet("mmsimd submit", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8060", "daemon address")
+	seed := fs.Uint64("seed", 1, "experiment seed (within the tenant namespace)")
+	quick := fs.Bool("quick", false, "reduced-cost runs")
+	tenant := fs.String("tenant", "", "tenant name (namespaces the RNG seed)")
+	priority := fs.Int("priority", 0, "queue priority; higher runs sooner")
+	jobDeadline := fs.String("job-deadline", "", "whole-job wall-clock budget, e.g. 5m")
+	capture := fs.Bool("capture", false, "stream .vubiq captures into the job directory")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "mmsimd submit: need experiment IDs (or \"all\")")
+		return 2
+	}
+	spec := serve.JobSpec{
+		Experiments: fs.Args(),
+		Seed:        *seed,
+		Quick:       *quick,
+		Tenant:      *tenant,
+		Priority:    *priority,
+		Deadline:    *jobDeadline,
+		Capture:     *capture,
+	}
+	body, _ := json.Marshal(spec)
+	c := newClient(*addr)
+	resp, err := http.Post(c.url("/v1/jobs"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmsimd:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		fmt.Fprintf(os.Stderr, "mmsimd: rejected (retry after %ss): %s\n",
+			resp.Header.Get("Retry-After"), strings.TrimSpace(string(data)))
+		return 3
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		fmt.Fprintf(os.Stderr, "mmsimd: %s: %s\n", resp.Status, strings.TrimSpace(string(data)))
+		return 1
+	}
+	var snap serve.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		fmt.Fprintln(os.Stderr, "mmsimd:", err)
+		return 1
+	}
+	fmt.Println(snap.ID)
+	return 0
+}
+
+// runStatus prints a job's status JSON.
+func runStatus(args []string) int {
+	fs := flag.NewFlagSet("mmsimd status", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8060", "daemon address")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "mmsimd status: need exactly one job ID")
+		return 2
+	}
+	var snap json.RawMessage
+	if err := newClient(*addr).getJSON("/v1/jobs/"+fs.Arg(0), &snap); err != nil {
+		fmt.Fprintln(os.Stderr, "mmsimd:", err)
+		return 1
+	}
+	os.Stdout.Write(append(snap, '\n'))
+	return 0
+}
+
+// runWait polls until the job reaches a terminal state: exit 0 for
+// done, 1 for failed/canceled or timeout.
+func runWait(args []string) int {
+	fs := flag.NewFlagSet("mmsimd wait", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8060", "daemon address")
+	timeout := fs.Duration("timeout", 10*time.Minute, "give up after this long")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "mmsimd wait: need exactly one job ID")
+		return 2
+	}
+	c := newClient(*addr)
+	deadline := time.Now().Add(*timeout)
+	for {
+		var snap serve.Snapshot
+		if err := c.getJSON("/v1/jobs/"+fs.Arg(0), &snap); err != nil {
+			fmt.Fprintln(os.Stderr, "mmsimd:", err)
+			return 1
+		}
+		switch snap.State {
+		case serve.StateDone:
+			fmt.Println(snap.State)
+			return 0
+		case serve.StateFailed, serve.StateCanceled:
+			fmt.Println(snap.State)
+			if snap.Diagnostic != "" {
+				fmt.Fprintln(os.Stderr, "mmsimd:", snap.Diagnostic)
+			}
+			return 1
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "mmsimd: job %s still %s after %v\n", fs.Arg(0), snap.State, *timeout)
+			return 1
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+}
+
+// runReport fetches the completed campaign's text report.
+func runReport(args []string) int {
+	fs := flag.NewFlagSet("mmsimd report", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8060", "daemon address")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "mmsimd report: need exactly one job ID")
+		return 2
+	}
+	resp, err := http.Get(newClient(*addr).url("/v1/jobs/" + fs.Arg(0) + "/report"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmsimd:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		fmt.Fprintf(os.Stderr, "mmsimd: %s: %s\n", resp.Status, strings.TrimSpace(string(body)))
+		return 1
+	}
+	io.Copy(os.Stdout, resp.Body)
+	return 0
+}
+
+// runEvents streams the job's NDJSON progress events to stdout until
+// the job completes.
+func runEvents(args []string) int {
+	fs := flag.NewFlagSet("mmsimd events", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8060", "daemon address")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "mmsimd events: need exactly one job ID")
+		return 2
+	}
+	resp, err := http.Get(newClient(*addr).url("/v1/jobs/" + fs.Arg(0) + "/events"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmsimd:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		fmt.Fprintf(os.Stderr, "mmsimd: %s: %s\n", resp.Status, strings.TrimSpace(string(body)))
+		return 1
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "mmsimd:", err)
+		return 1
+	}
+	return 0
+}

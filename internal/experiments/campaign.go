@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"errors"
+	"sync"
 	"time"
 
 	"repro/internal/audit"
@@ -21,6 +22,11 @@ type Status struct {
 	// Resumed reports that the result was loaded from the checkpoint
 	// instead of re-run.
 	Resumed bool
+	// Skipped reports that the experiment never started because the
+	// campaign was stopped (Campaign.Stop returned true) before its
+	// turn came. Skipped results are synthesized and not checkpointed,
+	// so a stopped campaign can later resume and run them for real.
+	Skipped bool
 	// Failure carries the isolation record when the driver panicked,
 	// deadlined, or returned an error; nil on success.
 	Failure *par.PointError
@@ -42,6 +48,63 @@ type Campaign struct {
 	// Emit observes each experiment's status, in campaign order. It
 	// runs on the RunCampaign goroutine.
 	Emit func(index int, st Status)
+	// Stop, when non-nil, is polled as each experiment is about to
+	// execute. Once it returns true, not-yet-started experiments are
+	// skipped with a synthesized failing status (Status.Skipped) while
+	// in-flight ones run to completion and checkpoint normally. This is
+	// the cancel/drain hook for long-running callers (the mmsimd job
+	// daemon): a stopped campaign resumes later from its checkpoint.
+	Stop func() bool
+}
+
+// campaignBudget reference-counts the process-global default wall
+// budget (sim.SetDefaultWallBudget) so concurrent RunCampaign calls —
+// the daemon runs one per in-flight job — do not stomp each other's
+// watchdogs on exit. While any deadline-bearing campaign is active the
+// tightest active deadline is in force; the pre-existing default is
+// restored only when the last one leaves.
+var campaignBudget struct {
+	mu     sync.Mutex
+	active []time.Duration
+	prev   time.Duration
+}
+
+func pushCampaignBudget(d time.Duration) {
+	b := &campaignBudget
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.active) == 0 {
+		b.prev = sim.SetDefaultWallBudget(d)
+	}
+	b.active = append(b.active, d)
+	sim.SetDefaultWallBudget(minBudget(b.active))
+}
+
+func popCampaignBudget(d time.Duration) {
+	b := &campaignBudget
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, v := range b.active {
+		if v == d {
+			b.active = append(b.active[:i], b.active[i+1:]...)
+			break
+		}
+	}
+	if len(b.active) == 0 {
+		sim.SetDefaultWallBudget(b.prev)
+		return
+	}
+	sim.SetDefaultWallBudget(minBudget(b.active))
+}
+
+func minBudget(ds []time.Duration) time.Duration {
+	min := ds[0]
+	for _, d := range ds[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	return min
 }
 
 // RunCampaign executes the runners with bounded parallelism and full
@@ -59,8 +122,8 @@ func RunCampaign(runners []Runner, opts Options, c Campaign) int {
 		c.Parallel = 1
 	}
 	if c.Deadline > 0 {
-		prev := sim.SetDefaultWallBudget(c.Deadline)
-		defer sim.SetDefaultWallBudget(prev)
+		pushCampaignBudget(c.Deadline)
+		defer popCampaignBudget(c.Deadline)
 	}
 
 	statuses := make([]chan Status, len(runners))
@@ -79,6 +142,13 @@ func RunCampaign(runners []Runner, opts Options, c Campaign) int {
 		go func() {
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// Poll Stop only once the worker slot is held: "stopped"
+			// means no further experiment starts, while the in-flight
+			// ones (holding the other slots) still finish and record.
+			if c.Stop != nil && c.Stop() {
+				statuses[i] <- Status{Result: skipResult(r), Skipped: true}
+				return
+			}
 			statuses[i] <- runOne(r, opts, c.Deadline)
 		}()
 	}
@@ -89,7 +159,7 @@ func RunCampaign(runners []Runner, opts Options, c Campaign) int {
 		if !st.Result.Pass() {
 			failed++
 		}
-		if c.Checkpoint != nil && !st.Resumed {
+		if c.Checkpoint != nil && !st.Resumed && !st.Skipped {
 			// Record even synthesized failures: a resumed campaign must
 			// not silently re-run a reproducibly crashing driver forever.
 			if err := c.Checkpoint.Record(st.Result); err != nil && c.Emit != nil {
@@ -101,6 +171,15 @@ func RunCampaign(runners []Runner, opts Options, c Campaign) int {
 		}
 	}
 	return failed
+}
+
+// skipResult synthesizes the status for an experiment the stopped
+// campaign never launched. It fails Pass() so a stopped campaign is
+// never mistaken for a complete one.
+func skipResult(r Runner) core.Result {
+	res := core.Result{ID: r.ID, Title: r.Title, PaperClaim: "(not started)"}
+	res.AddCheck("completed", "started", "campaign stopped before launch", false)
+	return res
 }
 
 // runOne executes a single driver under panic isolation.

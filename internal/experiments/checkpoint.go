@@ -4,9 +4,13 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/recio"
@@ -24,6 +28,17 @@ const (
 	// capture directory.
 	CheckpointFile = "campaign.ckpt"
 )
+
+// ErrCheckpointMismatch reports that a checkpoint opened for resume was
+// written by a different campaign: its records carry another options
+// fingerprint (seed/fidelity changed) or cover experiments that are not
+// part of the requested runner set. Resuming over it would silently
+// re-run or merge mismatched results, so callers must fail loudly.
+var ErrCheckpointMismatch = errors.New("checkpoint does not match the requested campaign")
+
+// errCheckpointSealed rejects writes after Close: a sealed stream has
+// its footer down and cannot take more records.
+var errCheckpointSealed = errors.New("checkpoint already sealed")
 
 // checkpointEntry is one persisted experiment outcome.
 type checkpointEntry struct {
@@ -44,12 +59,21 @@ func optionsFingerprint(o Options) string {
 // campaign. Every completed result is appended and flushed immediately,
 // so a killed process loses at most the experiment it was running;
 // OpenCheckpoint salvages the intact prefix of a torn file.
+//
+// Record and Close are safe to call concurrently: a signal handler can
+// seal the checkpoint mid-campaign and is guaranteed never to cut an
+// in-flight record in half — Close waits for the current write, then
+// lays down the stream footer. Close is idempotent.
 type Checkpoint struct {
 	path string
-	f    *os.File
-	w    *recio.Writer
 	fp   string
-	done map[string]core.Result
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *recio.Writer
+	sealed  bool
+	done    map[string]core.Result
+	foreign map[string]int // other-fingerprint record counts seen on load
 }
 
 // OpenCheckpoint opens (or creates) the checkpoint under dir and loads
@@ -57,12 +81,38 @@ type Checkpoint struct {
 // Entries from other fingerprints — or a torn tail from a crash — are
 // dropped, and the file is compacted to the surviving entries.
 func OpenCheckpoint(dir string, o Options) (*Checkpoint, error) {
+	return openCheckpoint(dir, o, nil)
+}
+
+// ResumeCheckpoint opens the checkpoint under dir for resuming the
+// campaign over the requested experiment IDs. Unlike OpenCheckpoint it
+// refuses — with ErrCheckpointMismatch, before touching the file — a
+// checkpoint whose records were written under a different options
+// fingerprint or cover experiments outside the requested set: either
+// means the caller is resuming a different campaign than the one that
+// was interrupted. A missing or empty checkpoint is not an error (a
+// campaign killed before its first record resumes from scratch).
+func ResumeCheckpoint(dir string, o Options, requested []string) (*Checkpoint, error) {
+	return openCheckpoint(dir, o, requested)
+}
+
+// openCheckpoint loads, optionally validates (requested non-nil), and
+// compacts the checkpoint.
+func openCheckpoint(dir string, o Options, requested []string) (*Checkpoint, error) {
 	c := &Checkpoint{
-		path: filepath.Join(dir, CheckpointFile),
-		fp:   optionsFingerprint(o),
-		done: make(map[string]core.Result),
+		path:    filepath.Join(dir, CheckpointFile),
+		fp:      optionsFingerprint(o),
+		done:    make(map[string]core.Result),
+		foreign: make(map[string]int),
 	}
 	entries := c.load()
+	if requested != nil {
+		// Validate before the compacting rewrite below: a mismatch must
+		// leave the original file intact as evidence.
+		if err := c.resumeCheck(entries, requested); err != nil {
+			return nil, err
+		}
+	}
 
 	// Rewrite atomically: the old file may end in a torn record (no
 	// footer), which recio cannot append to. The temp file carries the
@@ -96,10 +146,43 @@ func OpenCheckpoint(dir string, o Options) (*Checkpoint, error) {
 	return c, nil
 }
 
+// resumeCheck diagnoses a checkpoint that cannot safely seed a resume
+// of the requested campaign.
+func (c *Checkpoint) resumeCheck(entries []checkpointEntry, requested []string) error {
+	if len(c.foreign) > 0 {
+		fps := make([]string, 0, len(c.foreign))
+		n := 0
+		for fp, cnt := range c.foreign {
+			fps = append(fps, fmt.Sprintf("%q", fp))
+			n += cnt
+		}
+		sort.Strings(fps)
+		return fmt.Errorf("%w: %d record(s) were written with options %s, this campaign is %q (different -seed or -quick?)",
+			ErrCheckpointMismatch, n, strings.Join(fps, ", "), c.fp)
+	}
+	want := make(map[string]bool, len(requested))
+	for _, id := range requested {
+		want[id] = true
+	}
+	var extra []string
+	for _, e := range entries {
+		if !want[e.Result.ID] {
+			extra = append(extra, e.Result.ID)
+		}
+	}
+	if len(extra) > 0 {
+		sort.Strings(extra)
+		return fmt.Errorf("%w: checkpoint records experiment(s) %s that the requested campaign does not include",
+			ErrCheckpointMismatch, strings.Join(extra, ", "))
+	}
+	return nil
+}
+
 // load reads every salvageable same-fingerprint entry from an existing
-// checkpoint. Any error — missing file, foreign magic, torn tail,
-// mid-stream corruption — just ends the salvage; a checkpoint is an
-// optimization, never a correctness requirement.
+// checkpoint, tallying foreign-fingerprint records in c.foreign. Any
+// error — missing file, foreign magic, torn tail, mid-stream corruption
+// — just ends the salvage; a checkpoint is an optimization, never a
+// correctness requirement.
 func (c *Checkpoint) load() []checkpointEntry {
 	f, err := os.Open(c.path)
 	if err != nil {
@@ -122,10 +205,14 @@ func (c *Checkpoint) load() []checkpointEntry {
 		}
 		if e.Fingerprint == c.fp {
 			out = append(out, e)
+		} else {
+			c.foreign[e.Fingerprint]++
 		}
 	}
 }
 
+// append writes one entry. Callers hold c.mu (or own the checkpoint
+// exclusively, as openCheckpoint does before returning it).
 func (c *Checkpoint) append(e checkpointEntry) error {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
@@ -142,15 +229,27 @@ func (c *Checkpoint) append(e checkpointEntry) error {
 // Done returns the recorded result for an experiment ID, if this
 // campaign already finished it.
 func (c *Checkpoint) Done(id string) (core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	r, ok := c.done[id]
 	return r, ok
 }
 
 // Len returns the number of finished experiments on record.
-func (c *Checkpoint) Len() int { return len(c.done) }
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
 
-// Record persists one finished experiment and flushes it to disk.
+// Record persists one finished experiment and flushes it to disk. It
+// fails once the checkpoint has been sealed by Close.
 func (c *Checkpoint) Record(res core.Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sealed {
+		return errCheckpointSealed
+	}
 	if err := c.append(checkpointEntry{Fingerprint: c.fp, Result: res}); err != nil {
 		return err
 	}
@@ -158,9 +257,19 @@ func (c *Checkpoint) Record(res core.Result) error {
 	return nil
 }
 
-// Close seals the checkpoint with the stream footer. A checkpoint that
-// is never closed (crash) remains loadable via prefix salvage.
+// Close seals the checkpoint with the stream footer. It is idempotent
+// and safe to call concurrently with Record: an in-flight record is
+// written out whole before the footer lands, which is what lets a
+// SIGTERM handler flush the checkpoint instead of dying mid-write. A
+// checkpoint that is never closed (SIGKILL) remains loadable via
+// prefix salvage.
 func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sealed {
+		return nil
+	}
+	c.sealed = true
 	err := c.w.Close()
 	if cerr := c.f.Close(); err == nil {
 		err = cerr

@@ -14,6 +14,7 @@
 package par
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -30,49 +31,91 @@ import (
 // SetWorkers explicitly).
 const EnvWorkers = "MMSIM_SWEEP_WORKERS"
 
+// MaxWorkers bounds the pool width. Sweeps spawn one goroutine per
+// worker up front, so an absurd override (or an integer overflow in the
+// environment) must clamp rather than exhaust the scheduler.
+const MaxWorkers = 4096
+
 var workers atomic.Int64
 
 func init() {
 	workers.Store(int64(defaultWorkers()))
 }
 
+// envWarned makes the MMSIM_SWEEP_WORKERS clamp warning fire at most
+// once per process, however many times the default is recomputed.
+var envWarned atomic.Bool
+
 func defaultWorkers() int {
 	s := os.Getenv(EnvWorkers)
 	if s == "" {
 		return runtime.NumCPU()
 	}
-	n, err := ParseWorkers(s)
-	if err != nil {
-		// A mistyped override must not be silently ignored: warn and
-		// fall back so a campaign never runs with a surprise width.
-		fmt.Fprintf(os.Stderr, "par: ignoring %s=%q: %v (falling back to %d workers)\n",
-			EnvWorkers, s, err, runtime.NumCPU())
-		return runtime.NumCPU()
+	// A mistyped override must not be silently ignored: clamp into the
+	// valid range (or fall back for garbage) and warn once, so a
+	// campaign never runs with a surprise width and never dies on a
+	// bad environment either.
+	n, warning := ClampWorkers(s)
+	if warning != "" && envWarned.CompareAndSwap(false, true) {
+		fmt.Fprintf(os.Stderr, "par: %s=%q: %s\n", EnvWorkers, s, warning)
 	}
 	return n
 }
 
 // ParseWorkers parses a worker-count override (the MMSIM_SWEEP_WORKERS
-// environment variable or a CLI flag value): a positive decimal integer.
+// environment variable or a CLI flag value): a decimal integer in
+// [1, MaxWorkers]. Zero, negative, and overflowing values are rejected
+// with a range error rather than being mistaken for syntax errors.
 func ParseWorkers(s string) (int, error) {
 	n, err := strconv.Atoi(strings.TrimSpace(s))
 	if err != nil {
+		if errors.Is(err, strconv.ErrRange) {
+			return 0, fmt.Errorf("worker count %s out of range (want 1–%d)", strings.TrimSpace(s), MaxWorkers)
+		}
 		return 0, fmt.Errorf("not an integer")
 	}
-	if n < 1 {
-		return 0, fmt.Errorf("worker count %d out of range (want ≥ 1)", n)
+	if n < 1 || n > MaxWorkers {
+		return 0, fmt.Errorf("worker count %d out of range (want 1–%d)", n, MaxWorkers)
 	}
 	return n, nil
+}
+
+// ClampWorkers maps any override string to a usable pool width, never
+// failing: out-of-range values clamp to the nearest bound, garbage
+// falls back to NumCPU. The returned warning is empty when the value
+// was accepted verbatim and otherwise explains the substitution.
+func ClampWorkers(s string) (n int, warning string) {
+	trimmed := strings.TrimSpace(s)
+	n, err := strconv.Atoi(trimmed)
+	switch {
+	case errors.Is(err, strconv.ErrRange):
+		// Overflow: the sign tells which bound was blown through.
+		if strings.HasPrefix(trimmed, "-") {
+			return 1, "underflows an int; clamped to 1 worker"
+		}
+		return MaxWorkers, fmt.Sprintf("overflows an int; clamped to %d workers", MaxWorkers)
+	case err != nil:
+		return runtime.NumCPU(), fmt.Sprintf("not an integer; falling back to %d workers (NumCPU)", runtime.NumCPU())
+	case n < 1:
+		return 1, fmt.Sprintf("worker count %d out of range; clamped to 1", n)
+	case n > MaxWorkers:
+		return MaxWorkers, fmt.Sprintf("worker count %d out of range; clamped to %d", n, MaxWorkers)
+	}
+	return n, ""
 }
 
 // Workers returns the current pool width used by Sweep and friends.
 func Workers() int { return int(workers.Load()) }
 
-// SetWorkers sets the pool width (minimum 1) and returns the previous
-// value, so tests and the CLI can scope an override.
+// SetWorkers sets the pool width (clamped to [1, MaxWorkers]) and
+// returns the previous value, so tests and the CLI can scope an
+// override.
 func SetWorkers(n int) int {
 	if n < 1 {
 		n = 1
+	}
+	if n > MaxWorkers {
+		n = MaxWorkers
 	}
 	return int(workers.Swap(int64(n)))
 }

@@ -116,6 +116,7 @@ func TestParseWorkers(t *testing.T) {
 		"8":    8,
 		" 12 ": 12,
 		"128":  128,
+		"4096": MaxWorkers,
 	}
 	for in, want := range valid {
 		n, err := ParseWorkers(in)
@@ -123,7 +124,12 @@ func TestParseWorkers(t *testing.T) {
 			t.Errorf("ParseWorkers(%q) = %d, %v; want %d", in, n, err, want)
 		}
 	}
-	invalid := []string{"", "0", "-3", "four", "2.5", "8x", "0x10"}
+	invalid := []string{
+		"", "0", "-3", "four", "2.5", "8x", "0x10",
+		"4097",                  // above MaxWorkers
+		"99999999999999999999",  // overflows int64
+		"-99999999999999999999", // underflows int64
+	}
 	for _, in := range invalid {
 		if n, err := ParseWorkers(in); err == nil {
 			t.Errorf("ParseWorkers(%q) = %d, accepted; want error", in, n)
@@ -131,13 +137,63 @@ func TestParseWorkers(t *testing.T) {
 	}
 }
 
-// An invalid MMSIM_SWEEP_WORKERS must not silently shrink or grow the
-// pool: defaultWorkers falls back to NumCPU with a warning.
-func TestDefaultWorkersFallsBackOnBadEnv(t *testing.T) {
-	for _, bad := range []string{"banana", "0", "-1"} {
+// ClampWorkers never fails: zero/negative/overflow values clamp to the
+// nearest bound with a warning, garbage falls back to NumCPU.
+func TestClampWorkers(t *testing.T) {
+	tests := []struct {
+		in       string
+		want     int
+		warned   bool
+		verbatim bool
+	}{
+		{in: "1", want: 1, verbatim: true},
+		{in: "8", want: 8, verbatim: true},
+		{in: " 12 ", want: 12, verbatim: true},
+		{in: "4096", want: MaxWorkers, verbatim: true},
+		{in: "0", want: 1, warned: true},
+		{in: "-3", want: 1, warned: true},
+		{in: "4097", want: MaxWorkers, warned: true},
+		{in: "99999999999999999999", want: MaxWorkers, warned: true},
+		{in: "-99999999999999999999", want: 1, warned: true},
+		{in: "banana", want: runtime.NumCPU(), warned: true},
+		{in: "2.5", want: runtime.NumCPU(), warned: true},
+		{in: "", want: runtime.NumCPU(), warned: true},
+	}
+	for _, tc := range tests {
+		n, warning := ClampWorkers(tc.in)
+		if n != tc.want {
+			t.Errorf("ClampWorkers(%q) = %d, want %d", tc.in, n, tc.want)
+		}
+		if tc.warned && warning == "" {
+			t.Errorf("ClampWorkers(%q) produced no warning", tc.in)
+		}
+		if tc.verbatim && warning != "" {
+			t.Errorf("ClampWorkers(%q) warned unexpectedly: %s", tc.in, warning)
+		}
+	}
+}
+
+// An out-of-range MMSIM_SWEEP_WORKERS must not silently shrink or grow
+// the pool beyond its bounds: defaultWorkers clamps (or falls back to
+// NumCPU for garbage) instead of crashing or running with a surprise
+// width.
+func TestDefaultWorkersClampsBadEnv(t *testing.T) {
+	for _, bad := range []string{"banana", "2.5"} {
 		t.Setenv(EnvWorkers, bad)
 		if got, want := defaultWorkers(), runtime.NumCPU(); got != want {
 			t.Errorf("env=%q: defaultWorkers() = %d, want NumCPU fallback %d", bad, got, want)
+		}
+	}
+	for _, low := range []string{"0", "-1", "-99999999999999999999"} {
+		t.Setenv(EnvWorkers, low)
+		if got := defaultWorkers(); got != 1 {
+			t.Errorf("env=%q: defaultWorkers() = %d, want clamp to 1", low, got)
+		}
+	}
+	for _, high := range []string{"4097", "99999999999999999999"} {
+		t.Setenv(EnvWorkers, high)
+		if got := defaultWorkers(); got != MaxWorkers {
+			t.Errorf("env=%q: defaultWorkers() = %d, want clamp to %d", high, got, MaxWorkers)
 		}
 	}
 	t.Setenv(EnvWorkers, "3")
@@ -147,5 +203,14 @@ func TestDefaultWorkersFallsBackOnBadEnv(t *testing.T) {
 	t.Setenv(EnvWorkers, "")
 	if got, want := defaultWorkers(), runtime.NumCPU(); got != want {
 		t.Errorf("env unset: defaultWorkers() = %d, want %d", got, want)
+	}
+}
+
+func TestSetWorkersClampsToMax(t *testing.T) {
+	prev := SetWorkers(2)
+	defer SetWorkers(prev)
+	SetWorkers(MaxWorkers + 100)
+	if Workers() != MaxWorkers {
+		t.Errorf("SetWorkers(MaxWorkers+100) left %d, want %d", Workers(), MaxWorkers)
 	}
 }

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// jobQueue is the bounded priority queue feeding the worker pool:
+// higher-priority jobs pop first, FIFO within a tier (submission
+// sequence breaks ties). Admission control lives at push: a full queue
+// rejects, and the HTTP layer turns that into 429 + Retry-After.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   jobHeap
+	cap    int
+	closed bool
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &jobQueue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues the job, reporting false when the queue is at capacity
+// (admission control) or closed (draining).
+func (q *jobQueue) push(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.heap) >= q.cap {
+		return false
+	}
+	heap.Push(&q.heap, j)
+	q.cond.Signal()
+	return true
+}
+
+// popWait blocks until a job is available (returning it) or the queue
+// closes (returning nil). Workers loop on it.
+func (q *jobQueue) popWait() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.heap) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.heap).(*Job)
+}
+
+// pushForce enqueues ignoring capacity — used only when reloading
+// previously-admitted jobs on restart, so a shrunk queue flag can never
+// strand one.
+func (q *jobQueue) pushForce(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	heap.Push(&q.heap, j)
+	q.cond.Signal()
+}
+
+// remove pulls a still-queued job out (cancelation), reporting whether
+// it was present.
+func (q *jobQueue) remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, j := range q.heap {
+		if j.ID == id {
+			heap.Remove(&q.heap, i)
+			return true
+		}
+	}
+	return false
+}
+
+// depth returns the number of queued jobs.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// close stops admission and wakes every blocked worker; queued jobs
+// stay queued (their durable state files already say so) for the next
+// daemon instance to pick up.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// jobHeap orders by (priority desc, sequence asc).
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].Spec.Priority != h[j].Spec.Priority {
+		return h[i].Spec.Priority > h[j].Spec.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}

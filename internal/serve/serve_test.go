@@ -1,0 +1,698 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// okRunner builds a deterministic synthetic runner whose report depends
+// on (marker, seed) — the marker distinguishes runner versions across
+// daemon generations, the seed makes tenant namespacing observable.
+func okRunner(id, marker string) experiments.Runner {
+	return experiments.Runner{
+		ID:    id,
+		Title: "synthetic " + id,
+		Run: func(o experiments.Options) core.Result {
+			res := core.Result{ID: id, Title: "synthetic " + id, PaperClaim: "(synthetic)"}
+			res.AddCheck("marker", marker, marker, true)
+			res.AddCheck("seed", fmt.Sprint(o.Seed), fmt.Sprint(o.Seed), true)
+			return res
+		},
+	}
+}
+
+// blockingRunner parks until release is closed, holding its worker slot.
+// Its result does not depend on when it was released, so a pre-closed
+// channel yields the identical report.
+func blockingRunner(id string, release <-chan struct{}) experiments.Runner {
+	return experiments.Runner{
+		ID:    id,
+		Title: "blocking " + id,
+		Run: func(o experiments.Options) core.Result {
+			<-release
+			res := core.Result{ID: id, Title: "blocking " + id}
+			res.AddCheck("released", "yes", "yes", true)
+			return res
+		},
+	}
+}
+
+// releaser hands tests an idempotent unblock function so both the happy
+// path and deferred cleanup can call it without a double-close panic —
+// and a t.Fatal can never leave a worker wedged under a deferred Drain.
+func releaser() (<-chan struct{}, func()) {
+	ch := make(chan struct{})
+	var once sync.Once
+	return ch, func() { once.Do(func() { close(ch) }) }
+}
+
+// testRegistry wires runners into the Config lookup/allIDs seams.
+func testRegistry(runners ...experiments.Runner) (func(string) (experiments.Runner, bool), func() []string) {
+	m := make(map[string]experiments.Runner, len(runners))
+	ids := make([]string, 0, len(runners))
+	for _, r := range runners {
+		m[r.ID] = r
+		ids = append(ids, r.ID)
+	}
+	return func(id string) (experiments.Runner, bool) {
+			r, ok := m[id]
+			return r, ok
+		}, func() []string {
+			return ids
+		}
+}
+
+// newTestServer boots a started Server behind httptest. It does NOT
+// drain on cleanup — tests that want a graceful stop call Drain
+// themselves, and the kill/resume test abandons a server on purpose.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+func submitJob(t *testing.T, base string, spec JobSpec) Snapshot {
+	t.Helper()
+	snap, resp := trySubmit(t, base, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: got %s, want 202", resp.Status)
+	}
+	return snap
+}
+
+func trySubmit(t *testing.T, base string, spec JobSpec) (Snapshot, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var snap Snapshot
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(data, &snap); err != nil {
+			t.Fatalf("submit response %q: %v", data, err)
+		}
+	}
+	return snap, resp
+}
+
+func getSnapshot(t *testing.T, base, id string) (Snapshot, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var snap Snapshot
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &snap); err != nil {
+			t.Fatalf("status response %q: %v", data, err)
+		}
+	}
+	return snap, resp.StatusCode
+}
+
+// waitState polls until the job reaches the wanted state.
+func waitState(t *testing.T, base, id string, want JobState) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		snap, code := getSnapshot(t, base, id)
+		if code == http.StatusOK && snap.State == want {
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s: still %q (http %d), want %q", id, snap.State, code, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitResults polls until the job has emitted at least n results — and
+// because the campaign checkpoints each result before emitting it, those
+// n results are durably on disk once this returns.
+func waitResults(t *testing.T, base, id string, n int) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		snap, code := getSnapshot(t, base, id)
+		if code == http.StatusOK && len(snap.Results) >= n {
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s: %d results, want ≥ %d", id, len(snap.Results), n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func getReport(t *testing.T, base, id string) (string, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return string(data), resp.StatusCode
+}
+
+func TestSubmitRunReport(t *testing.T) {
+	lookup, all := testRegistry(okRunner("R1", "v1"), okRunner("R2", "v1"))
+	s, hs := newTestServer(t, Config{DataDir: t.TempDir(), lookup: lookup, allIDs: all})
+	defer s.Drain()
+
+	snap := submitJob(t, hs.URL, JobSpec{Experiments: []string{"r1", "R2"}, Seed: 42})
+	if snap.ID == "" {
+		t.Fatalf("submit snapshot has no ID: %+v", snap)
+	}
+	if got := snap.Spec.Experiments; len(got) != 2 || got[0] != "R1" || got[1] != "R2" {
+		t.Fatalf("experiments not normalized: %v", got)
+	}
+	if snap.EffectiveSeed != 42 {
+		t.Fatalf("tenantless effective seed = %d, want 42", snap.EffectiveSeed)
+	}
+
+	done := waitState(t, hs.URL, snap.ID, StateDone)
+	if done.Failed != 0 || len(done.Results) != 2 {
+		t.Fatalf("done snapshot: failed=%d results=%d", done.Failed, len(done.Results))
+	}
+	if done.Results[0].ID != "R1" || done.Results[1].ID != "R2" {
+		t.Fatalf("results out of campaign order: %v, %v", done.Results[0].ID, done.Results[1].ID)
+	}
+
+	report, code := getReport(t, hs.URL, snap.ID)
+	if code != http.StatusOK {
+		t.Fatalf("report: http %d", code)
+	}
+	opts := experiments.Options{Seed: 42}
+	want := okRunner("R1", "v1").Run(opts).String() + "\n" + okRunner("R2", "v1").Run(opts).String() + "\n"
+	if report != want {
+		t.Fatalf("report mismatch:\n got %q\nwant %q", report, want)
+	}
+
+	// The durable layout: job.json + campaign.ckpt + report.txt.
+	dir := s.jobDir(snap.ID)
+	for _, name := range []string{jobFileName, experiments.CheckpointFile, reportFileName} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("job dir missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestSubmitAllShorthand(t *testing.T) {
+	lookup, all := testRegistry(okRunner("R1", "v1"), okRunner("R2", "v1"), okRunner("R3", "v1"))
+	s, hs := newTestServer(t, Config{DataDir: t.TempDir(), lookup: lookup, allIDs: all})
+	defer s.Drain()
+
+	snap := submitJob(t, hs.URL, JobSpec{Experiments: []string{"all"}, Seed: 1})
+	done := waitState(t, hs.URL, snap.ID, StateDone)
+	if len(done.Results) != 3 {
+		t.Fatalf("all expanded to %d results, want 3", len(done.Results))
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	lookup, all := testRegistry(okRunner("R1", "v1"))
+	s, hs := newTestServer(t, Config{DataDir: t.TempDir(), lookup: lookup, allIDs: all})
+	defer s.Drain()
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"not json", `{"experiments":`},
+		{"unknown field", `{"experiments":["R1"],"seed":1,"bogus":true}`},
+		{"empty list", `{"experiments":[],"seed":1}`},
+		{"unknown experiment", `{"experiments":["R9"],"seed":1}`},
+		{"duplicate experiment", `{"experiments":["R1","r1"],"seed":1}`},
+		{"bad deadline", `{"experiments":["R1"],"seed":1,"deadline":"soon"}`},
+		{"negative deadline", `{"experiments":["R1"],"seed":1,"deadline":"-5s"}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("got %s, want 400", resp.Status)
+			}
+			var ae apiError
+			if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil || ae.Error == "" {
+				t.Fatalf("400 body should carry a diagnostic, got err=%v %+v", err, ae)
+			}
+		})
+	}
+}
+
+func TestQueueFullRejectsWith429(t *testing.T) {
+	release, rel := releaser()
+	lookup, all := testRegistry(okRunner("R1", "v1"), blockingRunner("B1", release))
+	s, hs := newTestServer(t, Config{
+		DataDir: t.TempDir(), Jobs: 1, QueueCap: 1,
+		RetryAfter: 7 * time.Second,
+		lookup:     lookup, allIDs: all,
+	})
+	defer s.Drain()
+	defer rel()
+
+	blocker := submitJob(t, hs.URL, JobSpec{Experiments: []string{"B1"}, Seed: 1})
+	waitState(t, hs.URL, blocker.ID, StateRunning) // worker popped it; queue empty
+
+	queued := submitJob(t, hs.URL, JobSpec{Experiments: []string{"R1"}, Seed: 2})
+
+	_, resp := trySubmit(t, hs.URL, JobSpec{Experiments: []string{"R1"}, Seed: 3})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: got %s, want 429", resp.Status)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want \"7\"", got)
+	}
+	// The rejected job left no durable residue to resurrect on restart.
+	dirs, err := os.ReadDir(s.jobsRoot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 2 {
+		t.Fatalf("rejected job left a directory behind: %d dirs", len(dirs))
+	}
+
+	rel()
+	waitState(t, hs.URL, blocker.ID, StateDone)
+	waitState(t, hs.URL, queued.ID, StateDone)
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	var mu sync.Mutex
+	var order []uint64
+	recorder := experiments.Runner{
+		ID:    "R1",
+		Title: "recording R1",
+		Run: func(o experiments.Options) core.Result {
+			mu.Lock()
+			order = append(order, o.Seed)
+			mu.Unlock()
+			res := core.Result{ID: "R1", Title: "recording R1"}
+			res.AddCheck("ok", "ok", "ok", true)
+			return res
+		},
+	}
+	release, rel := releaser()
+	lookup, all := testRegistry(recorder, blockingRunner("B1", release))
+	s, hs := newTestServer(t, Config{
+		DataDir: t.TempDir(), Jobs: 1, QueueCap: 10,
+		lookup: lookup, allIDs: all,
+	})
+	defer s.Drain()
+	defer rel()
+
+	blocker := submitJob(t, hs.URL, JobSpec{Experiments: []string{"B1"}, Seed: 100})
+	waitState(t, hs.URL, blocker.ID, StateRunning)
+
+	// Submission order: seeds 1 (P0), 2 (P5), 3 (P0), 4 (P10). The
+	// single worker must pop 4 first, then 2, then FIFO within P0: 1, 3.
+	var ids []string
+	for _, j := range []struct {
+		seed uint64
+		prio int
+	}{{1, 0}, {2, 5}, {3, 0}, {4, 10}} {
+		snap := submitJob(t, hs.URL, JobSpec{Experiments: []string{"R1"}, Seed: j.seed, Priority: j.prio})
+		ids = append(ids, snap.ID)
+	}
+	rel()
+	waitState(t, hs.URL, blocker.ID, StateDone)
+	for _, id := range ids {
+		waitState(t, hs.URL, id, StateDone)
+	}
+	mu.Lock()
+	got := fmt.Sprint(order)
+	mu.Unlock()
+	if want := fmt.Sprint([]uint64{4, 2, 1, 3}); got != want {
+		t.Fatalf("run order %s, want %s", got, want)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	release, rel := releaser()
+	lookup, all := testRegistry(okRunner("R1", "v1"), blockingRunner("B1", release))
+	s, hs := newTestServer(t, Config{
+		DataDir: t.TempDir(), Jobs: 1, QueueCap: 10,
+		lookup: lookup, allIDs: all,
+	})
+	defer s.Drain()
+	defer rel()
+
+	del := func(id string) (int, Snapshot) {
+		req, err := http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		var snap Snapshot
+		if resp.StatusCode < 300 {
+			if err := json.Unmarshal(data, &snap); err != nil {
+				t.Fatalf("cancel response %q: %v", data, err)
+			}
+		}
+		return resp.StatusCode, snap
+	}
+
+	blocker := submitJob(t, hs.URL, JobSpec{Experiments: []string{"B1"}, Seed: 1})
+	waitState(t, hs.URL, blocker.ID, StateRunning)
+	queued := submitJob(t, hs.URL, JobSpec{Experiments: []string{"R1"}, Seed: 2})
+
+	// Queued: cancel is synchronous — 200 and already terminal.
+	code, snap := del(queued.ID)
+	if code != http.StatusOK || snap.State != StateCanceled {
+		t.Fatalf("queued cancel: http %d state %q", code, snap.State)
+	}
+	// Canceling a terminal job conflicts.
+	if code, _ := del(queued.ID); code != http.StatusConflict {
+		t.Fatalf("double cancel: got %d, want 409", code)
+	}
+	// Unknown job.
+	if code, _ := del("job-999999"); code != http.StatusNotFound {
+		t.Fatalf("unknown cancel: got %d, want 404", code)
+	}
+
+	// Running: cancel is asynchronous — 202, and the worker finishes it
+	// once the in-flight experiment returns.
+	code, _ = del(blocker.ID)
+	if code != http.StatusAccepted {
+		t.Fatalf("running cancel: got %d, want 202", code)
+	}
+	rel()
+	final := waitState(t, hs.URL, blocker.ID, StateCanceled)
+	if final.Diagnostic == "" {
+		t.Fatal("canceled job should carry a diagnostic")
+	}
+}
+
+func TestEventStreamNDJSON(t *testing.T) {
+	lookup, all := testRegistry(okRunner("R1", "v1"), okRunner("R2", "v1"))
+	s, hs := newTestServer(t, Config{DataDir: t.TempDir(), lookup: lookup, allIDs: all})
+	defer s.Drain()
+
+	snap := submitJob(t, hs.URL, JobSpec{Experiments: []string{"R1", "R2"}, Seed: 5})
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + snap.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q is not a JSON event: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events streamed")
+	}
+	last := events[len(events)-1]
+	if last.Event != "done" || last.State != StateDone || last.Failed != 0 {
+		t.Fatalf("final event: %+v", last)
+	}
+	var exp []string
+	for _, e := range events {
+		if e.Event == "experiment" {
+			exp = append(exp, e.ID)
+			if !e.Pass {
+				t.Fatalf("experiment %s reported fail: %+v", e.ID, e)
+			}
+		}
+	}
+	if fmt.Sprint(exp) != fmt.Sprint([]string{"R1", "R2"}) {
+		t.Fatalf("experiment events %v, want [R1 R2] in campaign order", exp)
+	}
+	// The stream replays from the start for late subscribers.
+	resp2, err := http.Get(hs.URL + "/v1/jobs/" + snap.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	replay, _ := io.ReadAll(resp2.Body)
+	if n := strings.Count(string(replay), "\n"); n != len(events) {
+		t.Fatalf("replay has %d lines, want %d", n, len(events))
+	}
+}
+
+func TestTenantSeedNamespacing(t *testing.T) {
+	if EffectiveSeed("", 9) != 9 {
+		t.Fatal("tenantless seed must pass through")
+	}
+	if EffectiveSeed("alice", 9) == EffectiveSeed("bob", 9) {
+		t.Fatal("tenants must decorrelate")
+	}
+	if EffectiveSeed("alice", 9) != EffectiveSeed("alice", 9) {
+		t.Fatal("effective seed must be deterministic")
+	}
+	if EffectiveSeed("alice", 9) == EffectiveSeed("alice", 10) {
+		t.Fatal("seeds within a tenant must differ")
+	}
+
+	lookup, all := testRegistry(okRunner("R1", "v1"))
+	s, hs := newTestServer(t, Config{DataDir: t.TempDir(), Jobs: 2, lookup: lookup, allIDs: all})
+	defer s.Drain()
+
+	run := func(tenant string) string {
+		snap := submitJob(t, hs.URL, JobSpec{Experiments: []string{"R1"}, Seed: 9, Tenant: tenant})
+		waitState(t, hs.URL, snap.ID, StateDone)
+		report, code := getReport(t, hs.URL, snap.ID)
+		if code != http.StatusOK {
+			t.Fatalf("report: http %d", code)
+		}
+		return report
+	}
+	alice1, alice2, bob := run("alice"), run("alice"), run("bob")
+	if alice1 != alice2 {
+		t.Fatal("same tenant+seed must reproduce byte-identically")
+	}
+	if alice1 == bob {
+		t.Fatal("different tenants with the same seed must produce different campaigns")
+	}
+}
+
+// TestKillResumeByteIdentical is the round trip at the heart of the
+// daemon: generation A dies mid-campaign (abandoned without drain, as a
+// SIGKILL would leave it), generation B reloads the same data directory,
+// requeues the job, and must produce a report byte-identical to an
+// uninterrupted run — with the finished prefix served from the
+// checkpoint, not re-run.
+func TestKillResumeByteIdentical(t *testing.T) {
+	dataDir := t.TempDir()
+	// Never released: A's worker stays wedged like a killed process.
+	neverRelease := make(chan struct{})
+	// Pre-released: the same blocking runner, passing through instantly,
+	// so generations B and C produce R2's report identically.
+	released, rel := releaser()
+	rel()
+
+	// Generation A: R1 completes and checkpoints, R2 wedges forever.
+	lookupA, allA := testRegistry(
+		okRunner("R1", "variant-a"),
+		blockingRunner("R2", neverRelease),
+		okRunner("R3", "v1"),
+	)
+	_, hsa := newTestServer(t, Config{
+		DataDir: dataDir, JobParallel: 3,
+		lookup: lookupA, allIDs: allA,
+	})
+	spec := JobSpec{Experiments: []string{"R1", "R2", "R3"}, Seed: 7}
+	snap := submitJob(t, hsa.URL, spec)
+	// One emitted result means R1 is durably checkpointed (the campaign
+	// records before it emits). Then abandon A — no drain, no cleanup.
+	waitResults(t, hsa.URL, snap.ID, 1)
+
+	// Generation B: same data dir. Its R1 answers differently — if the
+	// resumed report still says variant-a, it came from the checkpoint.
+	lookupB, allB := testRegistry(
+		okRunner("R1", "variant-b"),
+		blockingRunner("R2", released),
+		okRunner("R3", "v1"),
+	)
+	sb, hsb := newTestServer(t, Config{
+		DataDir: dataDir, JobParallel: 3,
+		lookup: lookupB, allIDs: allB,
+	})
+	defer sb.Drain()
+	resumed := waitState(t, hsb.URL, snap.ID, StateDone)
+	if resumed.Resumed < 1 {
+		t.Fatalf("resumed_experiments = %d, want ≥ 1", resumed.Resumed)
+	}
+	reportB, code := getReport(t, hsb.URL, snap.ID)
+	if code != http.StatusOK {
+		t.Fatalf("report: http %d", code)
+	}
+	if !strings.Contains(reportB, "variant-a") || strings.Contains(reportB, "variant-b") {
+		t.Fatalf("R1 was re-run instead of resumed from the checkpoint:\n%s", reportB)
+	}
+
+	// Uninterrupted comparator: fresh data dir, A's runner versions with
+	// R2 passing through.
+	lookupC, allC := testRegistry(
+		okRunner("R1", "variant-a"),
+		blockingRunner("R2", released),
+		okRunner("R3", "v1"),
+	)
+	sc, hsc := newTestServer(t, Config{
+		DataDir: t.TempDir(), JobParallel: 3,
+		lookup: lookupC, allIDs: allC,
+	})
+	defer sc.Drain()
+	clean := submitJob(t, hsc.URL, spec)
+	waitState(t, hsc.URL, clean.ID, StateDone)
+	reportClean, code := getReport(t, hsc.URL, clean.ID)
+	if code != http.StatusOK {
+		t.Fatalf("clean report: http %d", code)
+	}
+	if reportB != reportClean {
+		t.Fatalf("resumed report is not byte-identical to a clean run:\n--- resumed ---\n%s--- clean ---\n%s", reportB, reportClean)
+	}
+}
+
+func TestJobDeadlineFailsJob(t *testing.T) {
+	// Both runners outlast the 50ms job budget, so whichever wins the
+	// single slot, the second poll of Stop sees the deadline blown and
+	// skips the rest — deterministically failing the job.
+	slow := func(id string) experiments.Runner {
+		return experiments.Runner{
+			ID:    id,
+			Title: "slow " + id,
+			Run: func(o experiments.Options) core.Result {
+				time.Sleep(100 * time.Millisecond)
+				res := core.Result{ID: id, Title: "slow " + id}
+				res.AddCheck("ok", "ok", "ok", true)
+				return res
+			},
+		}
+	}
+	lookup, all := testRegistry(slow("S1"), slow("S2"))
+	s, hs := newTestServer(t, Config{
+		DataDir: t.TempDir(), JobParallel: 1,
+		lookup: lookup, allIDs: all,
+	})
+	defer s.Drain()
+
+	snap := submitJob(t, hs.URL, JobSpec{Experiments: []string{"S1", "S2"}, Seed: 1, Deadline: "50ms"})
+	final := waitState(t, hs.URL, snap.ID, StateFailed)
+	if !strings.Contains(final.Diagnostic, "deadline") {
+		t.Fatalf("diagnostic %q should mention the deadline", final.Diagnostic)
+	}
+	if final.Skipped < 1 {
+		t.Fatalf("skipped_experiments = %d, want ≥ 1", final.Skipped)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	lookup, all := testRegistry(okRunner("R1", "v1"))
+	s, hs := newTestServer(t, Config{DataDir: t.TempDir(), lookup: lookup, allIDs: all})
+	defer s.Drain()
+
+	snap := submitJob(t, hs.URL, JobSpec{Experiments: []string{"R1"}, Seed: 1})
+	waitState(t, hs.URL, snap.ID, StateDone)
+
+	resp, err := http.Get(hs.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz["status"] != "ok" || hz["draining"] != false {
+		t.Fatalf("healthz: %v", hz)
+	}
+
+	resp2, err := http.Get(hs.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var m ServerMetrics
+	if err := json.NewDecoder(resp2.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.JobsSubmitted != 1 || m.JobsDone != 1 || m.ExperimentsRun != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+func TestDrainRejectsSubmissions(t *testing.T) {
+	lookup, all := testRegistry(okRunner("R1", "v1"))
+	s, hs := newTestServer(t, Config{DataDir: t.TempDir(), lookup: lookup, allIDs: all})
+	s.Drain()
+	_, resp := trySubmit(t, hs.URL, JobSpec{Experiments: []string{"R1"}, Seed: 1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: got %s, want 503", resp.Status)
+	}
+}
+
+func TestJobMetricsEndpointSchema(t *testing.T) {
+	lookup, all := testRegistry(okRunner("R1", "v1"))
+	s, hs := newTestServer(t, Config{DataDir: t.TempDir(), lookup: lookup, allIDs: all})
+	defer s.Drain()
+
+	snap := submitJob(t, hs.URL, JobSpec{Experiments: []string{"R1"}, Seed: 1})
+	waitState(t, hs.URL, snap.ID, StateDone)
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + snap.ID + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var file struct {
+		Experiments []struct {
+			ID   string `json:"id"`
+			Pass bool   `json:"pass"`
+		} `json:"experiments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.Experiments) != 1 || file.Experiments[0].ID != "R1" || !file.Experiments[0].Pass {
+		t.Fatalf("metrics file: %+v", file)
+	}
+}

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Daemon smoke test: boot mmsimd, run a clean campaign job end to end;
+# then SIGKILL a second daemon generation mid-job, restart it on the same
+# data directory, and require the resumed job's report to be
+# byte-identical to the clean run's. Also checks graceful SIGTERM drain.
+#
+# Usage: scripts/daemon_smoke.sh  (from the repo root)
+set -u
+
+TMP="$(mktemp -d)"
+cleanup() {
+  # shellcheck disable=SC2046
+  kill $(jobs -p) 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+FAILURES=0
+
+fail() {
+  echo "FAIL: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+echo "== build"
+go build -o "$TMP/mmsimd" ./cmd/mmsimd || exit 1
+
+# A campaign with enough heavy tail (X1, X2, F22 are ~1-3 s each even in
+# quick mode) that the SIGKILL below reliably lands mid-job.
+IDS="T1 F3 F24 F8 F9 F18 F21 X1 X2 F22"
+DPID=""
+ADDR=""
+
+# start_daemon DATA LOG — boots mmsimd on a free port, parses the bound
+# address from the startup line into ADDR, and the pid into DPID.
+start_daemon() {
+  "$TMP/mmsimd" serve -addr 127.0.0.1:0 -data "$1" -jobs 1 -parallel 1 > "$2" 2>&1 &
+  DPID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^mmsimd: listening on \([^ ]*\) .*/\1/p' "$2" 2>/dev/null)
+    if [ -n "$ADDR" ]; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  fail "daemon did not start; log:"
+  cat "$2" >&2
+  return 1
+}
+
+echo "== clean run through the daemon"
+start_daemon "$TMP/dataA" "$TMP/d1.log" || exit 1
+# shellcheck disable=SC2086
+JOB=$("$TMP/mmsimd" submit -addr "$ADDR" -quick -seed 3 $IDS) || fail "submit failed"
+"$TMP/mmsimd" wait -addr "$ADDR" -timeout 5m "$JOB" > /dev/null || fail "clean job did not complete"
+"$TMP/mmsimd" report -addr "$ADDR" "$JOB" > "$TMP/clean.txt" || fail "clean report unavailable"
+if [ ! -s "$TMP/clean.txt" ]; then
+  fail "clean report is empty"
+fi
+
+echo "== graceful SIGTERM drain exits 0"
+kill -TERM "$DPID"
+wait "$DPID"
+rc=$?
+if [ "$rc" -ne 0 ]; then
+  fail "drained daemon exited $rc, want 0"
+fi
+if ! grep -q 'mmsimd: drained' "$TMP/d1.log"; then
+  fail "daemon did not report draining"
+fi
+
+echo "== SIGKILL mid-job"
+# kill_mid_job DATA — boots a daemon, submits the campaign, and SIGKILLs
+# the daemon after at least one experiment is durably checkpointed but
+# before the job completes. Returns 1 (for a retry with a fresh dir) on
+# the unlucky scheduling where the job finished before the kill landed.
+kill_mid_job() {
+  start_daemon "$1" "$TMP/dkill.log" || exit 1
+  # shellcheck disable=SC2086
+  JOB=$("$TMP/mmsimd" submit -addr "$ADDR" -quick -seed 3 $IDS) || { fail "submit failed"; exit 1; }
+  # A job snapshot grows a "results" array only once an experiment has
+  # been checkpointed (the campaign records before it reports), so this
+  # poll guarantees the kill lands after at least one durable record.
+  ckpt_seen=0
+  for _ in $(seq 1 600); do
+    if "$TMP/mmsimd" status -addr "$ADDR" "$JOB" 2>/dev/null | grep -q '"results"'; then
+      ckpt_seen=1
+      break
+    fi
+    sleep 0.1
+  done
+  if [ "$ckpt_seen" -ne 1 ]; then
+    fail "no experiment checkpointed before the kill"
+    exit 1
+  fi
+  kill -9 "$DPID" 2>/dev/null
+  wait "$DPID" 2>/dev/null
+  if [ ! -s "$1/jobs/$JOB/campaign.ckpt" ]; then
+    fail "no checkpoint on disk after SIGKILL"
+    exit 1
+  fi
+  grep -q '"state": "running"' "$1/jobs/$JOB/job.json"
+}
+killed=0
+for attempt in 1 2 3; do
+  DATA="$TMP/dataB$attempt"
+  if kill_mid_job "$DATA"; then
+    killed=1
+    break
+  fi
+  echo "   (job finished before the kill landed; retrying)"
+done
+if [ "$killed" -ne 1 ]; then
+  fail "could not catch the job mid-run in 3 attempts"
+fi
+
+echo "== restart resumes the job byte-identically"
+start_daemon "$DATA" "$TMP/d3.log" || exit 1
+"$TMP/mmsimd" wait -addr "$ADDR" -timeout 5m "$JOB" > /dev/null || fail "resumed job did not complete"
+RESUMED=$("$TMP/mmsimd" status -addr "$ADDR" "$JOB" | sed -n 's/.*"resumed_experiments": \([0-9]*\).*/\1/p')
+if [ "${RESUMED:-0}" -lt 1 ]; then
+  fail "restarted daemon re-ran everything (resumed_experiments=${RESUMED:-0})"
+fi
+"$TMP/mmsimd" report -addr "$ADDR" "$JOB" > "$TMP/resumed.txt" || fail "resumed report unavailable"
+if ! diff "$TMP/clean.txt" "$TMP/resumed.txt" > "$TMP/diff.out"; then
+  fail "resumed job report is not byte-identical to the clean run:"
+  cat "$TMP/diff.out" >&2
+fi
+
+if [ "$FAILURES" -gt 0 ]; then
+  echo "daemon smoke: $FAILURES failure(s)" >&2
+  exit 1
+fi
+echo "daemon smoke: all checks passed"

@@ -22,9 +22,10 @@ go build -o "$TMP/mmsim" ./cmd/mmsim || exit 1
 go build -o "$TMP/tracedump" ./cmd/tracedump || exit 1
 
 # The campaign: fast experiments first (so the kill lands after at least
-# one checkpoint record), heavier ones later. -parallel 1 keeps the
-# kill point and the report order deterministic.
-IDS="T1 F3 F24 F8 X1"
+# one checkpoint record), with enough heavy tail (X1, X2, F22 are ~1-3 s
+# each even in quick mode) that the signals below reliably land mid-run.
+# -parallel 1 keeps the report order deterministic.
+IDS="T1 F3 F24 F8 F9 F18 F21 X1 X2 F22"
 FLAGS="-quick -seed 3 -parallel 1"
 
 # Strip the only lines that legitimately differ between an interrupted
@@ -65,6 +66,69 @@ if ! diff <(scrub < "$TMP/full.out") <(scrub < "$TMP/resumed.out") > "$TMP/diff.
   fail "resumed campaign output differs from the uninterrupted run:"
   cat "$TMP/diff.out" >&2
 fi
+
+echo "== SIGTERM flushes the checkpoint and exits 4"
+# Retried with a fresh capture dir on the unlucky scheduling where the
+# campaign finishes before the signal lands.
+term_rc=-1
+CAPC=""
+for attempt in 1 2 3; do
+  CAPC="$TMP/capC$attempt"
+  # shellcheck disable=SC2086
+  "$TMP/mmsim" $FLAGS -capture "$CAPC" run $IDS > "$TMP/termed.out" 2> "$TMP/termed.err" &
+  PID=$!
+  for _ in $(seq 1 400); do
+    if grep -q 'wall time' "$TMP/termed.out" 2>/dev/null; then
+      break
+    fi
+    sleep 0.05
+  done
+  kill -TERM "$PID" 2>/dev/null
+  wait "$PID"
+  term_rc=$?
+  if [ "$term_rc" -eq 4 ]; then
+    break
+  fi
+  echo "   (campaign finished before SIGTERM landed; retrying)"
+done
+if [ "$term_rc" -ne 4 ]; then
+  fail "SIGTERM run exited $term_rc, want 4"
+fi
+if ! grep -q 'checkpoint flushed' "$TMP/termed.err"; then
+  fail "SIGTERM run did not report flushing the checkpoint"
+fi
+if [ ! -s "$CAPC/campaign.ckpt" ]; then
+  fail "no checkpoint written before SIGTERM"
+fi
+
+echo "== resume after SIGTERM is byte-identical"
+# shellcheck disable=SC2086
+"$TMP/mmsim" $FLAGS -capture "$CAPC" -resume run $IDS > "$TMP/termresumed.out" || fail "resume after SIGTERM failed"
+if ! grep -q 'resumed from checkpoint' "$TMP/termresumed.out"; then
+  fail "resume after SIGTERM re-ran every experiment (no checkpoint hit)"
+fi
+if ! diff <(scrub < "$TMP/full.out") <(scrub < "$TMP/termresumed.out") > "$TMP/diff2.out"; then
+  fail "resume after SIGTERM differs from the uninterrupted run:"
+  cat "$TMP/diff2.out" >&2
+fi
+
+echo "== mismatched resume exits 2 with a diagnostic"
+# Unlike flag errors these print the checkpoint diagnostic, not usage.
+expect_mismatch() {
+  "$TMP/mmsim" "$@" > /dev/null 2> "$TMP/mismatch.err"
+  rc=$?
+  if [ "$rc" -ne 2 ]; then
+    fail "mmsim $* exited $rc, want 2"
+  elif ! grep -q 'checkpoint does not match' "$TMP/mismatch.err"; then
+    fail "mmsim $* printed no mismatch diagnostic:"
+    cat "$TMP/mismatch.err" >&2
+  fi
+}
+# Different seed: the recorded options fingerprint is foreign.
+# shellcheck disable=SC2086
+expect_mismatch -quick -seed 4 -parallel 1 -capture "$CAPC" -resume run $IDS
+# Disjoint runner set: the checkpoint records experiments outside it.
+expect_mismatch -quick -seed 3 -parallel 1 -capture "$CAPC" -resume run T1
 
 echo "== malformed flags exit non-zero with usage"
 expect_exit2() {
