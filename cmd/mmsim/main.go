@@ -8,6 +8,7 @@
 //	mmsim run all              # run everything
 //	mmsim -quick -seed 7 run all
 //	mmsim -parallel 8 run all  # fan the campaign across CPUs
+//	mmsim -shards 4 run all    # fan the campaign across worker processes
 //	mmsim -workers 4 run F13   # sweep-point parallelism inside experiments
 //	mmsim -series run F13      # also dump the data series as TSV
 //	mmsim -capture caps run F8 # stream raw sniffer captures to caps/<ID>.vubiq
@@ -28,6 +29,13 @@
 // checkpoint written under different options or a different experiment
 // set (exit 2) instead of silently re-running a mismatched campaign.
 //
+// With -shards N, the campaign fans out across N worker processes (the
+// coordinator re-execs this binary with -shard-worker): a crashed or
+// hung worker's experiments are retried on the survivors, and the merged
+// report is byte-identical to a single-process run for any shard count
+// (wall-clock annotations aside). -shards 0 (the default) stays
+// in-process.
+//
 // Exit codes: 0 all experiments passed, 1 failures, 2 usage or a
 // checkpoint/campaign mismatch, 4 interrupted by SIGINT/SIGTERM (the
 // checkpoint is flushed and sealed before exiting, so -resume picks up
@@ -43,6 +51,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -51,6 +60,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/par"
+	"repro/internal/shard"
 )
 
 // exitInterrupted is the distinct exit code for a campaign cut short by
@@ -71,6 +81,10 @@ func run() int {
 	outDir := flag.String("out", "", "write each experiment's data series to TSV files in this directory")
 	captureDir := flag.String("capture", "", "stream sniffer captures to binary .vubiq trace files in this directory")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "experiments to run concurrently")
+	shards := flag.Int("shards", 0,
+		"fan the campaign across this many worker processes; the merged report is byte-identical for any value (0 = in-process)")
+	shardWorker := flag.Bool("shard-worker", false,
+		"internal: run as a shard worker speaking the coordinator protocol on stdin/stdout")
 	workers := flag.Int("workers", par.Workers(),
 		"worker goroutines per intra-experiment sweep (results are identical for any value)")
 	deadline := flag.Duration("deadline", 0,
@@ -85,6 +99,17 @@ func run() int {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
+	if *shardWorker {
+		// Worker protocol mode: the coordinator owns our stdin/stdout;
+		// everything else (options, audit mode, pool width) arrives in
+		// its hello message.
+		return shard.WorkerMain(os.Stdin, os.Stdout, experiments.Get)
+	}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "mmsim: -shards %d is negative\n\n", *shards)
+		usage()
+		return 2
+	}
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "mmsim: -workers %d is negative\n\n", *workers)
 		usage()
@@ -222,6 +247,12 @@ func run() int {
 		defer signal.Stop(sigs)
 		go func() {
 			s := <-sigs
+			// Reap the worker fleet first so no child outlives us, then
+			// seal the checkpoint (everything already merged survives for
+			// -resume; the workers' in-flight experiments re-run then).
+			if k, ok := shardKill.Load().(func()); ok {
+				k()
+			}
 			if ckpt != nil {
 				if err := ckpt.Close(); err != nil {
 					fmt.Fprintln(os.Stderr, "mmsim:", err)
@@ -230,7 +261,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "mmsim: %v: checkpoint flushed, exiting\n", s)
 			os.Exit(exitInterrupted)
 		}()
-		if runCampaign(runners, opts, *parallel, *deadline, ckpt, *series, *outDir, *metricsFile) > 0 {
+		if runCampaign(runners, opts, *parallel, *shards, *deadline, ckpt, *series, *outDir, *metricsFile) > 0 {
 			return 1
 		}
 	default:
@@ -240,13 +271,19 @@ func run() int {
 	return 0
 }
 
+// shardKill holds the active shard coordinator's Kill hook (a func())
+// so the signal handler can reap the worker fleet before sealing the
+// checkpoint and exiting.
+var shardKill atomic.Value
+
 // runCampaign executes the runners through the resilient campaign
-// engine (experiments.RunCampaign): bounded parallelism, per-experiment
-// panic isolation and deadlines, checkpoint/resume. Reports print in
-// the requested order as they become available. Returns the number of
-// failed experiments.
+// engine: bounded parallelism, per-experiment panic isolation and
+// deadlines, checkpoint/resume — in-process (experiments.RunCampaign)
+// by default, or fanned across worker processes (internal/shard) when
+// shards > 0. Reports print in the requested order as they become
+// available. Returns the number of failed experiments.
 func runCampaign(runners []experiments.Runner, opts experiments.Options,
-	parallel int, deadline time.Duration, ckpt *experiments.Checkpoint,
+	parallel, shards int, deadline time.Duration, ckpt *experiments.Checkpoint,
 	series bool, outDir, metricsPath string) int {
 	campaignStart := time.Now()
 	failed := 0
@@ -277,12 +314,25 @@ func runCampaign(runners []experiments.Runner, opts experiments.Options,
 			}
 		}
 	}
-	failed += experiments.RunCampaign(runners, opts, experiments.Campaign{
-		Parallel:   parallel,
-		Deadline:   deadline,
-		Checkpoint: ckpt,
-		Emit:       emit,
-	})
+	if shards > 0 {
+		coord := shard.New(runners, opts, shard.Config{
+			Shards:       shards,
+			Deadline:     deadline,
+			Checkpoint:   ckpt,
+			Emit:         emit,
+			SweepWorkers: par.Workers(),
+			AuditMode:    audit.CurrentMode().String(),
+		})
+		shardKill.Store(coord.Kill)
+		failed += coord.Run()
+	} else {
+		failed += experiments.RunCampaign(runners, opts, experiments.Campaign{
+			Parallel:   parallel,
+			Deadline:   deadline,
+			Checkpoint: ckpt,
+			Emit:       emit,
+		})
+	}
 	fmt.Printf("campaign: %d experiment(s), %d failed, %d resumed, total wall time %v (%d sweep workers)\n",
 		len(runners), failed, resumed, time.Since(campaignStart).Round(time.Millisecond), par.Workers())
 	if audit.On() {

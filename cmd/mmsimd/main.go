@@ -11,7 +11,7 @@
 //	mmsimd serve -addr 127.0.0.1:0 -data d -jobs 2 -queue 32 -deadline 5m
 //
 //	mmsimd submit -addr HOST:PORT [-seed N] [-quick] [-tenant T] \
-//	              [-priority P] [-job-deadline D] [-capture] <id>... | all
+//	              [-priority P] [-job-deadline D] [-capture] [-shards N] <id>... | all
 //	mmsimd status -addr HOST:PORT <job>
 //	mmsimd wait   -addr HOST:PORT [-timeout D] <job>
 //	mmsimd report -addr HOST:PORT <job>
@@ -22,7 +22,15 @@
 // NDJSON progress, GET /jobs/{id}/report returns the campaign report,
 // GET /jobs/{id}/metrics returns the goldencheck-compatible metrics
 // snapshot, GET /healthz and GET /metrics expose daemon health and
-// counters. A full queue answers 429 with Retry-After.
+// counters. A full queue answers 429 with Retry-After — which the
+// client subcommands honor, retrying transient failures (connection
+// errors, 429, 503) with capped jittered backoff. The events client
+// reconnects dropped streams and resumes from the last-seen offset via
+// the server's ?from=N replay support.
+//
+// A job submitted with -shards N fans its campaign across N worker
+// processes (the daemon re-execs itself as "mmsimd shard-worker"); the
+// merged report stays byte-identical to an in-process run.
 //
 // Signals: the first SIGTERM/SIGINT drains gracefully — admission
 // closes, running jobs stop launching experiments and flush their
@@ -42,13 +50,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/experiments"
 	"repro/internal/par"
 	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 // exitInterrupted mirrors mmsim: a process cut short by a second signal
@@ -68,6 +79,10 @@ func run() int {
 	switch cmd {
 	case "serve":
 		return runServe(args)
+	case "shard-worker":
+		// Internal protocol mode: a daemon running a sharded job re-execs
+		// this binary as its worker; everything arrives via stdin.
+		return shard.WorkerMain(os.Stdin, os.Stdout, experiments.Get)
 	case "submit":
 		return runSubmit(args)
 	case "status":
@@ -93,7 +108,7 @@ usage:
   mmsimd serve  -addr HOST:PORT -data DIR [-jobs N] [-queue N]
                 [-parallel N] [-deadline D] [-workers N] [-audit MODE]
   mmsimd submit -addr HOST:PORT [-seed N] [-quick] [-tenant T]
-                [-priority P] [-job-deadline D] [-capture] <id>... | all
+                [-priority P] [-job-deadline D] [-capture] [-shards N] <id>... | all
   mmsimd status -addr HOST:PORT <job>
   mmsimd wait   -addr HOST:PORT [-timeout D] <job>
   mmsimd report -addr HOST:PORT <job>
@@ -196,9 +211,66 @@ func newClient(addr string) client {
 
 func (c client) url(path string) string { return c.base + path }
 
+// Client-side retry policy: transient failures — a connection that
+// never reached the daemon, a 429 admission rejection, or a 503 drain —
+// are retried with capped jittered exponential backoff, honoring the
+// server's Retry-After hint when one is present. Anything else is
+// returned to the caller immediately.
+const (
+	retryAttempts  = 5
+	clientWaitBase = 200 * time.Millisecond
+	clientWaitMax  = 5 * time.Second
+)
+
+// retryAfter extracts the server's Retry-After hint (seconds form).
+func retryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// retryDo runs one HTTP request through the retry policy. It returns
+// the final attempt's response (or connection error) — which may still
+// be a 429/503 when the budget runs out, so callers keep their
+// status-specific handling.
+func retryDo(what string, do func() (*http.Response, error)) (*http.Response, error) {
+	for attempt := 1; ; attempt++ {
+		resp, err := do()
+		transient := err != nil ||
+			resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if !transient || attempt >= retryAttempts {
+			return resp, err
+		}
+		delay := par.Backoff(attempt, clientWaitBase, clientWaitMax)
+		detail := ""
+		if err != nil {
+			detail = err.Error()
+		} else {
+			detail = resp.Status
+			if ra := retryAfter(resp); ra > 0 {
+				delay = ra
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		fmt.Fprintf(os.Stderr, "mmsimd: %s: %s; retrying in %v (attempt %d/%d)\n",
+			what, detail, delay.Round(time.Millisecond), attempt, retryAttempts)
+		time.Sleep(delay)
+	}
+}
+
 // getJSON decodes a JSON response body into out, surfacing API errors.
+// Connection-level failures retry transparently.
 func (c client) getJSON(path string, out any) error {
-	resp, err := http.Get(c.url(path))
+	resp, err := retryDo("GET "+path, func() (*http.Response, error) {
+		return http.Get(c.url(path))
+	})
 	if err != nil {
 		return err
 	}
@@ -223,6 +295,7 @@ func runSubmit(args []string) int {
 	priority := fs.Int("priority", 0, "queue priority; higher runs sooner")
 	jobDeadline := fs.String("job-deadline", "", "whole-job wall-clock budget, e.g. 5m")
 	capture := fs.Bool("capture", false, "stream .vubiq captures into the job directory")
+	shards := fs.Int("shards", 0, "fan the job across this many worker processes on the daemon (0 = in-process)")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "mmsimd submit: need experiment IDs (or \"all\")")
@@ -236,10 +309,16 @@ func runSubmit(args []string) int {
 		Priority:    *priority,
 		Deadline:    *jobDeadline,
 		Capture:     *capture,
+		Shards:      *shards,
 	}
 	body, _ := json.Marshal(spec)
 	c := newClient(*addr)
-	resp, err := http.Post(c.url("/v1/jobs"), "application/json", bytes.NewReader(body))
+	// A full queue (429) or a connection hiccup retries with backoff,
+	// honoring the daemon's Retry-After hint; only a still-full queue
+	// after the whole budget surfaces as the distinct exit code 3.
+	resp, err := retryDo("submit", func() (*http.Response, error) {
+		return http.Post(c.url("/v1/jobs"), "application/json", bytes.NewReader(body))
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mmsimd:", err)
 		return 1
@@ -345,7 +424,10 @@ func runReport(args []string) int {
 }
 
 // runEvents streams the job's NDJSON progress events to stdout until
-// the job completes.
+// the job completes. A dropped stream (daemon hiccup, proxy timeout,
+// severed connection) reconnects with backoff and resumes from the
+// last-seen event offset via the server's ?from=N replay support, so
+// the printed stream never duplicates or loses an event.
 func runEvents(args []string) int {
 	fs := flag.NewFlagSet("mmsimd events", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8060", "daemon address")
@@ -354,25 +436,76 @@ func runEvents(args []string) int {
 		fmt.Fprintln(os.Stderr, "mmsimd events: need exactly one job ID")
 		return 2
 	}
-	resp, err := http.Get(newClient(*addr).url("/v1/jobs/" + fs.Arg(0) + "/events"))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mmsimd:", err)
-		return 1
+	c := newClient(*addr)
+	job := fs.Arg(0)
+	from := 0            // events printed so far = next offset to request
+	reconnects := 0      // consecutive attempts with no forward progress
+	const maxStalled = 8 // give up when the stream never advances
+	for {
+		resp, err := http.Get(c.url("/v1/jobs/" + job + "/events?from=" + strconv.Itoa(from)))
+		if err != nil {
+			reconnects++
+			if reconnects >= maxStalled {
+				fmt.Fprintln(os.Stderr, "mmsimd:", err)
+				return 1
+			}
+			delay := par.Backoff(reconnects, clientWaitBase, clientWaitMax)
+			fmt.Fprintf(os.Stderr, "mmsimd: events: %v; reconnecting in %v\n", err, delay.Round(time.Millisecond))
+			time.Sleep(delay)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "mmsimd: %s: %s\n", resp.Status, strings.TrimSpace(string(body)))
+			return 1
+		}
+		progressed, done := streamEvents(resp.Body, &from)
+		resp.Body.Close()
+		if done {
+			return 0
+		}
+		// The stream ended without a terminal event: either the
+		// connection dropped mid-job or the server closed a completed
+		// stream whose "done" line we already printed on a previous
+		// connection. Ask for the job's state to tell the two apart.
+		var snap serve.Snapshot
+		if err := c.getJSON("/v1/jobs/"+job, &snap); err == nil &&
+			(snap.State == serve.StateDone || snap.State == serve.StateFailed || snap.State == serve.StateCanceled) {
+			return 0
+		}
+		if progressed {
+			reconnects = 0
+		} else {
+			reconnects++
+			if reconnects >= maxStalled {
+				fmt.Fprintf(os.Stderr, "mmsimd: events stream for %s keeps dropping without progress\n", job)
+				return 1
+			}
+		}
+		delay := par.Backoff(reconnects+1, clientWaitBase, clientWaitMax)
+		fmt.Fprintf(os.Stderr, "mmsimd: events stream dropped at offset %d; resuming in %v\n", from, delay.Round(time.Millisecond))
+		time.Sleep(delay)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
-		fmt.Fprintf(os.Stderr, "mmsimd: %s: %s\n", resp.Status, strings.TrimSpace(string(body)))
-		return 1
-	}
-	sc := bufio.NewScanner(resp.Body)
+}
+
+// streamEvents copies NDJSON lines to stdout, advancing *from per line,
+// until the stream ends. It reports whether any line arrived and
+// whether the job's terminal "done" event was among them.
+func streamEvents(r io.Reader, from *int) (progressed, done bool) {
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	for sc.Scan() {
-		fmt.Println(sc.Text())
+		line := sc.Text()
+		fmt.Println(line)
+		*from++
+		progressed = true
+		var ev struct {
+			Event string `json:"event"`
+		}
+		if json.Unmarshal([]byte(line), &ev) == nil && ev.Event == "done" {
+			done = true
+		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "mmsimd:", err)
-		return 1
-	}
-	return 0
+	return progressed, done
 }

@@ -146,7 +146,7 @@ func RunCampaign(runners []Runner, opts Options, c Campaign) int {
 			// means no further experiment starts, while the in-flight
 			// ones (holding the other slots) still finish and record.
 			if c.Stop != nil && c.Stop() {
-				statuses[i] <- Status{Result: skipResult(r), Skipped: true}
+				statuses[i] <- Status{Result: SkipResult(r), Skipped: true}
 				return
 			}
 			statuses[i] <- runOne(r, opts, c.Deadline)
@@ -173,10 +173,11 @@ func RunCampaign(runners []Runner, opts Options, c Campaign) int {
 	return failed
 }
 
-// skipResult synthesizes the status for an experiment the stopped
+// SkipResult synthesizes the result for an experiment a stopped
 // campaign never launched. It fails Pass() so a stopped campaign is
-// never mistaken for a complete one.
-func skipResult(r Runner) core.Result {
+// never mistaken for a complete one. The shard coordinator reuses it so
+// a drained sharded campaign skips with byte-identical statuses.
+func SkipResult(r Runner) core.Result {
 	res := core.Result{ID: r.ID, Title: r.Title, PaperClaim: "(not started)"}
 	res.AddCheck("completed", "started", "campaign stopped before launch", false)
 	return res

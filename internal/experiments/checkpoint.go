@@ -55,6 +55,39 @@ func optionsFingerprint(o Options) string {
 	return fmt.Sprintf("v%d seed=%d quick=%v", checkpointVersion, o.Seed, o.Quick)
 }
 
+// OptionsFingerprint exposes the checkpoint fingerprint for the given
+// options — the binding every persisted or shard-transported result
+// record carries so it can never be merged into a campaign with a
+// different seed or fidelity.
+func OptionsFingerprint(o Options) string { return optionsFingerprint(o) }
+
+// EncodeCheckpointRecord frames one finished result as a campaign.ckpt
+// record payload: the gob-encoded (fingerprint, result) entry that both
+// the durable checkpoint and the shard worker protocol speak. The
+// fingerprint is derived from the options the result was produced with.
+func EncodeCheckpointRecord(o Options, res core.Result) ([]byte, error) {
+	return encodeEntry(checkpointEntry{Fingerprint: optionsFingerprint(o), Result: res})
+}
+
+// DecodeCheckpointRecord parses a campaign.ckpt record payload back into
+// its options fingerprint and result.
+func DecodeCheckpointRecord(payload []byte) (fingerprint string, res core.Result, err error) {
+	var e checkpointEntry
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
+		return "", core.Result{}, err
+	}
+	return e.Fingerprint, e.Result, nil
+}
+
+// encodeEntry gob-encodes one checkpoint entry.
+func encodeEntry(e checkpointEntry) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // Checkpoint is a durable record of finished experiments inside one
 // campaign. Every completed result is appended and flushed immediately,
 // so a killed process loses at most the experiment it was running;
@@ -214,11 +247,11 @@ func (c *Checkpoint) load() []checkpointEntry {
 // append writes one entry. Callers hold c.mu (or own the checkpoint
 // exclusively, as openCheckpoint does before returning it).
 func (c *Checkpoint) append(e checkpointEntry) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+	payload, err := encodeEntry(e)
+	if err != nil {
 		return err
 	}
-	if err := c.w.Append(buf.Bytes()); err != nil {
+	if err := c.w.Append(payload); err != nil {
 		return err
 	}
 	// Flush per record: the whole point is surviving a SIGKILL between

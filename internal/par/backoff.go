@@ -1,0 +1,36 @@
+package par
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff returns the capped, jittered exponential delay before retry
+// attempt (1-based): base·2^(attempt−1), capped at max, with uniform
+// jitter over the upper half of the window so simultaneous retriers
+// spread out instead of stampeding in lockstep. The delay only paces
+// retries — it never feeds simulation state — so the jitter draws from
+// the process-global RNG without affecting campaign determinism.
+//
+// Both the shard coordinator (re-running a dead worker's slice) and the
+// mmsimd client (429/connection-error retries) pace themselves with it.
+func Backoff(attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max || d <= 0 { // d <= 0 guards duration overflow at absurd attempts
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}

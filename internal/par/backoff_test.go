@@ -1,0 +1,43 @@
+package par
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffBounds(t *testing.T) {
+	base, max := 100*time.Millisecond, 2*time.Second
+	for attempt := 1; attempt <= 12; attempt++ {
+		// Uncapped exponential window for this attempt, clipped to max.
+		want := base << (attempt - 1)
+		if want > max || want <= 0 {
+			want = max
+		}
+		for i := 0; i < 50; i++ {
+			d := Backoff(attempt, base, max)
+			if d < want/2 || d > want {
+				t.Fatalf("Backoff(%d) = %v, want in [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+}
+
+func TestBackoffDegenerateInputs(t *testing.T) {
+	// Non-positive base, inverted cap, and absurd attempts must all
+	// produce a sane positive delay rather than panicking or overflowing.
+	cases := []struct {
+		attempt   int
+		base, max time.Duration
+	}{
+		{0, 0, 0},
+		{-3, -time.Second, -time.Second},
+		{500, time.Millisecond, time.Second},
+		{1, time.Second, time.Millisecond}, // max < base
+	}
+	for _, c := range cases {
+		d := Backoff(c.attempt, c.base, c.max)
+		if d <= 0 || d > time.Minute {
+			t.Fatalf("Backoff(%d, %v, %v) = %v, want positive and bounded", c.attempt, c.base, c.max, d)
+		}
+	}
+}

@@ -48,7 +48,16 @@ type JobSpec struct {
 	// Capture streams each sniffer-based experiment's raw .vubiq trace
 	// into the job directory.
 	Capture bool `json:"capture,omitempty"`
+	// Shards fans the job's campaign across this many worker processes
+	// (internal/shard): crashed or hung workers are retried and the
+	// merged report stays byte-identical to an in-process run. 0 keeps
+	// the job in-process. Bounded by maxShards at submission.
+	Shards int `json:"shards,omitempty"`
 }
+
+// maxShards bounds JobSpec.Shards: a cap on per-job process fan-out so
+// one submission cannot fork-bomb the daemon host.
+const maxShards = 64
 
 // deadline parses the job's wall-clock budget.
 func (s JobSpec) deadline() (time.Duration, error) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -16,6 +17,8 @@ import (
 	"repro/internal/audit"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/par"
+	"repro/internal/shard"
 )
 
 // Config tunes the daemon.
@@ -38,6 +41,11 @@ type Config struct {
 	Deadline time.Duration
 	// RetryAfter is the hint returned with 429 rejections.
 	RetryAfter time.Duration
+	// ShardWorkerCommand builds the worker process for jobs that request
+	// sharded execution (JobSpec.Shards > 0). The default re-execs the
+	// current binary with the "shard-worker" subcommand — mmsimd's
+	// protocol entry; tests substitute their own argv.
+	ShardWorkerCommand func() (*exec.Cmd, error)
 
 	// lookup and allIDs are test seams over the experiment registry.
 	lookup func(id string) (experiments.Runner, bool)
@@ -56,6 +64,15 @@ func (c *Config) fillDefaults() {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 10 * time.Second
+	}
+	if c.ShardWorkerCommand == nil {
+		c.ShardWorkerCommand = func() (*exec.Cmd, error) {
+			exe, err := os.Executable()
+			if err != nil {
+				return nil, err
+			}
+			return exec.Command(exe, "shard-worker"), nil
+		}
 	}
 	if c.lookup == nil {
 		c.lookup = experiments.Get
@@ -291,13 +308,30 @@ func (s *Server) runJob(j *Job) {
 		})
 	}
 
-	experiments.RunCampaign(runners, opts, experiments.Campaign{
-		Parallel:   s.cfg.JobParallel,
-		Deadline:   s.cfg.Deadline,
-		Checkpoint: ckpt,
-		Emit:       emit,
-		Stop:       stop,
-	})
+	if j.Spec.Shards > 0 {
+		// Sharded execution: the job's campaign fans across worker
+		// processes but flows through the same checkpoint, emit, and stop
+		// hooks, so cancel/drain/resume semantics — and the report bytes —
+		// are identical to the in-process path.
+		shard.New(runners, opts, shard.Config{
+			Shards:        j.Spec.Shards,
+			Deadline:      s.cfg.Deadline,
+			Checkpoint:    ckpt,
+			Emit:          emit,
+			Stop:          stop,
+			SweepWorkers:  par.Workers(),
+			AuditMode:     audit.CurrentMode().String(),
+			WorkerCommand: s.cfg.ShardWorkerCommand,
+		}).Run()
+	} else {
+		experiments.RunCampaign(runners, opts, experiments.Campaign{
+			Parallel:   s.cfg.JobParallel,
+			Deadline:   s.cfg.Deadline,
+			Checkpoint: ckpt,
+			Emit:       emit,
+			Stop:       stop,
+		})
+	}
 	if err := ckpt.Close(); err != nil {
 		s.finishJob(j, dir, StateFailed, fmt.Sprintf("sealing checkpoint: %v", err))
 		return
@@ -430,6 +464,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
 	}
+	if spec.Shards < 0 || spec.Shards > maxShards {
+		writeError(w, http.StatusBadRequest, "bad job spec: shards %d out of range [0, %d]", spec.Shards, maxShards)
+		return
+	}
 
 	s.mu.Lock()
 	id := formatJobID(s.nextID)
@@ -537,17 +575,27 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents is GET /v1/jobs/{id}/events: the job's progress stream
 // as NDJSON, one event per line, following until the job reaches a
-// terminal state or the client disconnects.
+// terminal state or the client disconnects. The optional ?from=N query
+// parameter replays from event offset N instead of the beginning, so a
+// client whose stream dropped resumes without duplicates.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(r)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "from %q is not a non-negative integer", v)
+			return
+		}
+		from = n
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	from := 0
 	for {
 		lines, done, changed := j.events.tail(from)
 		for _, line := range lines {

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/shard"
+)
+
+// shardWorkerRegistry is the worker-process half of the sharded-job
+// tests: re-execed test binaries cannot share the parent's in-memory
+// registry seam, so both sides rebuild the same deterministic runners.
+func shardWorkerRegistry() []experiments.Runner {
+	return []experiments.Runner{
+		okRunner("R1", "v1"),
+		okRunner("R2", "v1"),
+		okRunner("R3", "v1"),
+	}
+}
+
+// TestMain doubles as the shard worker process for the sharded-job
+// tests, mirroring mmsimd's "shard-worker" subcommand.
+func TestMain(m *testing.M) {
+	if os.Getenv("SERVE_TEST_SHARD_WORKER") == "1" {
+		lookup, _ := testRegistry(shardWorkerRegistry()...)
+		os.Exit(shard.WorkerMain(os.Stdin, os.Stdout, lookup))
+	}
+	os.Exit(m.Run())
+}
+
+// testShardWorkerCommand re-execs the test binary in worker mode.
+func testShardWorkerCommand() (*exec.Cmd, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), "SERVE_TEST_SHARD_WORKER=1")
+	return cmd, nil
+}
+
+// TestShardedJobByteIdentical runs the same job in-process and sharded
+// and requires identical reports and result fingerprints — the daemon
+// half of the shard merge guarantee.
+func TestShardedJobByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	lookup, all := testRegistry(shardWorkerRegistry()...)
+	s, hs := newTestServer(t, Config{
+		DataDir:            t.TempDir(),
+		lookup:             lookup,
+		allIDs:             all,
+		ShardWorkerCommand: testShardWorkerCommand,
+	})
+	defer s.Drain()
+
+	plain := submitJob(t, hs.URL, JobSpec{Experiments: []string{"all"}, Seed: 9})
+	waitState(t, hs.URL, plain.ID, StateDone)
+	sharded := submitJob(t, hs.URL, JobSpec{Experiments: []string{"all"}, Seed: 9, Shards: 2})
+	waitState(t, hs.URL, sharded.ID, StateDone)
+
+	wantReport, code := getReport(t, hs.URL, plain.ID)
+	if code != http.StatusOK {
+		t.Fatalf("in-process report: http %d", code)
+	}
+	gotReport, code := getReport(t, hs.URL, sharded.ID)
+	if code != http.StatusOK {
+		t.Fatalf("sharded report: http %d", code)
+	}
+	if gotReport != wantReport {
+		t.Fatalf("sharded report differs from in-process report:\n--- sharded ---\n%s\n--- in-process ---\n%s",
+			gotReport, wantReport)
+	}
+
+	wantSnap, _ := getSnapshot(t, hs.URL, plain.ID)
+	gotSnap, _ := getSnapshot(t, hs.URL, sharded.ID)
+	if !reflect.DeepEqual(gotSnap.Results, wantSnap.Results) {
+		t.Fatalf("sharded result fingerprints differ from in-process run")
+	}
+}
+
+// TestSubmitShardsValidation bounds JobSpec.Shards at admission.
+func TestSubmitShardsValidation(t *testing.T) {
+	lookup, all := testRegistry(okRunner("R1", "v1"))
+	s, hs := newTestServer(t, Config{DataDir: t.TempDir(), lookup: lookup, allIDs: all})
+	defer s.Drain()
+
+	for _, shards := range []int{-1, maxShards + 1} {
+		_, resp := trySubmit(t, hs.URL, JobSpec{Experiments: []string{"R1"}, Seed: 1, Shards: shards})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("shards=%d: got %s, want 400", shards, resp.Status)
+		}
+	}
+}
+
+// fetchEvents reads the full NDJSON stream for a job with an optional
+// from offset.
+func fetchEvents(t *testing.T, base, id string, from int) []string {
+	t.Helper()
+	url := fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", base, id, from)
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: got %s, want 200", resp.Status)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// TestEventsReplayFrom exercises the ?from=N offset: a reconnecting
+// client must receive exactly the suffix it has not yet seen.
+func TestEventsReplayFrom(t *testing.T) {
+	lookup, all := testRegistry(okRunner("R1", "v1"), okRunner("R2", "v1"))
+	s, hs := newTestServer(t, Config{DataDir: t.TempDir(), lookup: lookup, allIDs: all})
+	defer s.Drain()
+
+	snap := submitJob(t, hs.URL, JobSpec{Experiments: []string{"all"}, Seed: 1})
+	waitState(t, hs.URL, snap.ID, StateDone)
+
+	full := fetchEvents(t, hs.URL, snap.ID, 0)
+	if len(full) < 3 {
+		t.Fatalf("expected at least 3 events, got %v", full)
+	}
+	if !strings.Contains(full[len(full)-1], `"event":"done"`) {
+		t.Fatalf("last event is not done: %q", full[len(full)-1])
+	}
+	for from := 0; from <= len(full); from++ {
+		part := fetchEvents(t, hs.URL, snap.ID, from)
+		if !reflect.DeepEqual(part, full[from:]) && !(len(part) == 0 && len(full[from:]) == 0) {
+			t.Fatalf("events?from=%d = %v, want %v", from, part, full[from:])
+		}
+	}
+
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + snap.ID + "/events?from=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("events?from=banana: got %s, want 400", resp.Status)
+	}
+}

@@ -1,0 +1,63 @@
+package shard
+
+import (
+	"repro/internal/experiments"
+)
+
+// merger restores campaign order over out-of-order result arrivals: a
+// status for any index may be offered at any time (shard assignment,
+// retry, and steal order are all timing-dependent), but downstream
+// observers — the checkpoint and the Emit callback — see statuses in
+// strict input order, exactly like experiments.RunCampaign. That
+// ordering, plus per-experiment determinism, is what makes the merged
+// campaign byte-identical regardless of shard count, assignment, or
+// arrival order.
+//
+// Duplicate offers for an index (a stolen slice finishing twice) keep
+// the first arrival; deterministic execution makes the copies
+// byte-identical anyway, so which one wins is unobservable.
+type merger struct {
+	buf    []*experiments.Status
+	next   int
+	filled int
+	failed int
+	flush  func(index int, st experiments.Status)
+}
+
+// newMerger builds a merger over n campaign slots. flush observes each
+// status exactly once, in input order, on the offering goroutine.
+func newMerger(n int, flush func(index int, st experiments.Status)) *merger {
+	return &merger{buf: make([]*experiments.Status, n), flush: flush}
+}
+
+// offer stores the status for index (first arrival wins) and flushes
+// the newly-contiguous prefix. It reports whether the offer was the
+// first for its index.
+func (m *merger) offer(index int, st experiments.Status) bool {
+	if index < 0 || index >= len(m.buf) || m.buf[index] != nil {
+		return false
+	}
+	m.buf[index] = &st
+	m.filled++
+	for m.next < len(m.buf) && m.buf[m.next] != nil {
+		s := *m.buf[m.next]
+		if !s.Result.Pass() {
+			m.failed++
+		}
+		m.flush(m.next, s)
+		m.next++
+	}
+	return true
+}
+
+// done reports whether every slot has been offered and flushed.
+func (m *merger) done() bool { return m.next == len(m.buf) }
+
+// has reports whether index already holds a status.
+func (m *merger) has(index int) bool {
+	return index >= 0 && index < len(m.buf) && m.buf[index] != nil
+}
+
+// failedCount returns the number of flushed statuses whose result did
+// not pass — the campaign's exit-status currency.
+func (m *merger) failedCount() int { return m.failed }

@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func statusFor(i int) experiments.Status {
+	res := core.Result{ID: fmt.Sprintf("S%d", i), Title: "synthetic"}
+	res.AddCheck("value", "x", "x", i%3 != 2)
+	return experiments.Status{Result: res}
+}
+
+// permutations generates every ordering of 0..n-1 (n kept tiny).
+func permutations(n int) [][]int {
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), base...))
+			return
+		}
+		for i := k; i < n; i++ {
+			base[k], base[i] = base[i], base[k]
+			rec(k + 1)
+			base[k], base[i] = base[i], base[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// TestMergerOrderInvariant offers statuses in every possible arrival
+// order and requires the flush sequence — the byte surface the report
+// and checkpoint are built from — to be identical each time. This is
+// the arrival-order half of the metamorphic guarantee: shard count and
+// scheduling may permute arrivals arbitrarily without observable effect.
+func TestMergerOrderInvariant(t *testing.T) {
+	const n = 6
+	type emission struct {
+		index int
+		st    experiments.Status
+	}
+	var want []emission
+	ref := newMerger(n, func(i int, st experiments.Status) {
+		want = append(want, emission{i, st})
+	})
+	for i := 0; i < n; i++ {
+		ref.offer(i, statusFor(i))
+	}
+	if !ref.done() {
+		t.Fatalf("reference merger not done")
+	}
+
+	for _, perm := range permutations(n) {
+		var got []emission
+		m := newMerger(n, func(i int, st experiments.Status) {
+			got = append(got, emission{i, st})
+		})
+		for _, i := range perm {
+			m.offer(i, statusFor(i))
+		}
+		if !m.done() {
+			t.Fatalf("merger not done after arrival order %v", perm)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("flush sequence for arrival order %v differs from in-order arrival", perm)
+		}
+		if m.failedCount() != ref.failedCount() {
+			t.Fatalf("failedCount = %d, want %d for order %v", m.failedCount(), ref.failedCount(), perm)
+		}
+	}
+}
+
+// TestMergerFirstArrivalWins offers duplicates — the stolen-slice race —
+// and requires the first offer to stick and later ones to be ignored.
+func TestMergerFirstArrivalWins(t *testing.T) {
+	var flushed []experiments.Status
+	m := newMerger(2, func(_ int, st experiments.Status) { flushed = append(flushed, st) })
+
+	first := statusFor(1)
+	first.Result.Title = "first arrival"
+	if !m.offer(1, first) {
+		t.Fatalf("first offer rejected")
+	}
+	dup := statusFor(1)
+	dup.Result.Title = "speculative duplicate"
+	if m.offer(1, dup) {
+		t.Fatalf("duplicate offer accepted")
+	}
+	m.offer(0, statusFor(0))
+	if !m.done() {
+		t.Fatalf("merger not done")
+	}
+	if flushed[1].Result.Title != "first arrival" {
+		t.Fatalf("duplicate overwrote the first arrival: %q", flushed[1].Result.Title)
+	}
+}
+
+// TestMergerRejectsOutOfRange guards the index arithmetic.
+func TestMergerRejectsOutOfRange(t *testing.T) {
+	m := newMerger(1, func(int, experiments.Status) {})
+	if m.offer(-1, experiments.Status{}) || m.offer(1, experiments.Status{}) {
+		t.Fatalf("out-of-range offer accepted")
+	}
+	if m.has(-1) || m.has(1) {
+		t.Fatalf("out-of-range has() reported true")
+	}
+}

@@ -1,0 +1,432 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// TestMain doubles as the worker entry point: the coordinator under
+// test re-execs this test binary with SHARD_TEST_WORKER=1 so the worker
+// side runs the real WorkerMain over a synthetic, env-programmable
+// experiment registry — the standard helper-process pattern.
+func TestMain(m *testing.M) {
+	if os.Getenv("SHARD_TEST_WORKER") == "1" {
+		os.Exit(WorkerMain(os.Stdin, os.Stdout, testLookup))
+	}
+	os.Exit(m.Run())
+}
+
+// testLookup is the worker-side registry: pure deterministic runners
+// whose misbehavior (sleep, die-once) is injected via environment
+// variables so the parent test controls it per worker process.
+func testLookup(id string) (experiments.Runner, bool) {
+	for _, r := range testRunners() {
+		if r.ID == id {
+			r.Run = wrapFaults(id, r.Run)
+			return r, true
+		}
+	}
+	return experiments.Runner{}, false
+}
+
+// wrapFaults layers the env-driven fault injections over a runner.
+func wrapFaults(id string, run func(experiments.Options) core.Result) func(experiments.Options) core.Result {
+	return func(o experiments.Options) core.Result {
+		if os.Getenv("SHARD_TEST_DIE_ID") == id {
+			// Die exactly once: the first worker to reach this ID leaves a
+			// flag file and exits hard mid-slice; retries run normally.
+			flag := os.Getenv("SHARD_TEST_DIE_FLAG")
+			if f, err := os.OpenFile(flag, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644); err == nil {
+				f.Close()
+				os.Exit(3)
+			}
+		}
+		if os.Getenv("SHARD_TEST_SLEEP_ID") == id {
+			time.Sleep(time.Hour) // parked until the watchdog kills us
+		}
+		return run(o)
+	}
+}
+
+// testRunners builds the synthetic campaign: deterministic pure
+// functions of (Options, ID), like the real experiments, so shard
+// results must be byte-identical to in-process ones.
+func testRunners() []experiments.Runner {
+	var rs []experiments.Runner
+	for i := 0; i < 9; i++ {
+		id := fmt.Sprintf("S%d", i)
+		n := i
+		rs = append(rs, experiments.Runner{
+			ID:    id,
+			Title: fmt.Sprintf("synthetic experiment %d", n),
+			Run: func(o experiments.Options) core.Result {
+				res := core.Result{ID: id, Title: fmt.Sprintf("synthetic experiment %d", n),
+					PaperClaim: "synthetic"}
+				v := float64(o.Seed) * float64(n+1)
+				res.AddCheck("value", fmt.Sprintf("%.1f", v), fmt.Sprintf("%.1f", v), n%4 != 3)
+				res.Series = append(res.Series, core.Series{
+					Label: id, XLabel: "x", YLabel: "y",
+					X: []float64{0, 1, 2}, Y: []float64{v, v + 1, v + 2},
+				})
+				if o.Quick {
+					res.Note("quick mode")
+				}
+				if o.CaptureDir != "" {
+					// Mimic the sniffer drivers: a deterministic capture
+					// artifact, so the staging/publish path is exercised.
+					payload := fmt.Sprintf("capture %s seed=%d\n", id, o.Seed)
+					_ = os.WriteFile(filepath.Join(o.CaptureDir, id+".vubiq"), []byte(payload), 0o644)
+				}
+				return res
+			},
+		})
+	}
+	return rs
+}
+
+// testWorkerCommand re-execs the test binary in worker mode with extra
+// environment overrides.
+func testWorkerCommand(t *testing.T, extraEnv ...string) func() (*exec.Cmd, error) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	return func() (*exec.Cmd, error) {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), "SHARD_TEST_WORKER=1")
+		cmd.Env = append(cmd.Env, extraEnv...)
+		return cmd, nil
+	}
+}
+
+// referenceRun produces the single-process ground truth.
+func referenceRun(runners []experiments.Runner, opts experiments.Options) ([]core.Result, int) {
+	var out []core.Result
+	failed := experiments.RunCampaign(runners, opts, experiments.Campaign{
+		Parallel: 1,
+		Emit:     func(_ int, st experiments.Status) { out = append(out, st.Result) },
+	})
+	return out, failed
+}
+
+// collectRun drives one sharded execution and returns the ordered
+// results plus the emission order observed (must be 0..n-1).
+func collectRun(t *testing.T, runners []experiments.Runner, opts experiments.Options, cfg Config) ([]core.Result, int) {
+	t.Helper()
+	var order []int
+	var out []core.Result
+	prev := cfg.Emit
+	cfg.Emit = func(i int, st experiments.Status) {
+		order = append(order, i)
+		out = append(out, st.Result)
+		if prev != nil {
+			prev(i, st)
+		}
+	}
+	failed := New(runners, opts, cfg).Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("emission order %v not strictly increasing at %d", order, i)
+		}
+	}
+	return out, failed
+}
+
+// render flattens results to the byte surface the report is built from.
+func render(results []core.Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestShardedByteIdentical is the metamorphic check at the heart of the
+// design: the merged campaign must be byte-identical to the
+// single-process run for every shard count.
+func TestShardedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	runners := testRunners()
+	opts := experiments.Options{Seed: 7, Quick: true}
+	want, wantFailed := referenceRun(runners, opts)
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			got, failed := collectRun(t, runners, opts, Config{
+				Shards:        shards,
+				WorkerCommand: testWorkerCommand(t),
+				Log:           &bytes.Buffer{},
+			})
+			if failed != wantFailed {
+				t.Fatalf("failed = %d, want %d", failed, wantFailed)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("results differ from single-process run")
+			}
+			if render(got) != render(want) {
+				t.Fatalf("rendered report differs from single-process run")
+			}
+		})
+	}
+}
+
+// TestWorkerDeathRetry kills a worker mid-slice (once) and requires the
+// retry machinery to deliver the full, byte-identical campaign anyway.
+func TestWorkerDeathRetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	runners := testRunners()
+	opts := experiments.Options{Seed: 3, Quick: true}
+	want, wantFailed := referenceRun(runners, opts)
+
+	flag := filepath.Join(t.TempDir(), "died-once")
+	var log bytes.Buffer
+	got, failed := collectRun(t, runners, opts, Config{
+		Shards: 2,
+		WorkerCommand: testWorkerCommand(t,
+			"SHARD_TEST_DIE_ID=S4",
+			"SHARD_TEST_DIE_FLAG="+flag,
+		),
+		HeartbeatTimeout: 2 * time.Second,
+		RetryBase:        10 * time.Millisecond,
+		RetryMax:         50 * time.Millisecond,
+		Log:              &log,
+	})
+	if failed != wantFailed {
+		t.Fatalf("failed = %d, want %d\nlog:\n%s", failed, wantFailed, log.String())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("results differ after worker death\nlog:\n%s", log.String())
+	}
+	if !strings.Contains(log.String(), "retrying") {
+		t.Fatalf("expected a retry log line, got:\n%s", log.String())
+	}
+	if _, err := os.Stat(flag); err != nil {
+		t.Fatalf("die-once flag never created: the fault did not fire")
+	}
+}
+
+// TestHungWorkerSynthesizesFail parks every worker forever: the
+// heartbeat/progress watchdogs must kill them, burn the attempt budget,
+// and synthesize structured FAILs rather than hanging the campaign.
+func TestHungWorkerSynthesizesFail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	runners := testRunners()[:2]
+	opts := experiments.Options{Seed: 1, Quick: true}
+
+	var log bytes.Buffer
+	got, failed := collectRun(t, runners, opts, Config{
+		Shards:           2,
+		SliceSize:        1,
+		MaxAttempts:      2,
+		HeartbeatTimeout: 10 * time.Second,
+		ProgressTimeout:  300 * time.Millisecond,
+		RetryBase:        10 * time.Millisecond,
+		RetryMax:         20 * time.Millisecond,
+		StealAfter:       time.Hour,
+		// Only S0 parks; S1 must complete untouched on its own worker.
+		WorkerCommand: testWorkerCommand(t, "SHARD_TEST_SLEEP_ID=S0"),
+		Log:           &log,
+	})
+	_ = failed
+	if len(got) != len(runners) {
+		t.Fatalf("got %d results, want %d", len(got), len(runners))
+	}
+	// S0 is parked: its result must be the synthesized shard FAIL.
+	if got[0].Pass() {
+		t.Fatalf("hung experiment S0 unexpectedly passed: %+v\nlog:\n%s", got[0], log.String())
+	}
+	found := false
+	for _, c := range got[0].Checks {
+		if c.Name == "completed" && !c.Pass {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("S0 missing the synthesized 'completed' check: %+v", got[0].Checks)
+	}
+	// S1 is healthy and must have completed normally on some attempt.
+	wantRef, _ := referenceRun(runners[1:2], opts)
+	if !reflect.DeepEqual(got[1], wantRef[0]) {
+		t.Fatalf("healthy experiment S1 corrupted by its neighbor's hang")
+	}
+}
+
+// TestDegradeInProcess makes fork/exec impossible: the coordinator must
+// fall back to in-process execution with identical output.
+func TestDegradeInProcess(t *testing.T) {
+	runners := testRunners()
+	opts := experiments.Options{Seed: 5, Quick: true}
+	want, wantFailed := referenceRun(runners, opts)
+
+	var log bytes.Buffer
+	got, failed := collectRun(t, runners, opts, Config{
+		Shards: 4,
+		WorkerCommand: func() (*exec.Cmd, error) {
+			return exec.Command("/nonexistent/shard-worker-binary"), nil
+		},
+		Log: &log,
+	})
+	if failed != wantFailed {
+		t.Fatalf("failed = %d, want %d", failed, wantFailed)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("degraded results differ from single-process run")
+	}
+	if !strings.Contains(log.String(), "in-process") {
+		t.Fatalf("expected a degradation log line, got:\n%s", log.String())
+	}
+}
+
+// TestStopSkipsQueued flips the stop hook before anything launches: the
+// whole campaign must drain into skip statuses, matching RunCampaign's
+// drain contract.
+func TestStopSkipsQueued(t *testing.T) {
+	runners := testRunners()
+	opts := experiments.Options{Seed: 2, Quick: true}
+
+	var wantOut []experiments.Status
+	experiments.RunCampaign(runners, opts, experiments.Campaign{
+		Parallel: 1,
+		Stop:     func() bool { return true },
+		Emit:     func(_ int, st experiments.Status) { wantOut = append(wantOut, st) },
+	})
+
+	var got []experiments.Status
+	New(runners, opts, Config{
+		Shards:        4,
+		WorkerCommand: testWorkerCommand(t),
+		Stop:          func() bool { return true },
+		Emit:          func(_ int, st experiments.Status) { got = append(got, st) },
+		Log:           &bytes.Buffer{},
+	}).Run()
+
+	if len(got) != len(wantOut) {
+		t.Fatalf("got %d statuses, want %d", len(got), len(wantOut))
+	}
+	for i := range got {
+		if !got[i].Skipped || !wantOut[i].Skipped {
+			t.Fatalf("status %d not skipped (got %v, want %v)", i, got[i].Skipped, wantOut[i].Skipped)
+		}
+		if !reflect.DeepEqual(got[i].Result, wantOut[i].Result) {
+			t.Fatalf("skip result %d differs from campaign drain", i)
+		}
+	}
+}
+
+// TestCheckpointResume runs a sharded campaign against a checkpoint,
+// then re-runs: every experiment must resume from the record with
+// identical results and no worker processes.
+func TestCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	runners := testRunners()
+	opts := experiments.Options{Seed: 11, Quick: true}
+	want, wantFailed := referenceRun(runners, opts)
+	dir := t.TempDir()
+
+	ckpt, err := experiments.OpenCheckpoint(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenCheckpoint: %v", err)
+	}
+	got, failed := collectRun(t, runners, opts, Config{
+		Shards:        3,
+		Checkpoint:    ckpt,
+		WorkerCommand: testWorkerCommand(t),
+		Log:           &bytes.Buffer{},
+	})
+	if err := ckpt.Close(); err != nil {
+		t.Fatalf("sealing checkpoint: %v", err)
+	}
+	if failed != wantFailed || !reflect.DeepEqual(got, want) {
+		t.Fatalf("first sharded run diverged from reference")
+	}
+
+	ckpt2, err := experiments.OpenCheckpoint(dir, opts)
+	if err != nil {
+		t.Fatalf("reopening checkpoint: %v", err)
+	}
+	defer ckpt2.Close()
+	var resumed int
+	got2, failed2 := collectRun(t, runners, opts, Config{
+		Shards:     3,
+		Checkpoint: ckpt2,
+		WorkerCommand: func() (*exec.Cmd, error) {
+			t.Fatalf("resume run must not spawn workers")
+			return nil, nil
+		},
+		Emit: func(_ int, st experiments.Status) {
+			if st.Resumed {
+				resumed++
+			}
+		},
+		Log: &bytes.Buffer{},
+	})
+	if failed2 != wantFailed || !reflect.DeepEqual(got2, want) {
+		t.Fatalf("resumed run diverged from reference")
+	}
+	if resumed != len(runners) {
+		t.Fatalf("resumed %d of %d experiments", resumed, len(runners))
+	}
+}
+
+// TestWorkerCaptureStaging runs a sharded campaign with captures on and
+// requires the same capture files as an in-process run, with no staging
+// directories left behind.
+func TestWorkerCaptureStaging(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	runners := testRunners()[:3]
+	refDir, gotDir := t.TempDir(), t.TempDir()
+	optsRef := experiments.Options{Seed: 4, Quick: true, CaptureDir: refDir}
+	optsGot := experiments.Options{Seed: 4, Quick: true, CaptureDir: gotDir}
+	referenceRun(runners, optsRef)
+
+	collectRun(t, runners, optsGot, Config{
+		Shards:        2,
+		WorkerCommand: testWorkerCommand(t),
+		Log:           &bytes.Buffer{},
+	})
+
+	refEnts, _ := os.ReadDir(refDir)
+	gotEnts, _ := os.ReadDir(gotDir)
+	var refNames, gotNames []string
+	for _, e := range refEnts {
+		refNames = append(refNames, e.Name())
+	}
+	for _, e := range gotEnts {
+		if strings.HasPrefix(e.Name(), ".shard-") {
+			t.Fatalf("staging directory %s leaked into the capture dir", e.Name())
+		}
+		gotNames = append(gotNames, e.Name())
+	}
+	if !reflect.DeepEqual(refNames, gotNames) {
+		t.Fatalf("capture files differ: got %v, want %v", gotNames, refNames)
+	}
+	for _, name := range refNames {
+		a, err1 := os.ReadFile(filepath.Join(refDir, name))
+		b, err2 := os.ReadFile(filepath.Join(gotDir, name))
+		if err1 != nil || err2 != nil || !bytes.Equal(a, b) {
+			t.Fatalf("capture %s differs between sharded and in-process runs", name)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/par"
+)
+
+// DefaultHeartbeatEvery is the worker heartbeat cadence when the
+// coordinator's hello does not override it.
+const DefaultHeartbeatEvery = 250 * time.Millisecond
+
+// WorkerMain is the shard worker protocol loop behind `mmsim
+// -shard-worker` and `mmsimd shard-worker`: it reads the hello and the
+// assignment stream from stdin, runs each assigned experiment through
+// the resilient campaign engine (panic isolation, wall-clock watchdog,
+// structured FAIL synthesis — exactly the in-process path, so a sharded
+// campaign classifies failures byte-identically), and streams
+// fingerprinted campaign.ckpt result records plus heartbeats back on
+// stdout. It returns the process exit code: 0 after a clean stdin EOF
+// (the coordinator closed the conversation), 1 on a protocol error.
+//
+// lookup resolves experiment IDs — experiments.Get in the real
+// binaries, a synthetic registry in tests.
+func WorkerMain(stdin io.Reader, stdout io.Writer, lookup func(string) (experiments.Runner, bool)) int {
+	in, err := newMsgReader(stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shard worker:", err)
+		return 1
+	}
+	out, err := newMsgWriter(stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shard worker:", err)
+		return 1
+	}
+
+	tag, body, err := in.next()
+	if err != nil || tag != tagHello {
+		fmt.Fprintf(os.Stderr, "shard worker: expected hello, got tag %q err %v\n", tag, err)
+		return 1
+	}
+	var hello helloMsg
+	if err := decodeBody(body, &hello); err != nil {
+		fmt.Fprintln(os.Stderr, "shard worker: bad hello:", err)
+		return 1
+	}
+	if hello.SweepWorkers > 0 {
+		par.SetWorkers(hello.SweepWorkers)
+	}
+	if hello.AuditMode != "" {
+		if mode, err := audit.ParseMode(hello.AuditMode); err == nil {
+			audit.SetMode(mode)
+		}
+	}
+
+	// Captures stage into a private per-process directory and publish by
+	// atomic rename: retried or speculatively-duplicated executions of
+	// the same experiment may write the same capture file concurrently,
+	// and since every execution is deterministic the rename can only
+	// replace it with identical bytes — never a torn interleaving.
+	staging := ""
+	if hello.Opts.CaptureDir != "" {
+		staging = filepath.Join(hello.Opts.CaptureDir, fmt.Sprintf(".shard-%d", os.Getpid()))
+		if err := os.MkdirAll(staging, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "shard worker: capture staging:", err)
+			staging = ""
+		} else {
+			defer os.RemoveAll(staging)
+		}
+	}
+
+	hb := hello.HeartbeatEvery
+	if hb <= 0 {
+		hb = DefaultHeartbeatEvery
+	}
+	stopHB := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopHB:
+				return
+			case <-t.C:
+				// A send error means the coordinator is gone; the main
+				// loop will notice on its next read or write.
+				_ = out.send(tagHeartbeat, nil)
+			}
+		}
+	}()
+
+	code := 0
+	for {
+		tag, body, err := in.next()
+		if err == io.EOF {
+			break // the coordinator closed our stdin: no more work
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shard worker:", err)
+			code = 1
+			break
+		}
+		if tag != tagAssign {
+			continue // unknown tags are ignorable protocol extensions
+		}
+		var a assignMsg
+		if err := decodeBody(body, &a); err != nil {
+			fmt.Fprintln(os.Stderr, "shard worker: bad assignment:", err)
+			code = 1
+			break
+		}
+		for _, id := range a.IDs {
+			if err := out.send(tagStart, startMsg{Seq: a.Seq, ID: id}); err != nil {
+				code = 1
+				break
+			}
+			res := runExperiment(id, lookup, hello.Opts, staging, hello.Deadline)
+			rec, err := experiments.EncodeCheckpointRecord(hello.Opts, res)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "shard worker: encoding %s: %v\n", id, err)
+				continue // the coordinator's retry machinery covers the gap
+			}
+			if err := out.sendRaw(tagResult, rec); err != nil {
+				code = 1
+				break
+			}
+		}
+		if code != 0 {
+			break
+		}
+		if err := out.send(tagDone, doneMsg{Seq: a.Seq}); err != nil {
+			code = 1
+			break
+		}
+	}
+
+	close(stopHB)
+	hbWG.Wait()
+	if err := out.close(); err != nil && code == 0 {
+		code = 1
+	}
+	return code
+}
+
+// runExperiment executes one assigned experiment through the campaign
+// engine so crashes, deadlines, and audit violations synthesize the
+// same structured FAIL results as an in-process campaign.
+func runExperiment(id string, lookup func(string) (experiments.Runner, bool),
+	opts experiments.Options, staging string, deadline time.Duration) core.Result {
+	r, ok := lookup(id)
+	if !ok {
+		// The coordinator validates IDs before assigning, so this is
+		// registry skew between binaries — report it, don't crash.
+		res := core.Result{ID: id, Title: "(unknown)", PaperClaim: "(unknown experiment)"}
+		res.AddCheck("known", "registered experiment", "not in this worker's registry", false)
+		return res
+	}
+	ropts := opts
+	if staging != "" {
+		ropts.CaptureDir = staging
+	}
+	var out core.Result
+	experiments.RunCampaign([]experiments.Runner{r}, ropts, experiments.Campaign{
+		Parallel: 1,
+		Deadline: deadline,
+		Emit:     func(_ int, st experiments.Status) { out = st.Result },
+	})
+	if staging != "" {
+		publishCaptures(staging, opts.CaptureDir)
+	}
+	return out
+}
+
+// publishCaptures atomically moves each staged capture file into the
+// real capture directory. Renames are atomic within the directory tree,
+// so concurrent publishers of the (byte-identical) same capture can
+// never expose a torn file.
+func publishCaptures(staging, dir string) {
+	ents, err := os.ReadDir(staging)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		_ = os.Rename(filepath.Join(staging, e.Name()), filepath.Join(dir, e.Name()))
+	}
+}

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Shard chaos smoke test: run the campaign across worker processes at
+# several shard counts and require every merged report to be
+# byte-identical to the single-process run (wall-clock annotations
+# aside) — including a chaos run where a randomly chosen worker process
+# is SIGKILLed mid-slice and its experiments must be retried on the
+# survivors.
+#
+# Usage: scripts/shard_chaos_smoke.sh  (from the repo root)
+set -u
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+FAILURES=0
+
+fail() {
+  echo "FAIL: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+echo "== build"
+go build -o "$TMP/mmsim" ./cmd/mmsim || exit 1
+
+# Fast experiments up front, heavy tail (X1, X2, F22 are ~1-3 s each in
+# quick mode) so the chaos kill reliably lands while workers are busy.
+IDS="T1 F3 F24 F8 F9 F18 F21 X1 X2 F22"
+FLAGS="-quick -seed 3"
+
+# Wall-clock annotations are the only legitimate difference between the
+# single-process and sharded reports.
+scrub() {
+  grep -v 'wall time'
+}
+
+echo "== single-process reference run"
+# shellcheck disable=SC2086
+"$TMP/mmsim" $FLAGS -metrics "$TMP/ref.json" run $IDS > "$TMP/ref.out" || fail "reference campaign failed"
+
+echo "== clean sharded runs are byte-identical (shards 1 2 4 8)"
+for N in 1 2 4 8; do
+  # shellcheck disable=SC2086
+  "$TMP/mmsim" $FLAGS -shards "$N" -metrics "$TMP/m$N.json" run $IDS > "$TMP/s$N.out" \
+    || fail "-shards $N campaign failed"
+  if ! diff <(scrub < "$TMP/ref.out") <(scrub < "$TMP/s$N.out") > "$TMP/d$N.out"; then
+    fail "-shards $N report differs from single-process run:"
+    cat "$TMP/d$N.out" >&2
+  fi
+  if ! cmp -s "$TMP/ref.json" "$TMP/m$N.json"; then
+    fail "-shards $N metrics differ from single-process run"
+  fi
+done
+
+echo "== chaos run: SIGKILL a worker mid-slice, expect retry + identical output"
+# Retried on the unlucky scheduling where the campaign finishes before a
+# worker can be found and killed.
+chaos_ok=0
+for attempt in 1 2 3; do
+  # shellcheck disable=SC2086
+  "$TMP/mmsim" $FLAGS -shards 3 -metrics "$TMP/chaos.json" run $IDS \
+    > "$TMP/chaos.out" 2> "$TMP/chaos.err" &
+  PID=$!
+  VICTIM=""
+  for _ in $(seq 1 300); do
+    if ! kill -0 "$PID" 2>/dev/null; then
+      break # campaign already over
+    fi
+    # Pick an arbitrary live worker child of the coordinator.
+    VICTIM="$(pgrep -P "$PID" | head -n 1)"
+    if [ -n "$VICTIM" ]; then
+      break
+    fi
+    sleep 0.02
+  done
+  if [ -z "$VICTIM" ]; then
+    echo "   (campaign finished before a worker could be killed; retrying)"
+    wait "$PID" 2>/dev/null
+    continue
+  fi
+  # Let the worker pick up a slice before the kill so the death is
+  # observed mid-flight, not between assignments.
+  sleep 0.3
+  kill -9 "$VICTIM" 2>/dev/null
+  wait "$PID"
+  rc=$?
+  if ! grep -q 'retrying' "$TMP/chaos.err"; then
+    # The worker finished its whole queue before the kill landed (or the
+    # campaign was already merging): no death was observed, try again.
+    echo "   (worker death was not observed mid-slice; retrying)"
+    continue
+  fi
+  if [ "$rc" -ne 0 ]; then
+    fail "chaos campaign exited $rc after worker kill (want 0):"
+    cat "$TMP/chaos.err" >&2
+    break
+  fi
+  chaos_ok=1
+  break
+done
+if [ "$chaos_ok" -eq 1 ]; then
+  if ! grep -q 'died' "$TMP/chaos.err"; then
+    fail "chaos run logged no worker death:"
+    cat "$TMP/chaos.err" >&2
+  fi
+  if ! diff <(scrub < "$TMP/ref.out") <(scrub < "$TMP/chaos.out") > "$TMP/dchaos.out"; then
+    fail "chaos report differs from single-process run:"
+    cat "$TMP/dchaos.out" >&2
+  fi
+  if ! cmp -s "$TMP/ref.json" "$TMP/chaos.json"; then
+    fail "chaos metrics differ from single-process run"
+  fi
+elif [ "$FAILURES" -eq 0 ]; then
+  fail "could not observe a worker death in 3 chaos attempts"
+fi
+
+echo "== malformed -shards exits 2 with usage"
+"$TMP/mmsim" -shards -1 run T1 > /dev/null 2> "$TMP/err.out"
+rc=$?
+if [ "$rc" -ne 2 ]; then
+  fail "mmsim -shards -1 exited $rc, want 2"
+elif ! grep -q 'usage:' "$TMP/err.out"; then
+  fail "mmsim -shards -1 printed no usage"
+fi
+
+if [ "$FAILURES" -gt 0 ]; then
+  echo "shard chaos smoke: $FAILURES failure(s)" >&2
+  exit 1
+fi
+echo "shard chaos smoke: all checks passed"
