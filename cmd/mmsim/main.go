@@ -61,6 +61,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/par"
 	"repro/internal/shard"
+	"repro/internal/vfs"
 )
 
 // exitInterrupted is the distinct exit code for a campaign cut short by
@@ -91,6 +92,8 @@ func run() int {
 		"per-experiment wall-clock budget; an overrunning driver is aborted and reported as a failure (0 = unlimited)")
 	resume := flag.Bool("resume", false,
 		"skip experiments already recorded in the campaign checkpoint (requires -capture)")
+	faultDisk := flag.String("fault-disk", "",
+		"inject deterministic disk faults into captures and checkpoints, e.g. \"seed=7,enospc=4096,torn=0.1,dropsync=0.05\" (testing)")
 	auditFlag := flag.String("audit", "off",
 		"runtime invariant auditing: off, warn (report violation counts), or strict (a violation fails the experiment)")
 	metricsFile := flag.String("metrics", "",
@@ -184,6 +187,17 @@ func run() int {
 			return 2
 		}
 		opts := experiments.Options{Seed: *seed, Quick: *quick, CaptureDir: *captureDir}
+		if *faultDisk != "" {
+			spec, err := vfs.ParseFaultSpec(*faultDisk)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mmsim: -fault-disk: %v\n\n", err)
+				usage()
+				return 2
+			}
+			if spec.Enabled() {
+				opts.DiskFS = vfs.NewFaultFS(vfs.OS(), spec)
+			}
+		}
 		if *captureDir != "" {
 			if err := os.MkdirAll(*captureDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, "mmsim:", err)
@@ -229,7 +243,7 @@ func run() int {
 			} else {
 				// A fresh campaign must not inherit results from an older
 				// one that happened to use the same directory.
-				os.Remove(*captureDir + "/" + experiments.CheckpointFile)
+				opts.FS().Remove(*captureDir + "/" + experiments.CheckpointFile)
 				ckpt, err = experiments.OpenCheckpoint(*captureDir, opts)
 			}
 			if err != nil {

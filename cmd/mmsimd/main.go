@@ -60,6 +60,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/serve"
 	"repro/internal/shard"
+	"repro/internal/vfs"
 )
 
 // exitInterrupted mirrors mmsim: a process cut short by a second signal
@@ -127,6 +128,8 @@ func runServe(args []string) int {
 	deadline := fs.Duration("deadline", 0, "per-experiment wall-clock watchdog for every job (0 = unlimited)")
 	workers := fs.Int("workers", par.Workers(), "sweep worker goroutines shared by all jobs")
 	auditFlag := fs.String("audit", "off", "runtime invariant auditing: off, warn, or strict")
+	faultDisk := fs.String("fault-disk", "",
+		"inject deterministic disk faults into job state, captures, and checkpoints, e.g. \"seed=7,enospc=4096,torn=0.1\" (testing)")
 	fs.Parse(args)
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "mmsimd: -data is required")
@@ -144,12 +147,25 @@ func runServe(args []string) int {
 	audit.SetMode(mode)
 	par.SetWorkers(*workers)
 
+	var diskFS vfs.FS
+	if *faultDisk != "" {
+		spec, err := vfs.ParseFaultSpec(*faultDisk)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmsimd: -fault-disk: %v\n", err)
+			return 2
+		}
+		if spec.Enabled() {
+			diskFS = vfs.NewFaultFS(vfs.OS(), spec)
+		}
+	}
+
 	srv, err := serve.New(serve.Config{
 		DataDir:     *data,
 		Jobs:        *jobs,
 		QueueCap:    *queueCap,
 		JobParallel: *parallel,
 		Deadline:    *deadline,
+		FS:          diskFS,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mmsimd:", err)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/par"
 	"repro/internal/sim"
+	"repro/internal/vfs"
 )
 
 // Status is the campaign runner's per-experiment outcome.
@@ -30,6 +31,12 @@ type Status struct {
 	// Failure carries the isolation record when the driver panicked,
 	// deadlined, or returned an error; nil on success.
 	Failure *par.PointError
+	// CheckpointErr reports that persisting this (otherwise valid)
+	// result to the checkpoint failed — typically a full or failing
+	// disk. The result itself is intact in memory; a resume will re-run
+	// the experiment. Callers that promise durability (the job daemon)
+	// must surface this instead of reporting clean completion.
+	CheckpointErr error
 }
 
 // Campaign configures RunCampaign.
@@ -162,7 +169,8 @@ func RunCampaign(runners []Runner, opts Options, c Campaign) int {
 		if c.Checkpoint != nil && !st.Resumed && !st.Skipped {
 			// Record even synthesized failures: a resumed campaign must
 			// not silently re-run a reproducibly crashing driver forever.
-			if err := c.Checkpoint.Record(st.Result); err != nil && c.Emit != nil {
+			if err := c.Checkpoint.Record(st.Result); err != nil {
+				st.CheckpointErr = err
 				st.Result.Note("checkpoint write failed: %v", err)
 			}
 		}
@@ -204,11 +212,16 @@ func failResult(r Runner, pe *par.PointError, deadline time.Duration) core.Resul
 	res := core.Result{ID: r.ID, Title: r.Title, PaperClaim: "(driver did not complete)"}
 	var de *sim.DeadlineError
 	var ve *audit.ViolationError
+	var fe *vfs.FaultError
 	switch {
 	case asViolation(pe, &ve):
 		res.AddCheck("audit", "invariants hold",
 			"violated "+string(ve.V.Rule), false)
 		res.Note("audit [%s] at sim time %v: %s", ve.V.Rule, ve.V.Time, ve.V.Detail)
+	case asDiskFault(pe, &fe):
+		res.AddCheck("persistence", "disk writes complete",
+			"disk fault during "+fe.Op, false)
+		res.Note("disk fault: op %s path %s: %v", fe.Op, fe.Path, fe.Err)
 	case asDeadline(pe, &de):
 		res.AddCheck("completed", "within deadline",
 			"exceeded "+deadline.String()+" wall-clock budget", false)
@@ -231,6 +244,34 @@ func asViolation(pe *par.PointError, out **audit.ViolationError) bool {
 	for pe != nil {
 		if ve, ok := pe.Panic.(*audit.ViolationError); ok {
 			*out = ve
+			return true
+		}
+		if pe.Err == nil {
+			return false
+		}
+		if errors.As(pe.Err, out) {
+			return true
+		}
+		var inner *par.PointError
+		if !errors.As(pe.Err, &inner) {
+			return false
+		}
+		pe = inner
+	}
+	return false
+}
+
+// asDiskFault digs a *vfs.FaultError out of a point failure — a driver
+// killed by a failing disk (capture write, checkpoint append) reports a
+// structured persistence failure instead of a generic crash, so
+// operators can tell "the experiment is wrong" from "the disk is full".
+func asDiskFault(pe *par.PointError, out **vfs.FaultError) bool {
+	for pe != nil {
+		if fe, ok := pe.Panic.(*vfs.FaultError); ok {
+			*out = fe
+			return true
+		}
+		if err, ok := pe.Panic.(error); ok && errors.As(err, out) {
 			return true
 		}
 		if pe.Err == nil {

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"os"
 	"path/filepath"
 
 	"repro/internal/core"
@@ -13,14 +12,16 @@ import (
 // sink the driver already attached. Records hit the disk incrementally
 // through the v2 trace writer, so even hour-long captures cost constant
 // memory, and a crash mid-run leaves a recoverable file. The returned
-// function finalizes the capture and notes its stats; call it after the
-// run. With CaptureDir empty it is a no-op.
+// function finalizes the capture — footer, data sync, then close — and
+// notes its stats; call it after the run. With CaptureDir empty it is a
+// no-op.
 func attachCapture(o Options, id string, sn *sniffer.Sniffer, res *core.Result) func() {
 	if o.CaptureDir == "" {
 		return func() {}
 	}
+	fsys := o.fs()
 	path := filepath.Join(o.CaptureDir, id+".vubiq")
-	f, err := os.Create(path)
+	f, err := fsys.Create(path)
 	if err != nil {
 		res.Note("capture disabled: %v", err)
 		return func() {}
@@ -38,6 +39,9 @@ func attachCapture(o Options, id string, sn *sniffer.Sniffer, res *core.Result) 
 	}
 	return func() {
 		closeErr := tw.Close()
+		if closeErr == nil {
+			closeErr = tw.Sync()
+		}
 		if err := f.Close(); closeErr == nil {
 			closeErr = err
 		}

@@ -6,7 +6,6 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -14,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/recio"
+	"repro/internal/vfs"
 )
 
 // Checkpoint file framing: the same crash-safe record stream as the v2
@@ -98,13 +98,15 @@ func encodeEntry(e checkpointEntry) ([]byte, error) {
 // in-flight record in half — Close waits for the current write, then
 // lays down the stream footer. Close is idempotent.
 type Checkpoint struct {
+	fsys vfs.FS
 	path string
 	fp   string
 
 	mu      sync.Mutex
-	f       *os.File
+	f       vfs.File
 	w       *recio.Writer
 	sealed  bool
+	diskErr error // first disk fault; poisons all later writes
 	done    map[string]core.Result
 	foreign map[string]int // other-fingerprint record counts seen on load
 }
@@ -114,7 +116,13 @@ type Checkpoint struct {
 // Entries from other fingerprints — or a torn tail from a crash — are
 // dropped, and the file is compacted to the surviving entries.
 func OpenCheckpoint(dir string, o Options) (*Checkpoint, error) {
-	return openCheckpoint(dir, o, nil)
+	return openCheckpoint(o.fs(), dir, o, nil)
+}
+
+// OpenCheckpointFS is OpenCheckpoint over an explicit filesystem —
+// the seam fault injection and crash-point enumeration drive.
+func OpenCheckpointFS(fsys vfs.FS, dir string, o Options) (*Checkpoint, error) {
+	return openCheckpoint(fsys, dir, o, nil)
 }
 
 // ResumeCheckpoint opens the checkpoint under dir for resuming the
@@ -126,13 +134,19 @@ func OpenCheckpoint(dir string, o Options) (*Checkpoint, error) {
 // was interrupted. A missing or empty checkpoint is not an error (a
 // campaign killed before its first record resumes from scratch).
 func ResumeCheckpoint(dir string, o Options, requested []string) (*Checkpoint, error) {
-	return openCheckpoint(dir, o, requested)
+	return openCheckpoint(o.fs(), dir, o, requested)
+}
+
+// ResumeCheckpointFS is ResumeCheckpoint over an explicit filesystem.
+func ResumeCheckpointFS(fsys vfs.FS, dir string, o Options, requested []string) (*Checkpoint, error) {
+	return openCheckpoint(fsys, dir, o, requested)
 }
 
 // openCheckpoint loads, optionally validates (requested non-nil), and
 // compacts the checkpoint.
-func openCheckpoint(dir string, o Options, requested []string) (*Checkpoint, error) {
+func openCheckpoint(fsys vfs.FS, dir string, o Options, requested []string) (*Checkpoint, error) {
 	c := &Checkpoint{
+		fsys:    fsys,
 		path:    filepath.Join(dir, CheckpointFile),
 		fp:      optionsFingerprint(o),
 		done:    make(map[string]core.Result),
@@ -150,30 +164,41 @@ func openCheckpoint(dir string, o Options, requested []string) (*Checkpoint, err
 	// Rewrite atomically: the old file may end in a torn record (no
 	// footer), which recio cannot append to. The temp file carries the
 	// surviving entries; rename keeps the open handle valid for
-	// appending.
+	// appending. Sync before the rename and the parent directory after
+	// it — otherwise a crash in the window can publish an empty or torn
+	// checkpoint over a good one.
 	tmp := c.path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return nil, err
 	}
 	w, err := recio.NewWriter(f, checkpointMagic, checkpointVersion)
 	if err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return nil, err
 	}
 	c.f, c.w = f, w
 	for _, e := range entries {
 		if err := c.append(e); err != nil {
 			f.Close()
-			os.Remove(tmp)
+			fsys.Remove(tmp)
 			return nil, err
 		}
 		c.done[e.Result.ID] = e.Result
 	}
-	if err := os.Rename(tmp, c.path); err != nil {
+	if err := w.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
+		return nil, err
+	}
+	if err := fsys.Rename(tmp, c.path); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return nil, err
+	}
+	if err := fsys.SyncDir(filepath.Dir(c.path)); err != nil {
+		f.Close()
 		return nil, err
 	}
 	return c, nil
@@ -217,7 +242,7 @@ func (c *Checkpoint) resumeCheck(entries []checkpointEntry, requested []string) 
 // — just ends the salvage; a checkpoint is an optimization, never a
 // correctness requirement.
 func (c *Checkpoint) load() []checkpointEntry {
-	f, err := os.Open(c.path)
+	f, err := c.fsys.Open(c.path)
 	if err != nil {
 		return nil
 	}
@@ -244,19 +269,33 @@ func (c *Checkpoint) load() []checkpointEntry {
 	}
 }
 
-// append writes one entry. Callers hold c.mu (or own the checkpoint
-// exclusively, as openCheckpoint does before returning it).
+// append writes one entry durably. Callers hold c.mu (or own the
+// checkpoint exclusively, as openCheckpoint does before returning it).
 func (c *Checkpoint) append(e checkpointEntry) error {
 	payload, err := encodeEntry(e)
 	if err != nil {
 		return err
 	}
 	if err := c.w.Append(payload); err != nil {
-		return err
+		return c.seal("checkpoint-append", err)
 	}
-	// Flush per record: the whole point is surviving a SIGKILL between
-	// experiments.
-	return c.w.Flush()
+	// Sync per record: the whole point is surviving a SIGKILL — or a
+	// power cut — between experiments.
+	if err := c.w.Sync(); err != nil {
+		return c.seal("checkpoint-sync", err)
+	}
+	return nil
+}
+
+// seal records the first disk fault and poisons the checkpoint: the
+// stream may end in a torn record, so no further appends and no footer
+// are attempted over it. The salvaged prefix stays valid for a later
+// resume on a healthy disk.
+func (c *Checkpoint) seal(op string, err error) error {
+	if c.diskErr == nil {
+		c.diskErr = vfs.WrapFault(op, c.path, err)
+	}
+	return c.diskErr
 }
 
 // Done returns the recorded result for an experiment ID, if this
@@ -280,6 +319,9 @@ func (c *Checkpoint) Len() int {
 func (c *Checkpoint) Record(res core.Result) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.diskErr != nil {
+		return c.diskErr
+	}
 	if c.sealed {
 		return errCheckpointSealed
 	}
@@ -303,7 +345,19 @@ func (c *Checkpoint) Close() error {
 		return nil
 	}
 	c.sealed = true
-	err := c.w.Close()
+	var err error
+	if c.diskErr != nil {
+		// The stream may end in a torn record; writing a footer over it
+		// would turn honest truncation into mid-stream corruption. Leave
+		// the salvageable prefix as-is.
+		err = c.diskErr
+		c.f.Close()
+		return err
+	}
+	err = c.w.Close()
+	if err == nil {
+		err = c.w.Sync()
+	}
 	if cerr := c.f.Close(); err == nil {
 		err = cerr
 	}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/recio"
+	"repro/internal/vfs"
+	"repro/internal/vfs/crashtest"
+)
+
+// synthResult builds a deterministic passing result for checkpoint
+// round-trip tests.
+func synthResult(i int) core.Result {
+	res := core.Result{ID: fmt.Sprintf("Z%d", i), Title: fmt.Sprintf("synthetic %d", i), PaperClaim: "n/a"}
+	res.AddCheck("ok", "ran", "", true)
+	return res
+}
+
+// synthRunner wraps a synthetic result as a campaign runner.
+func synthRunner(i int) Runner {
+	return Runner{ID: fmt.Sprintf("Z%d", i), Title: "synthetic", Run: func(Options) core.Result {
+		return synthResult(i)
+	}}
+}
+
+// TestCheckpointCrashEnumeration cuts the power at every journal point
+// of a checkpointed run. Invariants: reopening never errors or reads
+// corruption, every result recorded before the cut survives, and
+// resuming over the salvage converges to the full campaign's record
+// set — the recover-to-valid-prefix / resume-byte-identical contract.
+func TestCheckpointCrashEnumeration(t *testing.T) {
+	opts := Options{Seed: 5, Quick: true}
+	const n = 5
+	type mark struct{ op, records int }
+	var marks []mark
+
+	workload := func(m *vfs.MemFS) error {
+		if err := m.MkdirAll("d", 0o755); err != nil {
+			return err
+		}
+		ck, err := OpenCheckpointFS(m, "d", opts)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if err := ck.Record(synthResult(i)); err != nil {
+				return err
+			}
+			marks = append(marks, mark{op: m.OpCount(), records: i + 1})
+		}
+		return ck.Close()
+	}
+
+	verify := func(p crashtest.Point) error {
+		synced := 0
+		for _, mk := range marks {
+			if mk.op <= p.Index {
+				synced = mk.records
+			}
+		}
+		// Reopen the way mmsim/mmsimd recover: ensure the directory, then
+		// open. Load + compaction must succeed on every image.
+		if err := p.FS.MkdirAll("d", 0o755); err != nil {
+			return err
+		}
+		ck, err := OpenCheckpointFS(p.FS, "d", opts)
+		if err != nil {
+			return fmt.Errorf("reopen: %w", err)
+		}
+		if got := ck.Len(); got < synced {
+			ck.Close()
+			return fmt.Errorf("salvaged %d results, %d were recorded before the cut", got, synced)
+		}
+		// Salvaged entries must be the entries that were written.
+		for i := 0; i < ck.Len(); i++ {
+			res, ok := ck.Done(fmt.Sprintf("Z%d", i))
+			if !ok {
+				ck.Close()
+				return fmt.Errorf("salvage of %d results is not the recorded prefix (Z%d missing)", ck.Len(), i)
+			}
+			if res.String() != synthResult(i).String() {
+				ck.Close()
+				return fmt.Errorf("Z%d round-tripped differently", i)
+			}
+		}
+		// Resume: record what is missing; the converged record set must
+		// equal the uninterrupted campaign's.
+		for i := 0; i < n; i++ {
+			if _, ok := ck.Done(fmt.Sprintf("Z%d", i)); !ok {
+				if err := ck.Record(synthResult(i)); err != nil {
+					ck.Close()
+					return fmt.Errorf("resume record Z%d: %w", i, err)
+				}
+			}
+		}
+		if err := ck.Close(); err != nil {
+			return fmt.Errorf("resume close: %w", err)
+		}
+		ck2, err := OpenCheckpointFS(p.FS, "d", opts)
+		if err != nil {
+			return fmt.Errorf("post-resume reopen: %w", err)
+		}
+		defer ck2.Close()
+		if ck2.Len() != n {
+			return fmt.Errorf("post-resume checkpoint holds %d/%d results", ck2.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			res, _ := ck2.Done(fmt.Sprintf("Z%d", i))
+			if res.String() != synthResult(i).String() {
+				return fmt.Errorf("post-resume Z%d differs from the uninterrupted result", i)
+			}
+		}
+		return nil
+	}
+
+	images, err := crashtest.Enumerate(nil, workload, verify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("verified %d crash images", images)
+}
+
+// TestCheckpointCompactionCrashSafe crashes the rewrite-on-open
+// compaction at every point. The starting disk holds a checkpoint with
+// two good entries and a torn tail; no crash image may lose either
+// entry or present corruption.
+func TestCheckpointCompactionCrashSafe(t *testing.T) {
+	opts := Options{Seed: 9, Quick: true}
+	var buf bytes.Buffer
+	w, err := recio.NewWriter(&buf, checkpointMagic, checkpointVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		payload, err := EncodeCheckpointRecord(opts, synthResult(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil { // no footer: crashed writer
+		t.Fatal(err)
+	}
+	buf.Write([]byte{0x40, 0xAA, 0xBB}) // torn third record
+
+	start := &vfs.Image{
+		Mode:  vfs.ImageSynced,
+		Files: map[string][]byte{"d/campaign.ckpt": buf.Bytes()},
+		Dirs:  []string{"d"},
+	}
+	workload := func(m *vfs.MemFS) error {
+		ck, err := OpenCheckpointFS(m, "d", opts)
+		if err != nil {
+			return err
+		}
+		return ck.Close()
+	}
+	verify := func(p crashtest.Point) error {
+		ck, err := OpenCheckpointFS(p.FS, "d", opts)
+		if err != nil {
+			return fmt.Errorf("reopen: %w", err)
+		}
+		defer ck.Close()
+		if ck.Len() != 2 {
+			return fmt.Errorf("compaction crash lost entries: %d/2 survive", ck.Len())
+		}
+		for i := 0; i < 2; i++ {
+			if _, ok := ck.Done(fmt.Sprintf("Z%d", i)); !ok {
+				return fmt.Errorf("entry Z%d lost", i)
+			}
+		}
+		return nil
+	}
+	images, err := crashtest.Enumerate(start, workload, verify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("verified %d crash images", images)
+}
+
+// TestCampaignCheckpointDiskFault runs a campaign whose checkpoint sits
+// on a disk that fills up: the statuses must carry structured
+// CheckpointErr classification, the writer must seal (no footer over
+// the torn tail), and the salvaged prefix must stay loadable.
+func TestCampaignCheckpointDiskFault(t *testing.T) {
+	opts := Options{Seed: 2, Quick: true}
+	mem := vfs.NewMemFS()
+	ffs := vfs.NewFaultFS(mem, vfs.FaultSpec{ENOSPCAfter: 700})
+	ck, err := OpenCheckpointFS(ffs, ".", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runners := make([]Runner, 6)
+	for i := range runners {
+		runners[i] = synthRunner(i)
+	}
+	sts := collectStatuses(runners, opts, Campaign{Parallel: 1, Checkpoint: ck})
+	ck.Close()
+
+	faults := 0
+	for _, st := range sts {
+		if st.CheckpointErr == nil {
+			continue
+		}
+		faults++
+		if !errors.Is(st.CheckpointErr, vfs.ErrDiskFault) {
+			t.Fatalf("CheckpointErr = %v, want a structured disk fault", st.CheckpointErr)
+		}
+		if !errors.Is(st.CheckpointErr, syscall.ENOSPC) {
+			t.Fatalf("CheckpointErr = %v lost the ENOSPC errno", st.CheckpointErr)
+		}
+	}
+	if faults == 0 {
+		t.Fatal("no status carried CheckpointErr despite the 700-byte budget")
+	}
+
+	// The salvaged prefix must load cleanly on a healthy disk.
+	ck2, err := OpenCheckpointFS(mem, ".", opts)
+	if err != nil {
+		t.Fatalf("salvage after ENOSPC: %v", err)
+	}
+	defer ck2.Close()
+	if ck2.Len() == 0 {
+		t.Fatal("nothing salvaged despite successful records before the budget")
+	}
+	for i := 0; i < ck2.Len(); i++ {
+		if _, ok := ck2.Done(fmt.Sprintf("Z%d", i)); !ok {
+			t.Fatalf("salvage is not a prefix: Z%d missing among %d entries", i, ck2.Len())
+		}
+	}
+}
+
+// TestFailResultClassifiesDiskFault pins the structured FAIL synthesis
+// for drivers killed by disk faults, in all three arrival shapes.
+func TestFailResultClassifiesDiskFault(t *testing.T) {
+	fault := vfs.WrapFault("write", "caps/F9.vubiq", syscall.EIO)
+	cases := map[string]*par.PointError{
+		"error chain": {Err: fmt.Errorf("capture: %w", fault)},
+		"panic value": {Panic: fault},
+		"nested":      {Err: fmt.Errorf("sweep: %w", &par.PointError{Err: fault})},
+	}
+	for name, pe := range cases {
+		res := failResult(Runner{ID: "F9", Title: "x"}, pe, 0)
+		found := false
+		for _, c := range res.Checks {
+			if c.Name == "persistence" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no persistence check in %v", name, res.Checks)
+		}
+		if res.Pass() {
+			t.Errorf("%s: disk-faulted driver passed", name)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/vfs"
 )
 
 // Options tunes experiment cost. The defaults reproduce paper-like
@@ -25,7 +26,26 @@ type Options struct {
 	// stream their raw capture to <CaptureDir>/<ID>.vubiq as binary v2
 	// trace files (mmsim -capture). Captures do not affect results.
 	CaptureDir string
+	// DiskFS routes every file the campaign writes (captures,
+	// checkpoint) through an injectable filesystem; nil means the real
+	// OS. It is process-local plumbing, not a result-relevant option:
+	// it is excluded from the checkpoint fingerprint and must be
+	// cleared before Options crosses a process boundary (the shard
+	// protocol gob-encodes Options and cannot carry a live filesystem).
+	DiskFS vfs.FS `json:"-"`
 }
+
+// fs returns the effective filesystem: DiskFS, or the real OS.
+func (o Options) fs() vfs.FS {
+	if o.DiskFS != nil {
+		return o.DiskFS
+	}
+	return vfs.OS()
+}
+
+// FS exposes the effective filesystem for callers outside the package
+// (cmd/mmsim's report writing, serve's capture plumbing).
+func (o Options) FS() vfs.FS { return o.fs() }
 
 // DefaultOptions returns the full-fidelity settings.
 func DefaultOptions() Options { return Options{Seed: 1} }

@@ -1,0 +1,206 @@
+package recio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// salvage reads every record it can out of data, failing the test on
+// mid-stream corruption (fault-injected streams must only ever be
+// truncated, never corrupt).
+func salvage(t *testing.T, data []byte) [][]byte {
+	t.Helper()
+	if len(data) < HeaderSize {
+		return nil
+	}
+	r, _, err := NewReader(bytes.NewReader(data), testMagic)
+	if err != nil {
+		t.Fatalf("salvage: header: %v", err)
+	}
+	var out [][]byte
+	for {
+		p, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("salvage: record %d: %v (fault injection must yield truncation, not corruption)", len(out), err)
+		}
+		out = append(out, append([]byte(nil), p...))
+	}
+}
+
+// TestFaultScheduleSalvagesSyncedPrefix drives the writer through
+// FaultFS under many deterministic fault schedules. The invariant: the
+// first write error seals the stream, and everything the writer synced
+// before that error is salvageable as an exact prefix.
+func TestFaultScheduleSalvagesSyncedPrefix(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			mem := vfs.NewMemFS()
+			ffs := vfs.NewFaultFS(mem, vfs.FaultSpec{
+				Seed:        seed,
+				ENOSPCAfter: int64(200 + seed*37),
+				PTornWrite:  0.15,
+				PShortWrite: 0.1,
+			})
+			f, err := ffs.Create("stream")
+			if err != nil {
+				t.Skipf("create failed under fault schedule: %v", err)
+			}
+			// Make the name durable: without a parent-directory sync even
+			// synced data is unreachable after a power cut.
+			if err := ffs.SyncDir("."); err != nil {
+				t.Fatal(err)
+			}
+			w, err := NewWriter(f, testMagic, testVersion)
+			if err != nil {
+				return // header write failed: nothing promised, nothing checked
+			}
+			var payloads [][]byte
+			syncedRecords := 0
+			for i := 0; i < 50; i++ {
+				p := bytes.Repeat([]byte{byte(i + 1)}, 5+i%23)
+				if err := w.Append(p); err != nil {
+					break // sealed: no further appends can succeed
+				}
+				payloads = append(payloads, p)
+				if i%4 == 0 {
+					if err := w.Sync(); err != nil {
+						break
+					}
+					syncedRecords = len(payloads)
+				}
+			}
+			sealed := w.Close() != nil || w.Sync() != nil
+			f.Close()
+
+			// Salvage from the post-crash image: only synced data survives.
+			for _, img := range mem.CrashImages(mem.OpCount()) {
+				if img.Mode != vfs.ImageSynced && img.Mode != vfs.ImageMetaFlushed {
+					continue
+				}
+				got := salvage(t, img.Files["stream"])
+				if len(got) < syncedRecords {
+					t.Fatalf("image %q: salvaged %d records, %d were synced", img.Mode, len(got), syncedRecords)
+				}
+				for i, p := range got {
+					if i >= len(payloads) {
+						t.Fatalf("image %q: salvaged %d records, only %d were appended", img.Mode, len(got), len(payloads))
+					}
+					if !bytes.Equal(p, payloads[i]) {
+						t.Fatalf("image %q: record %d differs from what was written", img.Mode, i)
+					}
+				}
+			}
+			// And the live file (SIGKILL view) must salvage cleanly too.
+			if data, ok := mem.ReadFileAt("stream"); ok {
+				got := salvage(t, data)
+				if !sealed && len(got) != len(payloads) {
+					t.Fatalf("clean close: salvaged %d of %d records", len(got), len(payloads))
+				}
+			}
+		})
+	}
+}
+
+// TestWriterSealsAfterDiskFault pins the seal contract: after the first
+// failed write nothing else is attempted — no footer over a torn tail.
+func TestWriterSealsAfterDiskFault(t *testing.T) {
+	mem := vfs.NewMemFS()
+	ffs := vfs.NewFaultFS(mem, vfs.FaultSpec{ENOSPCAfter: 40})
+	f, err := ffs.Create("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f, testMagic, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{9}, 64)
+	w.Append(big)
+	err = w.Sync() // pushes past the 40-byte budget
+	if err == nil {
+		t.Fatal("sync within exhausted budget succeeded")
+	}
+	if !errors.Is(err, vfs.ErrDiskFault) {
+		t.Fatalf("sync err = %v, want disk fault", err)
+	}
+	if aerr := w.Append([]byte("more")); aerr == nil {
+		t.Fatal("append after disk fault succeeded")
+	}
+	if cerr := w.Close(); cerr == nil {
+		t.Fatal("close wrote a footer over a torn tail")
+	}
+	data, _ := mem.ReadFileAt("s")
+	if len(data) > 40 {
+		t.Fatalf("inner file holds %d bytes, budget was 40", len(data))
+	}
+}
+
+// FuzzTruncatedStream builds a multi-record stream from the fuzzer's
+// parameters, cuts it at an arbitrary byte (seeded with cuts at sync
+// boundaries — the images a power cut leaves), and asserts the salvage
+// invariant: a prefix of the records, never corruption, never a panic.
+func FuzzTruncatedStream(f *testing.F) {
+	build := func(seed uint64, nrec int) ([]byte, [][]byte, []int) {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf, testMagic, testVersion)
+		var payloads [][]byte
+		var syncOffsets []int
+		for i := 0; i < nrec; i++ {
+			n := int(seed>>(i%32))%29 + 1
+			p := bytes.Repeat([]byte{byte(seed + uint64(i))}, n)
+			w.Append(p)
+			payloads = append(payloads, p)
+			w.Flush()
+			syncOffsets = append(syncOffsets, buf.Len())
+		}
+		w.Close()
+		return buf.Bytes(), payloads, syncOffsets
+	}
+	// Seed the corpus with torn-at-sync-boundary cuts.
+	for _, seed := range []uint64{1, 0xDEAD, 42} {
+		data, _, offs := build(seed, 6)
+		for _, off := range offs {
+			f.Add(seed, uint8(6), uint32(off))
+		}
+		f.Add(seed, uint8(6), uint32(len(data)))
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, nrec uint8, cut uint32) {
+		n := int(nrec)%12 + 1
+		data, payloads, _ := build(seed, n)
+		c := int(cut) % (len(data) + 1)
+		sub := data[:c]
+		if len(sub) < HeaderSize {
+			return
+		}
+		r, _, err := NewReader(bytes.NewReader(sub), testMagic)
+		if err != nil {
+			t.Fatalf("header of a clean prefix failed: %v", err)
+		}
+		got := 0
+		for {
+			p, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("cut %d: record %d: %v (prefix cut must be truncation, not corruption)", c, got, err)
+			}
+			if got >= len(payloads) || !bytes.Equal(p, payloads[got]) {
+				t.Fatalf("cut %d: record %d is not a prefix of the original stream", c, got)
+			}
+			got++
+		}
+		if c == len(data) && (got != len(payloads) || r.Truncated()) {
+			t.Fatalf("uncut stream: %d/%d records, truncated=%v", got, len(payloads), r.Truncated())
+		}
+	})
+}

@@ -54,6 +54,7 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // Close writes the footer; a stream missing its footer (crash before
 // Close) is still readable up to the last complete record.
 type Writer struct {
+	dst     io.Writer
 	bw      *bufio.Writer
 	rec     []byte // reused framed-record scratch
 	records uint64
@@ -65,7 +66,7 @@ type Writer struct {
 // NewWriter writes the stream header to w and returns a writer ready to
 // append records. The caller owns w and must close it after Close.
 func NewWriter(w io.Writer, magic, version uint32) (*Writer, error) {
-	rw := &Writer{bw: bufio.NewWriter(w), rec: make([]byte, 0, 160)}
+	rw := &Writer{dst: w, bw: bufio.NewWriter(w), rec: make([]byte, 0, 160)}
 	var hdr [HeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], magic)
 	binary.LittleEndian.PutUint32(hdr[4:], version)
@@ -114,6 +115,27 @@ func (w *Writer) Flush() error {
 	}
 	if err := w.bw.Flush(); err != nil {
 		return w.fail(err)
+	}
+	return nil
+}
+
+// Sync flushes buffered records and, when the underlying writer
+// supports it (an *os.File or a vfs.File), forces them to stable
+// storage. This is the real durability point: Flush alone only hands
+// bytes to the OS. Checkpoint writers Sync after every record; a
+// writer that has already written its footer via Close may still Sync
+// to make the footer durable.
+func (w *Writer) Sync() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return w.fail(err)
+	}
+	if s, ok := w.dst.(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
+			return w.fail(err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/vfs"
+	"repro/internal/vfs/crashtest"
+)
+
+// TestJobPersistCrashEnumeration cuts the power at every point of two
+// consecutive job.json persists. The atomic-replace contract: every
+// crash image either has no job.json yet, or holds one complete
+// version — never a torn or mixed file — and once a persist's directory
+// sync lands, that version (or a later one) is what survives.
+func TestJobPersistCrashEnumeration(t *testing.T) {
+	const dir = "jobs/j1"
+	var queuedMark, failedMark int
+
+	workload := func(m *vfs.MemFS) error {
+		if err := m.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		j := &Job{ID: "j1", EffSeed: 7, events: newEventLog(), state: StateQueued, created: time.Now()}
+		if err := j.persist(m, dir); err != nil {
+			return err
+		}
+		queuedMark = m.OpCount()
+		j.mu.Lock()
+		j.state = StateFailed
+		j.diag = "synthetic failure"
+		j.mu.Unlock()
+		if err := j.persist(m, dir); err != nil {
+			return err
+		}
+		failedMark = m.OpCount()
+		return nil
+	}
+
+	verify := func(p crashtest.Point) error {
+		data, ok := p.Image.Files[dir+"/job.json"]
+		if !ok {
+			if p.Index >= queuedMark {
+				return fmt.Errorf("job.json missing after its persist was made durable")
+			}
+			return nil
+		}
+		var jf jobFile
+		if err := json.Unmarshal(data, &jf); err != nil {
+			return fmt.Errorf("job.json is torn: %v", err)
+		}
+		switch jf.State {
+		case StateQueued:
+			if p.Index >= failedMark {
+				return fmt.Errorf("stale queued version after the failed persist was durable")
+			}
+		case StateFailed:
+			if jf.Diag != "synthetic failure" {
+				return fmt.Errorf("failed version lost its diagnostic: %q", jf.Diag)
+			}
+		default:
+			return fmt.Errorf("job.json holds state %q that was never persisted", jf.State)
+		}
+		// And daemon recovery must accept it: loadJob brings a
+		// non-terminal job back as queued.
+		j, err := loadJob(p.FS, dir)
+		if err != nil {
+			return fmt.Errorf("loadJob on crash image: %v", err)
+		}
+		if j.state != StateQueued && j.state != StateFailed {
+			return fmt.Errorf("recovered job in state %q", j.state)
+		}
+		return nil
+	}
+
+	n, err := crashtest.Enumerate(nil, workload, verify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("verified %d crash images", n)
+}
+
+// TestSubmitOnFullDiskReturns507 submits against a daemon whose data
+// directory sits on a full disk: the submission must be refused with
+// 507 Insufficient Storage and leave no half-created job directory
+// behind.
+func TestSubmitOnFullDiskReturns507(t *testing.T) {
+	mem := vfs.NewMemFS()
+	ffs := vfs.NewFaultFS(mem, vfs.FaultSpec{ENOSPCAfter: 1})
+	lookup, all := testRegistry(okRunner("T1", "v1"))
+	_, hs := newTestServer(t, Config{DataDir: "data", FS: ffs, lookup: lookup, allIDs: all})
+
+	_, resp := trySubmit(t, hs.URL, JobSpec{Experiments: []string{"T1"}, Seed: 1, Quick: true})
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("submit on a full disk: got %s, want 507", resp.Status)
+	}
+	// The backout may leave the empty jobs/ parent, but never the
+	// half-created job directory itself.
+	ents, err := mem.ReadDir("data/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("refused submission left %d job dir(s) behind: %s", len(ents), ents[0].Name())
+	}
+}
+
+// ckptBudgetFS passes everything through to the inner FS but gives
+// checkpoint files a shared byte budget — the recio header fits, the
+// first result record does not. That is the shape of a disk filling up
+// mid-campaign while job.json stays writable, which isolates the
+// failed-with-diagnostics path from the 507 admission path.
+type ckptBudgetFS struct {
+	vfs.FS
+	budget int64
+
+	mu      sync.Mutex
+	written int64
+}
+
+func (c *ckptBudgetFS) Create(name string) (vfs.File, error) {
+	f, err := c.FS.Create(name)
+	if err != nil || !strings.Contains(name, "campaign.ckpt") {
+		return f, err
+	}
+	return &budgetFile{File: f, fs: c}, nil
+}
+
+type budgetFile struct {
+	vfs.File
+	fs *ckptBudgetFS
+}
+
+func (b *budgetFile) Write(p []byte) (int, error) {
+	b.fs.mu.Lock()
+	defer b.fs.mu.Unlock()
+	if b.fs.written+int64(len(p)) > b.fs.budget {
+		return 0, vfs.WrapFault("write", b.Name(), syscall.ENOSPC)
+	}
+	b.fs.written += int64(len(p))
+	return b.File.Write(p)
+}
+
+// TestCheckpointFaultFailsJobWithDiagnostics runs a job whose campaign
+// checkpoint hits ENOSPC on its first record: the job must end
+// StateFailed with the structured "checkpoint write failed" diagnostic
+// — never StateDone with results the disk silently lost.
+func TestCheckpointFaultFailsJobWithDiagnostics(t *testing.T) {
+	fsys := &ckptBudgetFS{FS: vfs.NewMemFS(), budget: 64}
+	lookup, all := testRegistry(okRunner("T1", "v1"))
+	_, hs := newTestServer(t, Config{DataDir: "data", FS: fsys, lookup: lookup, allIDs: all})
+
+	snap := submitJob(t, hs.URL, JobSpec{Experiments: []string{"T1"}, Seed: 3, Quick: true})
+	got := waitState(t, hs.URL, snap.ID, StateFailed)
+	if !strings.Contains(got.Diagnostic, "checkpoint write failed") {
+		t.Fatalf("diagnostic = %q, want the checkpoint-write classification", got.Diagnostic)
+	}
+	if !strings.Contains(got.Diagnostic, "no space left") && !strings.Contains(got.Diagnostic, "ENOSPC") {
+		t.Logf("diagnostic does not name the errno (acceptable, but worth seeing): %q", got.Diagnostic)
+	}
+}

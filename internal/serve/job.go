@@ -12,7 +12,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
-	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -21,6 +20,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/stats"
+	"repro/internal/vfs"
 )
 
 // JobSpec is the client-submitted description of one campaign job — the
@@ -210,9 +210,10 @@ const (
 	reportFileName = "report.txt"
 )
 
-// persist writes the job's durable record atomically (write temp,
-// rename), so a SIGKILL never leaves a torn job.json behind.
-func (j *Job) persist(dir string) error {
+// persist writes the job's durable record atomically — temp file,
+// fsync, rename, parent-dir fsync (vfs.WriteFileAtomic) — so neither a
+// SIGKILL nor a power cut can leave a torn or empty job.json behind.
+func (j *Job) persist(fsys vfs.FS, dir string) error {
 	j.mu.Lock()
 	jf := jobFile{
 		ID:      j.ID,
@@ -229,19 +230,14 @@ func (j *Job) persist(dir string) error {
 	if err != nil {
 		return err
 	}
-	path := filepath.Join(dir, jobFileName)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return vfs.WriteFileAtomic(fsys, filepath.Join(dir, jobFileName), append(data, '\n'))
 }
 
 // loadJob reconstructs a job from its durable record. Jobs that were
 // queued or running when the daemon died come back as queued — their
 // campaign checkpoint replays everything they had finished.
-func loadJob(dir string) (*Job, error) {
-	data, err := os.ReadFile(filepath.Join(dir, jobFileName))
+func loadJob(fsys vfs.FS, dir string) (*Job, error) {
+	data, err := vfs.ReadFile(fsys, filepath.Join(dir, jobFileName))
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +262,7 @@ func loadJob(dir string) (*Job, error) {
 	if j.state.terminal() {
 		// A finished job's report is its durable output; reload it so
 		// GET /v1/jobs/{id}/report survives restarts.
-		if rep, err := os.ReadFile(filepath.Join(dir, reportFileName)); err == nil {
+		if rep, err := vfs.ReadFile(fsys, filepath.Join(dir, reportFileName)); err == nil {
 			j.report = string(rep)
 		}
 		j.events.close()

@@ -19,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/par"
 	"repro/internal/shard"
+	"repro/internal/vfs"
 )
 
 // Config tunes the daemon.
@@ -46,6 +47,10 @@ type Config struct {
 	// current binary with the "shard-worker" subcommand — mmsimd's
 	// protocol entry; tests substitute their own argv.
 	ShardWorkerCommand func() (*exec.Cmd, error)
+	// FS routes every durable write (job.json, report.txt, checkpoints,
+	// captures) through an injectable filesystem; nil means the real OS.
+	// Fault injection and crash-point enumeration substitute theirs.
+	FS vfs.FS
 
 	// lookup and allIDs are test seams over the experiment registry.
 	lookup func(id string) (experiments.Runner, bool)
@@ -64,6 +69,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 10 * time.Second
+	}
+	if c.FS == nil {
+		c.FS = vfs.OS()
 	}
 	if c.ShardWorkerCommand == nil {
 		c.ShardWorkerCommand = func() (*exec.Cmd, error) {
@@ -124,7 +132,7 @@ func New(cfg Config) (*Server, error) {
 		queue: newJobQueue(cfg.QueueCap),
 		jobs:  make(map[string]*Job),
 	}
-	if err := os.MkdirAll(s.jobsRoot(), 0o755); err != nil {
+	if err := cfg.FS.MkdirAll(s.jobsRoot(), 0o755); err != nil {
 		return nil, err
 	}
 	if err := s.reload(); err != nil {
@@ -139,7 +147,7 @@ func (s *Server) jobDir(id string) string { return filepath.Join(s.jobsRoot(), i
 
 // reload restores jobs from a previous daemon instance.
 func (s *Server) reload() error {
-	dirs, err := os.ReadDir(s.jobsRoot())
+	dirs, err := s.cfg.FS.ReadDir(s.jobsRoot())
 	if err != nil {
 		return err
 	}
@@ -148,7 +156,7 @@ func (s *Server) reload() error {
 		if !d.IsDir() {
 			continue
 		}
-		j, err := loadJob(s.jobDir(d.Name()))
+		j, err := loadJob(s.cfg.FS, s.jobDir(d.Name()))
 		if err != nil {
 			// A torn or foreign directory must not block the daemon;
 			// leave it on disk for inspection.
@@ -228,7 +236,7 @@ func (s *Server) runJob(j *Job) {
 	j.failed, j.resumed, j.skipped = 0, 0, 0
 	j.results = nil
 	j.mu.Unlock()
-	if err := j.persist(dir); err != nil {
+	if err := j.persist(s.cfg.FS, dir); err != nil {
 		s.finishJob(j, dir, StateFailed, fmt.Sprintf("persisting job state: %v", err))
 		return
 	}
@@ -246,11 +254,11 @@ func (s *Server) runJob(j *Job) {
 	for i, id := range ids {
 		runners[i], _ = s.cfg.lookup(id)
 	}
-	opts := experiments.Options{Seed: j.EffSeed, Quick: j.Spec.Quick}
+	opts := experiments.Options{Seed: j.EffSeed, Quick: j.Spec.Quick, DiskFS: s.cfg.FS}
 	if j.Spec.Capture {
 		opts.CaptureDir = dir
 	}
-	ckpt, err := experiments.ResumeCheckpoint(dir, opts, ids)
+	ckpt, err := experiments.ResumeCheckpointFS(s.cfg.FS, dir, opts, ids)
 	if err != nil {
 		s.finishJob(j, dir, StateFailed, err.Error())
 		return
@@ -273,7 +281,11 @@ func (s *Server) runJob(j *Job) {
 
 	var report strings.Builder
 	skipped := 0
+	var ckptErr error
 	emit := func(_ int, st experiments.Status) {
+		if st.CheckpointErr != nil && ckptErr == nil {
+			ckptErr = st.CheckpointErr
+		}
 		if st.Skipped {
 			skipped++
 			j.mu.Lock()
@@ -332,8 +344,14 @@ func (s *Server) runJob(j *Job) {
 			Stop:       stop,
 		})
 	}
-	if err := ckpt.Close(); err != nil {
-		s.finishJob(j, dir, StateFailed, fmt.Sprintf("sealing checkpoint: %v", err))
+	if err := ckpt.Close(); err != nil && ckptErr == nil {
+		ckptErr = err
+	}
+	if ckptErr != nil {
+		// Results finished in memory but their durable record is torn or
+		// missing — report failed-with-diagnostics, never a clean done
+		// whose resume would silently re-run experiments.
+		s.finishJob(j, dir, StateFailed, fmt.Sprintf("checkpoint write failed: %v", ckptErr))
 		return
 	}
 
@@ -350,7 +368,7 @@ func (s *Server) runJob(j *Job) {
 		j.state = StateQueued
 		j.started = time.Time{}
 		j.mu.Unlock()
-		if err := j.persist(dir); err != nil {
+		if err := j.persist(s.cfg.FS, dir); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: %s: %v\n", j.ID, err)
 		}
 		j.events.append(Event{Event: "state", State: StateQueued, Detail: "daemon draining; job will resume on restart"})
@@ -358,7 +376,7 @@ func (s *Server) runJob(j *Job) {
 		// Complete. The report is the job's byte-identity surface: the
 		// concatenated experiment reports with no wall-clock noise, so
 		// a resumed job's report matches an uninterrupted run exactly.
-		if err := writeFileAtomic(filepath.Join(dir, reportFileName), []byte(report.String())); err != nil {
+		if err := vfs.WriteFileAtomic(s.cfg.FS, filepath.Join(dir, reportFileName), []byte(report.String())); err != nil {
 			s.finishJob(j, dir, StateFailed, fmt.Sprintf("writing report: %v", err))
 			return
 		}
@@ -391,19 +409,11 @@ func (s *Server) finishJob(j *Job, dir string, state JobState, diag string) {
 	case StateCanceled:
 		s.jobsCanceled.Add(1)
 	}
-	if err := j.persist(dir); err != nil {
+	if err := j.persist(s.cfg.FS, dir); err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %s: %v\n", j.ID, err)
 	}
 	j.events.append(Event{Event: "done", State: state, Failed: failed, Detail: diag})
 	j.events.close()
-}
-
-func writeFileAtomic(path string, data []byte) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
 }
 
 // Handler returns the HTTP API.
@@ -482,15 +492,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		state:   StateQueued,
 		created: time.Now(),
 	}
+	// An unwritable data dir means no durable 202 is possible:
+	// 507 Insufficient Storage, not a generic 500, so clients can tell
+	// "my spec is fine, the daemon's disk is not" and retry elsewhere.
 	dir := s.jobDir(id)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+	if err := s.cfg.FS.MkdirAll(dir, 0o755); err != nil {
+		writeError(w, http.StatusInsufficientStorage, "data dir unwritable: %v", err)
 		return
 	}
 	// Persist before enqueueing: once the client holds a 202, a SIGKILL
 	// must not lose the job.
-	if err := j.persist(dir); err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+	if err := j.persist(s.cfg.FS, dir); err != nil {
+		s.cfg.FS.RemoveAll(dir)
+		writeError(w, http.StatusInsufficientStorage, "data dir unwritable: %v", err)
 		return
 	}
 	s.mu.Lock()
@@ -503,7 +517,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		delete(s.jobs, id)
 		s.mu.Unlock()
-		os.RemoveAll(dir)
+		s.cfg.FS.RemoveAll(dir)
 		s.rejected.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
 		writeError(w, http.StatusTooManyRequests, "job queue is full (%d queued); retry later", s.queue.depth())

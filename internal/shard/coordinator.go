@@ -427,8 +427,13 @@ func (d *dispatcher) spawnWorker() error {
 	in, err := newMsgWriter(stdin)
 	if err == nil {
 		w.in = in
+		// DiskFS is process-local plumbing: a live filesystem cannot ride
+		// a gob hello. The worker builds its own (WorkerMain's fs
+		// parameter; the real OS by default).
+		wireOpts := d.c.opts
+		wireOpts.DiskFS = nil
 		err = in.send(tagHello, helloMsg{
-			Opts:           d.c.opts,
+			Opts:           wireOpts,
 			Deadline:       d.cfg.Deadline,
 			SweepWorkers:   d.cfg.SweepWorkers,
 			AuditMode:      d.cfg.AuditMode,

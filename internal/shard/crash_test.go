@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/vfs"
+	"repro/internal/vfs/crashtest"
+)
+
+// TestPublishCapturesCrashSafe cuts the power at every point of the
+// stage-then-publish flow workers use for capture files. The contract:
+// the published path is either absent or the complete capture — a
+// reader never sees a torn file under the real name — and once the
+// batch's directory sync lands, the capture is durably published.
+func TestPublishCapturesCrashSafe(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xA5, 0x5A, 0x0F}, 400)
+	const staging = "caps/.shard-1"
+	const published = "caps/F9.vubiq"
+	var publishedMark int
+
+	workload := func(m *vfs.MemFS) error {
+		if err := m.MkdirAll(staging, 0o755); err != nil {
+			return err
+		}
+		f, err := m.Create(staging + "/F9.vubiq")
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(payload); err != nil {
+			return err
+		}
+		// Capture finalization syncs before close (capture.go); staging
+		// mirrors that so the publish rename moves fully-durable data.
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		publishCaptures(m, staging, "caps")
+		publishedMark = m.OpCount()
+		return nil
+	}
+
+	verify := func(p crashtest.Point) error {
+		if data, ok := p.Image.Files[published]; ok {
+			if !bytes.Equal(data, payload) {
+				return fmt.Errorf("published capture is torn: %d of %d bytes", len(data), len(payload))
+			}
+		} else if p.Index >= publishedMark {
+			return fmt.Errorf("capture missing after publish's directory sync")
+		}
+		return nil
+	}
+
+	n, err := crashtest.Enumerate(nil, workload, verify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("verified %d crash images", n)
+}
+
+// TestPublishCapturesSkipsSubdirs pins that publish only moves files:
+// nested directories in staging (never created by captures, but cheap
+// insurance against a future layout change) stay put.
+func TestPublishCapturesSkipsSubdirs(t *testing.T) {
+	m := vfs.NewMemFS()
+	if err := m.MkdirAll("caps/.shard-9/nested", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Create("caps/.shard-9/T1.vubiq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("trace"))
+	f.Sync()
+	f.Close()
+	publishCaptures(m, "caps/.shard-9", "caps")
+	if _, ok := m.ReadFileAt("caps/T1.vubiq"); !ok {
+		t.Fatal("staged capture was not published")
+	}
+	if _, err := m.ReadDir("caps/nested"); err == nil {
+		t.Fatal("publish moved a directory out of staging")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/par"
+	"repro/internal/vfs"
 )
 
 // DefaultHeartbeatEvery is the worker heartbeat cadence when the
@@ -29,8 +30,15 @@ const DefaultHeartbeatEvery = 250 * time.Millisecond
 // (the coordinator closed the conversation), 1 on a protocol error.
 //
 // lookup resolves experiment IDs — experiments.Get in the real
-// binaries, a synthetic registry in tests.
-func WorkerMain(stdin io.Reader, stdout io.Writer, lookup func(string) (experiments.Runner, bool)) int {
+// binaries, a synthetic registry in tests. The optional trailing fs
+// argument substitutes the filesystem all capture staging and
+// publishing flows through (fault-injection tests); default is the
+// real OS.
+func WorkerMain(stdin io.Reader, stdout io.Writer, lookup func(string) (experiments.Runner, bool), fsOpt ...vfs.FS) int {
+	fsys := vfs.FS(vfs.OS())
+	if len(fsOpt) > 0 && fsOpt[0] != nil {
+		fsys = fsOpt[0]
+	}
 	in, err := newMsgReader(stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "shard worker:", err)
@@ -69,13 +77,14 @@ func WorkerMain(stdin io.Reader, stdout io.Writer, lookup func(string) (experime
 	staging := ""
 	if hello.Opts.CaptureDir != "" {
 		staging = filepath.Join(hello.Opts.CaptureDir, fmt.Sprintf(".shard-%d", os.Getpid()))
-		if err := os.MkdirAll(staging, 0o755); err != nil {
+		if err := fsys.MkdirAll(staging, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "shard worker: capture staging:", err)
 			staging = ""
 		} else {
-			defer os.RemoveAll(staging)
+			defer fsys.RemoveAll(staging)
 		}
 	}
+	hello.Opts.DiskFS = fsys
 
 	hb := hello.HeartbeatEvery
 	if hb <= 0 {
@@ -177,7 +186,7 @@ func runExperiment(id string, lookup func(string) (experiments.Runner, bool),
 		Emit:     func(_ int, st experiments.Status) { out = st.Result },
 	})
 	if staging != "" {
-		publishCaptures(staging, opts.CaptureDir)
+		publishCaptures(opts.FS(), staging, opts.CaptureDir)
 	}
 	return out
 }
@@ -185,16 +194,24 @@ func runExperiment(id string, lookup func(string) (experiments.Runner, bool),
 // publishCaptures atomically moves each staged capture file into the
 // real capture directory. Renames are atomic within the directory tree,
 // so concurrent publishers of the (byte-identical) same capture can
-// never expose a torn file.
-func publishCaptures(staging, dir string) {
-	ents, err := os.ReadDir(staging)
+// never expose a torn file. Staged data is already synced (capture
+// finalization syncs before close); one directory sync after the batch
+// makes the published names durable too.
+func publishCaptures(fsys vfs.FS, staging, dir string) {
+	ents, err := fsys.ReadDir(staging)
 	if err != nil {
 		return
 	}
+	published := false
 	for _, e := range ents {
 		if e.IsDir() {
 			continue
 		}
-		_ = os.Rename(filepath.Join(staging, e.Name()), filepath.Join(dir, e.Name()))
+		if fsys.Rename(filepath.Join(staging, e.Name()), filepath.Join(dir, e.Name())) == nil {
+			published = true
+		}
+	}
+	if published {
+		_ = fsys.SyncDir(dir)
 	}
 }

@@ -1,0 +1,186 @@
+package sniffer
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/vfs/crashtest"
+)
+
+func testObs(i int) Observation {
+	return Observation{
+		Type:     3,
+		Src:      i % 4,
+		MPDUs:    1 + i%7,
+		Meta:     i % 3,
+		Start:    sim.Time(1000 * i),
+		End:      sim.Time(1000*i + 500),
+		PowerDBm: -40 - float64(i%20),
+		Retry:    i%5 == 0,
+	}
+}
+
+// TestTraceWriterCrashEnumeration runs a capture through every power-cut
+// image: whatever survives must parse as a valid prefix of the written
+// observations — never corruption — and every record synced before the
+// cut must be present when the image carries the file at all.
+func TestTraceWriterCrashEnumeration(t *testing.T) {
+	const nObs = 17
+	const syncEvery = 4
+	// syncMarks[k] = journal length right after the k-th durability point;
+	// syncedAt(op) = records guaranteed on disk at that cut.
+	type mark struct{ op, records int }
+	var marks []mark
+
+	workload := func(m *vfs.MemFS) error {
+		f, err := m.Create("cap.vubiq")
+		if err != nil {
+			return err
+		}
+		if err := m.SyncDir("."); err != nil {
+			return err
+		}
+		tw, err := NewTraceWriter(f)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < nObs; i++ {
+			if err := tw.Write(testObs(i)); err != nil {
+				return err
+			}
+			if (i+1)%syncEvery == 0 {
+				if err := tw.Sync(); err != nil {
+					return err
+				}
+				marks = append(marks, mark{op: m.OpCount(), records: i + 1})
+			}
+		}
+		if err := tw.Close(); err != nil {
+			return err
+		}
+		if err := tw.Sync(); err != nil {
+			return err
+		}
+		marks = append(marks, mark{op: m.OpCount(), records: nObs})
+		return f.Close()
+	}
+
+	verify := func(p crashtest.Point) error {
+		syncedRecords := 0
+		for _, mk := range marks {
+			if mk.op <= p.Index {
+				syncedRecords = mk.records
+			}
+		}
+		data, ok := p.Image.Files["cap.vubiq"]
+		if !ok {
+			// The name itself can only be missing before the SyncDir; with
+			// records synced the file must be reachable.
+			if syncedRecords > 0 {
+				return fmt.Errorf("file missing with %d records synced", syncedRecords)
+			}
+			return nil
+		}
+		if len(data) < 16 {
+			if syncedRecords > 0 {
+				return fmt.Errorf("header gone with %d records synced", syncedRecords)
+			}
+			return nil
+		}
+		tr, err := NewTraceReader(bytes.NewReader(data))
+		if err != nil {
+			if syncedRecords > 0 {
+				return fmt.Errorf("unreadable header with %d records synced: %w", syncedRecords, err)
+			}
+			return nil
+		}
+		got := 0
+		for {
+			o, err := tr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return fmt.Errorf("record %d: %w (crash images must salvage, never corrupt)", got, err)
+			}
+			want := testObs(got)
+			if o.Src != want.Src || o.MPDUs != want.MPDUs || o.Start != want.Start || o.PowerDBm != want.PowerDBm {
+				return fmt.Errorf("record %d is not the record that was written", got)
+			}
+			got++
+		}
+		if got < syncedRecords {
+			return fmt.Errorf("salvaged %d records, %d were synced", got, syncedRecords)
+		}
+		if got > nObs {
+			return fmt.Errorf("salvaged %d records from a %d-record capture", got, nObs)
+		}
+		// The final cut's synced image is the complete capture.
+		if p.Index == p.Total && got != nObs {
+			return fmt.Errorf("uncut capture salvaged %d/%d", got, nObs)
+		}
+		return nil
+	}
+
+	n, err := crashtest.Enumerate(nil, workload, verify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("verified %d crash images", n)
+}
+
+// TestTraceWriterFaultInjection streams a capture through FaultFS: the
+// first disk fault seals the stream, and whatever landed before it is a
+// salvageable prefix.
+func TestTraceWriterFaultInjection(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		mem := vfs.NewMemFS()
+		ffs := vfs.NewFaultFS(mem, vfs.FaultSpec{Seed: seed, ENOSPCAfter: 600, PTornWrite: 0.1})
+		f, err := ffs.Create("cap")
+		if err != nil {
+			continue
+		}
+		tw, err := NewTraceWriter(f)
+		if err != nil {
+			continue
+		}
+		written := 0
+		for i := 0; i < 60; i++ {
+			if err := tw.Write(testObs(i)); err != nil {
+				break
+			}
+			if err := tw.Sync(); err != nil {
+				break
+			}
+			written++
+		}
+		tw.Close()
+		f.Close()
+		data, _ := mem.ReadFileAt("cap")
+		if len(data) < 16 {
+			continue
+		}
+		tr, err := NewTraceReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("seed %d: header unreadable after %d synced writes: %v", seed, written, err)
+		}
+		got := 0
+		for {
+			_, err := tr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("seed %d: record %d: %v", seed, got, err)
+			}
+			got++
+		}
+		if got < written {
+			t.Fatalf("seed %d: salvaged %d records, %d were synced", seed, got, written)
+		}
+	}
+}

@@ -149,6 +149,12 @@ func (tw *TraceWriter) Stats() WriterStats {
 	return WriterStats{Records: tw.rw.Records(), Bytes: tw.rw.Bytes(), Drops: tw.drops}
 }
 
+// Sync flushes buffered records and forces them to stable storage when
+// the underlying writer supports it. Callers that care about crash
+// durability (capture finalization, fault-injection tests) sync after
+// Close to make the footer durable too.
+func (tw *TraceWriter) Sync() error { return tw.rw.Sync() }
+
 // Close writes the footer and flushes. The underlying writer is not
 // closed. Close is idempotent.
 func (tw *TraceWriter) Close() error { return tw.rw.Close() }

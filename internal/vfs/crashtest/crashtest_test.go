@@ -1,0 +1,101 @@
+package crashtest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// verifyPublished asserts the atomic-replace contract for path: in
+// every crash image the published name, if present, holds a complete
+// old or new version.
+func verifyPublished(path, oldBody, newBody string) func(p Point) error {
+	return func(p Point) error {
+		got, ok := p.Image.Files[path]
+		if !ok {
+			return nil // name never published — the old image simply had nothing
+		}
+		if s := string(got); s != oldBody && s != newBody {
+			return fmt.Errorf("published %s = %q, want complete old or new version", path, s)
+		}
+		return nil
+	}
+}
+
+// The harness must catch the classic rename-before-fsync bug: publish
+// a file whose data was never synced and some crash image exposes it
+// torn or empty.
+func TestEnumerateCatchesNonDurableAtomicWrite(t *testing.T) {
+	buggyWrite := func(m *vfs.MemFS) error {
+		f, err := m.Create("job.json.tmp")
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte(`{"state":"done"}`)); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil { // no Sync before rename
+			return err
+		}
+		return m.Rename("job.json.tmp", "job.json")
+	}
+	n, err := Enumerate(nil, buggyWrite, verifyPublished("job.json", "", `{"state":"done"}`))
+	if err == nil {
+		t.Fatalf("enumeration passed %d images despite missing fsync before rename", n)
+	}
+	if !strings.Contains(err.Error(), "job.json") {
+		t.Fatalf("failure does not name the published file: %v", err)
+	}
+	t.Logf("caught as expected: %v", err)
+}
+
+// The fixed sequence — WriteFileAtomic's sync-then-rename-then-syncdir
+// — must survive every crash point.
+func TestEnumeratePassesDurableAtomicWrite(t *testing.T) {
+	start := &vfs.Image{
+		Mode:  vfs.ImageSynced,
+		Files: map[string][]byte{"job.json": []byte(`{"state":"old"}`)},
+	}
+	workload := func(m *vfs.MemFS) error {
+		return vfs.WriteFileAtomic(m, "job.json", []byte(`{"state":"done"}`))
+	}
+	verify := func(p Point) error {
+		got, ok := p.Image.Files["job.json"]
+		if !ok {
+			return fmt.Errorf("job.json vanished")
+		}
+		if s := string(got); s != `{"state":"old"}` && s != `{"state":"done"}` {
+			return fmt.Errorf("job.json = %q", s)
+		}
+		// And the mounted FS must read the same bytes the image holds.
+		data, err := vfs.ReadFile(p.FS, "job.json")
+		if err != nil {
+			return fmt.Errorf("mounted read: %w", err)
+		}
+		if string(data) != string(got) {
+			return fmt.Errorf("mounted read %q != image %q", data, got)
+		}
+		return nil
+	}
+	n, err := Enumerate(start, workload, verify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 8 {
+		t.Fatalf("only %d images enumerated — cut×projection space suspiciously small", n)
+	}
+	t.Logf("verified %d crash images", n)
+}
+
+// Workload errors surface immediately instead of producing a bogus
+// enumeration.
+func TestEnumerateReportsWorkloadError(t *testing.T) {
+	_, err := Enumerate(nil, func(m *vfs.MemFS) error {
+		return fmt.Errorf("boom")
+	}, func(p Point) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}

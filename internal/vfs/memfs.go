@@ -1,0 +1,549 @@
+package vfs
+
+import (
+	"bytes"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// MemFS is an in-memory filesystem that models a crashable disk. It
+// tracks, independently, what a process has written and what has been
+// made durable:
+//
+//   - file data becomes durable only up to the byte count at the last
+//     successful File.Sync (writers here are append-only, so the
+//     durable image of a file is always a prefix of its written data);
+//   - namespace changes (create, rename, remove) become durable only
+//     at the next SyncDir of the parent directory;
+//   - directories themselves are durable as soon as they are created
+//     (journaled mkdir — the simplification every mainstream fs makes
+//     in practice within one sync interval, and none of the surfaces
+//     under test rely on mkdir ordering).
+//
+// Every mutation is journaled, so the exact disk image a power cut
+// between any two operations would leave behind can be replayed after
+// the fact — that is the crash-point enumeration the crashtest package
+// drives. A plain SIGKILL (process dies, OS survives) corresponds to
+// the ImageAll projection; a power cut to ImageSynced and the mixed
+// projections in between.
+type MemFS struct {
+	mu   sync.Mutex
+	st   *fstate
+	ops  []op
+	base *Image
+	next int
+}
+
+// Image projection modes: which view of the namespace and of file data
+// survived the cut. Real crashes land anywhere between "only what was
+// explicitly synced" and "everything the process wrote", with metadata
+// and data persisting independently — so all four corners are
+// enumerated, plus torn variants where the unsynced tail of the most
+// recently written file survived only partially.
+const (
+	// ImageSynced: durable namespace, synced data only — the strictest
+	// power-cut image.
+	ImageSynced = "synced"
+	// ImageMetaFlushed: all namespace changes persisted (the journal
+	// committed metadata early) but only synced data — the classic
+	// rename-before-fsync hole.
+	ImageMetaFlushed = "meta-flushed"
+	// ImageDataFlushed: all written data persisted but only durable
+	// namespace entries.
+	ImageDataFlushed = "data-flushed"
+	// ImageAll: everything written and every namespace change — what a
+	// SIGKILL (no power loss) leaves behind.
+	ImageAll = "all"
+)
+
+// Image is one materialized crash image: the files (by full path) and
+// directories a recovering process would find.
+type Image struct {
+	// Mode names the projection that produced the image (ImageSynced,
+	// ImageMetaFlushed, ImageDataFlushed, ImageAll, or a torn variant
+	// "<mode>+torn@<n>").
+	Mode string
+	// Files maps path to surviving contents.
+	Files map[string][]byte
+	// Dirs lists surviving directories.
+	Dirs []string
+}
+
+type opKind uint8
+
+const (
+	opMkdir opKind = iota
+	opCreate
+	opWrite
+	opSyncFile
+	opRename
+	opRemove
+	opRemoveAll
+	opSyncDir
+)
+
+type op struct {
+	kind  opKind
+	path  string
+	path2 string
+	id    int
+	data  []byte
+}
+
+// fnode is one inode: written data plus the synced (durable) prefix
+// length.
+type fnode struct {
+	data   []byte
+	synced int
+}
+
+// fstate is the replayable filesystem state. The live MemFS holds one;
+// crash-image extraction replays the journal into a fresh one.
+type fstate struct {
+	nodes map[int]*fnode
+	files map[string]int  // current namespace: path → node id
+	dirs  map[string]bool // directories (durable immediately)
+	dur   map[string]int  // durable namespace: path → node id
+	dirty map[string]bool // paths with a pending (unsynced) namespace change
+}
+
+func newFstate() *fstate {
+	return &fstate{
+		nodes: make(map[int]*fnode),
+		files: make(map[string]int),
+		dirs:  map[string]bool{".": true},
+		dur:   make(map[string]int),
+		dirty: make(map[string]bool),
+	}
+}
+
+// NewMemFS returns an empty crashable filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{st: newFstate()}
+}
+
+// LoadImage returns a fresh filesystem whose starting contents are the
+// crash image — everything in it fully durable, journal empty. This is
+// what a rebooted machine mounts.
+func LoadImage(img *Image) *MemFS {
+	m := NewMemFS()
+	m.base = img
+	m.seed(m.st, img)
+	return m
+}
+
+func (m *MemFS) seed(st *fstate, img *Image) {
+	if img == nil {
+		return
+	}
+	for _, d := range img.Dirs {
+		mkdirs(st, d)
+	}
+	for path, data := range img.Files {
+		mkdirs(st, filepath.Dir(path))
+		id := m.next
+		m.next++
+		st.nodes[id] = &fnode{data: append([]byte(nil), data...), synced: len(data)}
+		st.files[path] = id
+		st.dur[path] = id
+	}
+}
+
+func mkdirs(st *fstate, path string) {
+	path = filepath.Clean(path)
+	for path != "." && path != "/" {
+		st.dirs[path] = true
+		path = filepath.Dir(path)
+	}
+}
+
+// record journals the op and applies it to the live state.
+func (m *MemFS) record(o op) {
+	m.ops = append(m.ops, o)
+	apply(m.st, o)
+}
+
+// apply is the single mutation interpreter shared by the live state and
+// crash replay, so the two can never disagree.
+func apply(st *fstate, o op) {
+	switch o.kind {
+	case opMkdir:
+		mkdirs(st, o.path)
+	case opCreate:
+		st.nodes[o.id] = &fnode{}
+		st.files[o.path] = o.id
+		st.dirty[o.path] = true
+	case opWrite:
+		n := st.nodes[o.id]
+		n.data = append(n.data, o.data...)
+	case opSyncFile:
+		n := st.nodes[o.id]
+		n.synced = len(n.data)
+	case opRename:
+		id := st.files[o.path]
+		delete(st.files, o.path)
+		st.files[o.path2] = id
+		st.dirty[o.path] = true
+		st.dirty[o.path2] = true
+	case opRemove:
+		delete(st.files, o.path)
+		st.dirty[o.path] = true
+	case opRemoveAll:
+		prefix := o.path + string(filepath.Separator)
+		for p := range st.files {
+			if p == o.path || (len(p) > len(prefix) && p[:len(prefix)] == prefix) {
+				delete(st.files, p)
+				st.dirty[p] = true
+			}
+		}
+		for d := range st.dirs {
+			if d == o.path || (len(d) > len(prefix) && d[:len(prefix)] == prefix) {
+				delete(st.dirs, d)
+			}
+		}
+	case opSyncDir:
+		for p := range st.dirty {
+			if filepath.Dir(p) != o.path {
+				continue
+			}
+			if id, ok := st.files[p]; ok {
+				st.dur[p] = id
+			} else {
+				delete(st.dur, p)
+			}
+			delete(st.dirty, p)
+		}
+	}
+}
+
+// --- FS implementation ---------------------------------------------------
+
+// memFile is an open handle. Writer handles append to their node (which
+// rename may move without invalidating the handle, like a real fd);
+// reader handles iterate a snapshot taken at Open.
+type memFile struct {
+	m      *MemFS
+	name   string
+	id     int
+	r      *bytes.Reader // non-nil for read handles
+	closed bool
+}
+
+func (f *memFile) Name() string { return f.name }
+
+func (f *memFile) Read(p []byte) (int, error) {
+	if f.closed {
+		return 0, fmt.Errorf("read %s: file already closed", f.name)
+	}
+	if f.r == nil {
+		return 0, fmt.Errorf("read %s: not open for reading", f.name)
+	}
+	return f.r.Read(p)
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if f.closed {
+		return 0, fmt.Errorf("write %s: file already closed", f.name)
+	}
+	if f.r != nil {
+		return 0, fmt.Errorf("write %s: not open for writing", f.name)
+	}
+	f.m.record(op{kind: opWrite, id: f.id, data: append([]byte(nil), p...)})
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if f.closed {
+		return fmt.Errorf("sync %s: file already closed", f.name)
+	}
+	if f.r == nil {
+		f.m.record(op{kind: opSyncFile, id: f.id})
+	}
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.closed = true
+	return nil
+}
+
+// Create creates or truncates name for writing. The parent directory
+// must exist.
+func (m *MemFS) Create(name string) (File, error) {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.st.dirs[filepath.Dir(name)] {
+		return nil, &fs.PathError{Op: "create", Path: name, Err: fs.ErrNotExist}
+	}
+	id := m.next
+	m.next++
+	m.record(op{kind: opCreate, path: name, id: id})
+	return &memFile{m: m, name: name, id: id}, nil
+}
+
+// Open opens name for reading; the handle sees a snapshot of the
+// contents at Open time.
+func (m *MemFS) Open(name string) (File, error) {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.st.files[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	data := append([]byte(nil), m.st.nodes[id].data...)
+	return &memFile{m: m, name: name, id: id, r: bytes.NewReader(data)}, nil
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.st.files[oldpath]; !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	if !m.st.dirs[filepath.Dir(newpath)] {
+		return &fs.PathError{Op: "rename", Path: newpath, Err: fs.ErrNotExist}
+	}
+	m.record(op{kind: opRename, path: oldpath, path2: newpath})
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.st.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	m.record(op{kind: opRemove, path: name})
+	return nil
+}
+
+func (m *MemFS) RemoveAll(path string) error {
+	path = filepath.Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.record(op{kind: opRemoveAll, path: path})
+	return nil
+}
+
+func (m *MemFS) MkdirAll(path string, _ fs.FileMode) error {
+	path = filepath.Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.record(op{kind: opMkdir, path: path})
+	return nil
+}
+
+func (m *MemFS) SyncDir(name string) error {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.st.dirs[name] {
+		return &fs.PathError{Op: "syncdir", Path: name, Err: fs.ErrNotExist}
+	}
+	m.record(op{kind: opSyncDir, path: name})
+	return nil
+}
+
+// memDirEntry implements fs.DirEntry for ReadDir.
+type memDirEntry struct {
+	name string
+	dir  bool
+	size int64
+}
+
+func (e memDirEntry) Name() string { return e.name }
+func (e memDirEntry) IsDir() bool  { return e.dir }
+func (e memDirEntry) Type() fs.FileMode {
+	if e.dir {
+		return fs.ModeDir
+	}
+	return 0
+}
+func (e memDirEntry) Info() (fs.FileInfo, error) {
+	return memFileInfo{e}, nil
+}
+
+type memFileInfo struct{ e memDirEntry }
+
+func (i memFileInfo) Name() string { return i.e.name }
+func (i memFileInfo) Size() int64  { return i.e.size }
+func (i memFileInfo) Mode() fs.FileMode {
+	if i.e.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i memFileInfo) ModTime() time.Time { return time.Time{} }
+func (i memFileInfo) IsDir() bool        { return i.e.dir }
+func (i memFileInfo) Sys() any           { return nil }
+
+func (m *MemFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.st.dirs[name] {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrNotExist}
+	}
+	seen := make(map[string]memDirEntry)
+	for p, id := range m.st.files {
+		if filepath.Dir(p) == name {
+			base := filepath.Base(p)
+			seen[base] = memDirEntry{name: base, size: int64(len(m.st.nodes[id].data))}
+		}
+	}
+	for d := range m.st.dirs {
+		if d != "." && filepath.Dir(d) == name {
+			base := filepath.Base(d)
+			seen[base] = memDirEntry{name: base, dir: true}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]fs.DirEntry, len(names))
+	for i, n := range names {
+		out[i] = seen[n]
+	}
+	return out, nil
+}
+
+// ReadFileAt reads a file's current (written, not necessarily durable)
+// contents — a test convenience.
+func (m *MemFS) ReadFileAt(name string) ([]byte, bool) {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.st.files[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), m.st.nodes[id].data...), true
+}
+
+// --- crash-image extraction ----------------------------------------------
+
+// OpCount reports the journal length so far. Workloads under crash
+// enumeration use it to tag their own durability boundaries ("after
+// this op index, record N was synced") for later assertions.
+func (m *MemFS) OpCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.ops)
+}
+
+// CrashPoints reports how many distinct cut positions the journal
+// offers: before any op, between every adjacent pair, and after the
+// last (= OpCount()+1).
+func (m *MemFS) CrashPoints() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.ops) + 1
+}
+
+// CrashImages materializes every disk image a power cut after the first
+// k journal operations could leave behind: the four namespace×data
+// projections plus torn variants of the most recently written unsynced
+// tail.
+func (m *MemFS) CrashImages(k int) []*Image {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if k < 0 || k > len(m.ops) {
+		panic(fmt.Sprintf("vfs: crash point %d out of range [0, %d]", k, len(m.ops)))
+	}
+	st := newFstate()
+	mm := &MemFS{st: st}
+	mm.seed(st, m.base)
+	lastWrite := -1
+	for _, o := range m.ops[:k] {
+		apply(st, o)
+		if o.kind == opWrite {
+			lastWrite = o.id
+		}
+		if o.kind == opSyncFile && o.id == lastWrite {
+			lastWrite = -1
+		}
+	}
+	imgs := []*Image{
+		project(st, ImageSynced, false, false, -1, 0),
+		project(st, ImageMetaFlushed, true, false, -1, 0),
+		project(st, ImageDataFlushed, false, true, -1, 0),
+		project(st, ImageAll, true, true, -1, 0),
+	}
+	// Torn variants: the unsynced tail of the most recently written
+	// node survived only partially. A handful of cut positions keeps
+	// enumeration linear; recio's per-byte truncation property test
+	// covers byte granularity separately.
+	if n, ok := st.nodes[lastWrite]; ok && len(n.data) > n.synced {
+		tail := len(n.data) - n.synced
+		cuts := map[int]bool{1: true, (tail + 1) / 2: true, tail - 1: true}
+		for c := range cuts {
+			if c <= 0 || c >= tail {
+				continue
+			}
+			imgs = append(imgs,
+				project(st, fmt.Sprintf("%s+torn@%d", ImageSynced, c), false, false, lastWrite, c),
+				project(st, fmt.Sprintf("%s+torn@%d", ImageMetaFlushed, c), true, false, lastWrite, c))
+		}
+	}
+	return imgs
+}
+
+// project builds one image: namespace from the current (fullNS) or
+// durable view, data either full or cut at the synced prefix, with an
+// optional extra torn survival of tornN bytes past the synced prefix
+// for node tornID.
+func project(st *fstate, mode string, fullNS, fullData bool, tornID, tornN int) *Image {
+	ns := st.dur
+	if fullNS {
+		ns = st.files
+	}
+	img := &Image{Mode: mode, Files: make(map[string][]byte)}
+	for p, id := range ns {
+		if !dirChainLive(st, filepath.Dir(p)) {
+			continue // entry's directory did not survive
+		}
+		n := st.nodes[id]
+		end := n.synced
+		if fullData {
+			end = len(n.data)
+		} else if id == tornID {
+			end += tornN
+		}
+		img.Files[p] = append([]byte(nil), n.data[:end]...)
+	}
+	for d := range st.dirs {
+		if d != "." {
+			img.Dirs = append(img.Dirs, d)
+		}
+	}
+	sort.Strings(img.Dirs)
+	return img
+}
+
+// dirChainLive reports whether every directory component up to the root
+// still exists.
+func dirChainLive(st *fstate, dir string) bool {
+	for dir != "." && dir != "/" {
+		if !st.dirs[dir] {
+			return false
+		}
+		dir = filepath.Dir(dir)
+	}
+	return true
+}
+
+var _ FS = (*MemFS)(nil)

@@ -1,0 +1,218 @@
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// imageAt materializes the image of the given mode at the current end
+// of the journal.
+func imageAt(t *testing.T, m *MemFS, mode string) *Image {
+	t.Helper()
+	for _, img := range m.CrashImages(m.OpCount()) {
+		if img.Mode == mode {
+			return img
+		}
+	}
+	t.Fatalf("no %q image", mode)
+	return nil
+}
+
+func TestUnsyncedDataDoesNotSurviveSyncedImage(t *testing.T) {
+	m := NewMemFS()
+	f, err := m.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("hello"))
+	f.Sync()
+	f.Write([]byte(" world")) // never synced
+
+	img := imageAt(t, m, ImageSynced)
+	// "a" was never published by a SyncDir, so the strict image does
+	// not even have the name.
+	if _, ok := img.Files["a"]; ok {
+		t.Fatalf("synced image has %q despite no SyncDir", "a")
+	}
+	m.SyncDir(".")
+	img = imageAt(t, m, ImageSynced)
+	if got := string(img.Files["a"]); got != "hello" {
+		t.Fatalf("synced image of a = %q, want %q", got, "hello")
+	}
+	if got := string(imageAt(t, m, ImageAll).Files["a"]); got != "hello world" {
+		t.Fatalf("all image of a = %q, want %q", got, "hello world")
+	}
+}
+
+func TestRenameDurabilityNeedsSyncDir(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.Create("x.tmp")
+	f.Write([]byte("data"))
+	f.Sync()
+	f.Close()
+	m.SyncDir(".")
+	if err := m.Rename("x.tmp", "x"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without a directory sync the strict image still shows the old
+	// name; the metadata-flushed image already shows the new one.
+	syn := imageAt(t, m, ImageSynced)
+	if _, ok := syn.Files["x"]; ok {
+		t.Fatal("rename visible in synced image before SyncDir")
+	}
+	if got := string(syn.Files["x.tmp"]); got != "data" {
+		t.Fatalf("synced image lost the pre-rename file: %q", got)
+	}
+	meta := imageAt(t, m, ImageMetaFlushed)
+	if got := string(meta.Files["x"]); got != "data" {
+		t.Fatalf("meta-flushed image x = %q, want %q", got, "data")
+	}
+
+	m.SyncDir(".")
+	syn = imageAt(t, m, ImageSynced)
+	if got := string(syn.Files["x"]); got != "data" {
+		t.Fatalf("after SyncDir, synced image x = %q, want %q", got, "data")
+	}
+	if _, ok := syn.Files["x.tmp"]; ok {
+		t.Fatal("after SyncDir, old name still present")
+	}
+}
+
+// The rename-before-fsync hole: publish a file whose data was never
+// synced, and the meta-flushed image exposes it empty.
+func TestRenameBeforeFsyncExposesEmptyFile(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.Create("j.tmp")
+	f.Write([]byte(`{"ok":true}`))
+	f.Close() // no Sync
+	m.Rename("j.tmp", "j")
+	meta := imageAt(t, m, ImageMetaFlushed)
+	if got, ok := meta.Files["j"]; !ok || len(got) != 0 {
+		t.Fatalf("meta-flushed j = %q (present=%v), want present and empty", got, ok)
+	}
+}
+
+func TestTornImagesCutTheUnsyncedTail(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.Create("t")
+	f.Write([]byte("AAAA"))
+	f.Sync()
+	m.SyncDir(".")
+	f.Write([]byte("BBBBBBBB"))
+	torn := 0
+	for _, img := range m.CrashImages(m.OpCount()) {
+		if !strings.Contains(img.Mode, "torn") {
+			continue
+		}
+		torn++
+		got := string(img.Files["t"])
+		if !strings.HasPrefix(got, "AAAA") || len(got) <= 4 || len(got) >= 12 {
+			t.Fatalf("torn image %q contents %q: want strict intermediate prefix", img.Mode, got)
+		}
+	}
+	if torn == 0 {
+		t.Fatal("no torn images generated for an unsynced tail")
+	}
+}
+
+func TestCrashPointReplayMatchesLiveState(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("d", 0o755)
+	f, _ := m.Create("d/f")
+	f.Write([]byte("one"))
+	f.Sync()
+	f.Close()
+	m.SyncDir("d")
+	m.Rename("d/f", "d/g")
+	m.SyncDir("d")
+	img := imageAt(t, m, ImageSynced)
+	if got := string(img.Files["d/g"]); got != "one" {
+		t.Fatalf("replayed synced image d/g = %q", got)
+	}
+	all := imageAt(t, m, ImageAll)
+	if got := string(all.Files["d/g"]); got != "one" {
+		t.Fatalf("replayed all image d/g = %q", got)
+	}
+}
+
+func TestLoadImageRoundTrip(t *testing.T) {
+	img := &Image{
+		Mode:  ImageSynced,
+		Files: map[string][]byte{"d/a": []byte("alpha"), "b": []byte("beta")},
+		Dirs:  []string{"d", "empty"},
+	}
+	m := LoadImage(img)
+	data, err := ReadFile(m, "d/a")
+	if err != nil || string(data) != "alpha" {
+		t.Fatalf("d/a = %q, %v", data, err)
+	}
+	ents, err := m.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	if got := strings.Join(names, ","); got != "b,d,empty" {
+		t.Fatalf("root entries = %q", got)
+	}
+	// Everything in a loaded image is durable from the start.
+	if got := string(imageAt(t, m, ImageSynced).Files["b"]); got != "beta" {
+		t.Fatalf("loaded image not durable: b = %q", got)
+	}
+}
+
+func TestRemoveAllDropsSubtreeFromImages(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("s", 0o755)
+	f, _ := m.Create("s/x")
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Close()
+	m.SyncDir("s")
+	m.RemoveAll("s")
+	// The directory is gone in every projection; the durable entry
+	// under it must not resurface as an orphan.
+	for _, img := range m.CrashImages(m.OpCount()) {
+		if _, ok := img.Files["s/x"]; ok {
+			t.Fatalf("image %q resurrects s/x after RemoveAll", img.Mode)
+		}
+	}
+}
+
+func TestCreateRequiresParentDir(t *testing.T) {
+	m := NewMemFS()
+	if _, err := m.Create("missing/f"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("create in missing dir: %v", err)
+	}
+	if _, err := m.Open("nope"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("open missing: %v", err)
+	}
+	if err := m.Rename("nope", "x"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("rename missing: %v", err)
+	}
+}
+
+func TestOpenSnapshotsContents(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.Create("f")
+	f.Write([]byte("before"))
+	r, err := m.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte(" after"))
+	data, _ := ReadFile(m, "f")
+	if string(data) != "before after" {
+		t.Fatalf("current contents = %q", data)
+	}
+	buf := make([]byte, 32)
+	n, _ := r.Read(buf)
+	if string(buf[:n]) != "before" {
+		t.Fatalf("snapshot read = %q, want %q", buf[:n], "before")
+	}
+}

@@ -1,0 +1,46 @@
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"syscall"
+)
+
+// osFS is the passthrough to the real filesystem. *os.File satisfies
+// File directly.
+type osFS struct{}
+
+// OS returns the real-filesystem FS. It is stateless; the same value is
+// shared by every caller.
+func OS() FS { return osFS{} }
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error          { return os.RemoveAll(path) }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+
+// SyncDir fsyncs the directory so entry changes under it (renames,
+// creates, removes) are durable. Filesystems that cannot fsync a
+// directory (some network and FUSE mounts report EINVAL or ENOTSUP)
+// are tolerated: on such mounts directory-entry durability is simply
+// not available and the call must not fail the persistence path.
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS()
+	sub := filepath.Join(dir, "a", "b")
+	if err := fsys.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(sub, "f.txt")
+	if err := WriteFileAtomic(fsys, path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ReadFile(fsys, path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	// No temp residue after the atomic replace.
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	ents, err := fsys.ReadDir(sub)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "f.txt" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := fsys.SyncDir(sub); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if err := fsys.Rename(path, filepath.Join(sub, "g.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(filepath.Join(sub, "g.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.RemoveAll(filepath.Join(dir, "a")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteFileAtomicOnMemFSIsCrashSafe(t *testing.T) {
+	// Replace an existing file and require every crash image to show
+	// one of the two complete versions — the contract serve's job.json
+	// and report.txt writes depend on.
+	m := NewMemFS()
+	if err := WriteFileAtomic(m, "f", []byte("old-contents")); err != nil {
+		t.Fatal(err)
+	}
+	base := imageAt(t, m, ImageSynced)
+	m2 := LoadImage(base)
+	if err := WriteFileAtomic(m2, "f", []byte("new-contents!")); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= m2.OpCount(); k++ {
+		for _, img := range m2.CrashImages(k) {
+			got, ok := img.Files["f"]
+			if !ok {
+				t.Fatalf("cut %d image %q: f missing entirely", k, img.Mode)
+			}
+			if s := string(got); s != "old-contents" && s != "new-contents!" {
+				t.Fatalf("cut %d image %q: f = %q, want a complete old or new version", k, img.Mode, s)
+			}
+		}
+	}
+}
+
+func TestFaultErrorClassification(t *testing.T) {
+	err := WrapFault("write", "x/y", syscall.ENOSPC)
+	if !errors.Is(err, ErrDiskFault) {
+		t.Fatal("wrapped fault does not match ErrDiskFault")
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatal("wrapped fault lost the underlying errno")
+	}
+	fe, ok := AsFault(err)
+	if !ok || fe.Op != "write" || fe.Path != "x/y" {
+		t.Fatalf("AsFault = %+v, %v", fe, ok)
+	}
+	// Re-wrapping keeps the original operation.
+	rewrapped := WrapFault("sync", "other", err)
+	fe, _ = AsFault(rewrapped)
+	if fe.Op != "write" {
+		t.Fatalf("double wrap replaced op: %+v", fe)
+	}
+	if WrapFault("op", "p", nil) != nil {
+		t.Fatal("WrapFault(nil) != nil")
+	}
+	if _, ok := AsFault(errors.New("plain")); ok {
+		t.Fatal("AsFault matched a plain error")
+	}
+}

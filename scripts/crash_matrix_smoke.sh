@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Crash-matrix smoke test: run the crash-point enumeration and
+# fault-injection suites for every persistence surface under the race
+# detector, then drive a real mmsim campaign onto a deterministically
+# failing disk (-fault-disk) and require that resuming the salvaged
+# checkpoint on a healthy disk converges to the uninterrupted
+# campaign's output byte-for-byte (wall-clock and capture annotations
+# aside).
+#
+# Surfaces covered by the test leg:
+#   - vfs WriteFileAtomic / OSFS / FaultFS classification
+#   - recio stream writer (fault schedules, seal-on-fault, fuzz-style cuts)
+#   - sniffer TraceWriter captures
+#   - experiments campaign checkpoint (incl. rewrite-on-open compaction)
+#   - serve job.json persistence + 507 admission + failed-with-diagnostics
+#   - shard capture staging publish
+#
+# Usage: scripts/crash_matrix_smoke.sh  (from the repo root)
+set -u
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+FAILURES=0
+
+fail() {
+  echo "FAIL: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+echo "== crash-point enumeration + fault injection under -race"
+go test -race -count=1 \
+  -run 'Crash|Fault|Torn|Enumerate|FullDisk|Diagnostics|PublishCaptures|WriteFileAtomic|OSFS' \
+  ./internal/vfs/... ./internal/recio ./internal/sniffer \
+  ./internal/experiments ./internal/serve ./internal/shard \
+  || fail "crash/fault test matrix failed"
+
+echo "== build"
+go build -o "$TMP/mmsim" ./cmd/mmsim || exit 1
+
+IDS="T1 F3 F24 F8 F9"
+FLAGS="-quick -seed 5 -parallel 1"
+
+# Legitimate differences between the legs: wall-clock annotations,
+# resumed-from-checkpoint markers, capture-file notes (paths differ and
+# fault-leg captures may be torn), and the checkpoint-write diagnostics
+# the faulted leg synthesizes.
+scrub() {
+  grep -v -e 'wall time' -e 'resumed from checkpoint' -e '\.vubiq' \
+    -e 'checkpoint write failed'
+}
+
+echo "== uninterrupted reference run"
+# shellcheck disable=SC2086
+"$TMP/mmsim" $FLAGS -capture "$TMP/capA" run $IDS > "$TMP/ref.out" \
+  || fail "reference campaign failed"
+
+echo "== campaign onto a disk that fills up (-fault-disk enospc)"
+# The byte budget lands mid-campaign: early records checkpoint cleanly,
+# then the disk is full and every later record write must fail closed —
+# sealed checkpoint, structured diagnostics, no torn footer. The run
+# itself may exit non-zero (drivers can fail on capture faults); the
+# contract under test is what the disk holds afterwards.
+# shellcheck disable=SC2086
+"$TMP/mmsim" $FLAGS -capture "$TMP/capB" -fault-disk "seed=7,enospc=6000" run $IDS \
+  > "$TMP/faulted.out" 2> "$TMP/faulted.err"
+if ! grep -q 'checkpoint write failed' "$TMP/faulted.out"; then
+  fail "fault budget never landed: no checkpoint-write diagnostic (tune enospc down?)"
+fi
+
+echo "== resume the salvaged checkpoint on a healthy disk"
+# shellcheck disable=SC2086
+"$TMP/mmsim" $FLAGS -capture "$TMP/capB" -resume run $IDS > "$TMP/resumed.out" \
+  || fail "resume over the salvaged checkpoint failed"
+if ! diff <(scrub < "$TMP/ref.out") <(scrub < "$TMP/resumed.out") > "$TMP/diff.out"; then
+  fail "resumed campaign differs from the uninterrupted run:"
+  cat "$TMP/diff.out" >&2
+fi
+
+echo "== malformed -fault-disk exits 2 with usage"
+"$TMP/mmsim" -fault-disk "torn=2" run T1 > /dev/null 2> "$TMP/err.out"
+rc=$?
+if [ "$rc" -ne 2 ]; then
+  fail "mmsim -fault-disk torn=2 exited $rc, want 2"
+elif ! grep -q 'usage:' "$TMP/err.out"; then
+  fail "mmsim -fault-disk torn=2 printed no usage"
+fi
+
+if [ "$FAILURES" -gt 0 ]; then
+  echo "crash matrix smoke: $FAILURES failure(s)" >&2
+  exit 1
+fi
+echo "crash matrix smoke: all checks passed"
