@@ -11,7 +11,9 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/geom"
 	"repro/internal/par"
+	"repro/internal/rf"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -158,6 +160,67 @@ func benchCampaign(b *testing.B, workers int) {
 	}
 	b.ReportMetric(pass, "pass")
 }
+
+// benchManyWalls traces a fixed set of cross-floor links through an
+// n-room office floor (geom.OfficeFloor), with the spatial index or the
+// retained brute-force reference. Wall count grows linearly with n, so
+// the Grid/Naive pairs at n ∈ {1,4,16,64} expose the tracer's scaling
+// law: the naive scan grows superlinearly (W² mirror pairs, W-wall leg
+// scans) while the grid walk tracks occupied cells.
+func benchManyWalls(b *testing.B, n int, naive bool) {
+	b.Helper()
+	room := geom.OfficeFloor(n)
+	tr := rf.NewTracer(room, rf.FreqChannel2Hz)
+	tr.Naive = naive
+	// One in-room link, one adjacent-room link (both keep paths under the
+	// loss cutoff at every floor size), and the far diagonal (often empty
+	// at large n — every candidate exceeds MaxLossDB — but it is the
+	// worst case for enumeration cost, which is what this measures).
+	pairs := [][2]geom.Vec2{
+		{geom.OfficeCenter(n, 0).Add(geom.V(-1, -0.5)), geom.OfficeCenter(n, 0).Add(geom.V(1, 0.5))},
+		{geom.OfficeCenter(n, 0), geom.OfficeCenter(n, (n+1)/2)},
+		{geom.OfficeCenter(n, 0), geom.OfficeCenter(n, n-1)},
+	}
+	var ps []rf.Path
+	var err error
+	total := 0
+	// Warm the index and scratch: the grid and candidate table are built
+	// once per room epoch, so steady-state queries are what's measured.
+	for _, p := range pairs {
+		if ps, err = tr.TraceAppend(ps[:0], p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for _, p := range pairs {
+			ps, err = tr.TraceAppend(ps[:0], p[0], p[1])
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += len(ps)
+		}
+	}
+	if total == 0 {
+		b.Fatal("benchmark scenario traced no paths")
+	}
+}
+
+// The indexed tracer across floor sizes (gated on ns/op in
+// BENCH_campaign.json: this family is the PR's speedup claim).
+func BenchmarkManyWallsGrid1(b *testing.B)  { benchManyWalls(b, 1, false) }
+func BenchmarkManyWallsGrid4(b *testing.B)  { benchManyWalls(b, 4, false) }
+func BenchmarkManyWallsGrid16(b *testing.B) { benchManyWalls(b, 16, false) }
+func BenchmarkManyWallsGrid64(b *testing.B) { benchManyWalls(b, 64, false) }
+
+// The brute-force reference on the same floors — the denominator of the
+// speedup, kept in the snapshot so the scaling gap stays visible.
+func BenchmarkManyWallsNaive1(b *testing.B)  { benchManyWalls(b, 1, true) }
+func BenchmarkManyWallsNaive4(b *testing.B)  { benchManyWalls(b, 4, true) }
+func BenchmarkManyWallsNaive16(b *testing.B) { benchManyWalls(b, 16, true) }
+func BenchmarkManyWallsNaive64(b *testing.B) { benchManyWalls(b, 64, true) }
 
 // BenchmarkCampaignWorkers1 is the serial baseline.
 func BenchmarkCampaignWorkers1(b *testing.B) { benchCampaign(b, 1) }

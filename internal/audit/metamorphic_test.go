@@ -28,6 +28,7 @@ type metaSpec struct {
 	offset    geom.Vec2 // translates every coordinate in the scenario
 	dock, sta string    // device labels (fault targets follow them)
 	faults    []fault.Impairment
+	naive     bool // route ray tracing through the brute-force reference
 }
 
 // runMeta executes a 3 m WiGig link with a reflecting wall and a TCP
@@ -48,6 +49,7 @@ func runMeta(t *testing.T, sp metaSpec) string {
 	room.AddWall(geom.V(-2, 1.5).Add(sp.offset), geom.V(6, 1.5).Add(sp.offset), "glass")
 	sc := core.NewScenario(room, seed)
 	sc.Med.Budget.AtmosphericSigmaDB = 0
+	sc.Med.Tracer().Naive = sp.naive
 	l := sc.AddWiGigLink(
 		wigig.Config{Name: sp.dock, Pos: geom.V(0, 0).Add(sp.offset), Seed: seed + 1},
 		wigig.Config{Name: sp.sta, Pos: geom.V(3, 0).Add(sp.offset), Seed: seed + 2},
@@ -93,6 +95,20 @@ func TestMetamorphicRelabelInvariance(t *testing.T) {
 		faults: baseFaults("left-anchor", "roaming-node")})
 	if a != b {
 		t.Errorf("relabeling changed metrics:\n  a: %s\n  b: %s", a, b)
+	}
+}
+
+// The tracer's spatial index is an acceleration structure, not a model
+// change: running the identical fault-laden scenario with the indexed
+// tracer and with the brute-force reference (rf.Tracer.Naive) must
+// produce a bit-identical metric fingerprint. Any divergence means the
+// index skipped a path the naive enumeration finds (or vice versa).
+func TestMetamorphicTracerIndexInvariance(t *testing.T) {
+	a := runMeta(t, metaSpec{dock: "dock", sta: "sta", faults: baseFaults("dock", "sta")})
+	b := runMeta(t, metaSpec{dock: "dock", sta: "sta", faults: baseFaults("dock", "sta"),
+		naive: true})
+	if a != b {
+		t.Errorf("spatial index changed metrics:\n  indexed: %s\n  naive:   %s", a, b)
 	}
 }
 

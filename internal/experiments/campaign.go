@@ -8,6 +8,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/par"
+	"repro/internal/rf"
 	"repro/internal/sim"
 	"repro/internal/vfs"
 )
@@ -213,6 +214,7 @@ func failResult(r Runner, pe *par.PointError, deadline time.Duration) core.Resul
 	var de *sim.DeadlineError
 	var ve *audit.ViolationError
 	var fe *vfs.FaultError
+	var ge *rf.GeometryError
 	switch {
 	case asViolation(pe, &ve):
 		res.AddCheck("audit", "invariants hold",
@@ -222,6 +224,10 @@ func failResult(r Runner, pe *par.PointError, deadline time.Duration) core.Resul
 		res.AddCheck("persistence", "disk writes complete",
 			"disk fault during "+fe.Op, false)
 		res.Note("disk fault: op %s path %s: %v", fe.Op, fe.Path, fe.Err)
+	case asGeometry(pe, &ge):
+		res.AddCheck("geometry", "scenario traces",
+			"ray tracer rejected the scenario", false)
+		res.Note("geometry: trace %v→%v: %v", ge.Tx, ge.Rx, ge.Err)
 	case asDeadline(pe, &de):
 		res.AddCheck("completed", "within deadline",
 			"exceeded "+deadline.String()+" wall-clock budget", false)
@@ -269,6 +275,36 @@ func asDiskFault(pe *par.PointError, out **vfs.FaultError) bool {
 	for pe != nil {
 		if fe, ok := pe.Panic.(*vfs.FaultError); ok {
 			*out = fe
+			return true
+		}
+		if err, ok := pe.Panic.(error); ok && errors.As(err, out) {
+			return true
+		}
+		if pe.Err == nil {
+			return false
+		}
+		if errors.As(pe.Err, out) {
+			return true
+		}
+		var inner *par.PointError
+		if !errors.As(pe.Err, &inner) {
+			return false
+		}
+		pe = inner
+	}
+	return false
+}
+
+// asGeometry digs a *rf.GeometryError out of a point failure — a driver
+// killed by an untraceable scenario (in practice an unknown wall
+// material) reports a structured geometry failure instead of a generic
+// crash, so operators can tell "the scenario definition is broken" from
+// "the experiment logic panicked". The error typically arrives as
+// sim.Medium's trace panic: an error value wrapping the GeometryError.
+func asGeometry(pe *par.PointError, out **rf.GeometryError) bool {
+	for pe != nil {
+		if ge, ok := pe.Panic.(*rf.GeometryError); ok {
+			*out = ge
 			return true
 		}
 		if err, ok := pe.Panic.(error); ok && errors.As(err, out) {

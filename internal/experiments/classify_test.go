@@ -9,7 +9,9 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/geom"
 	"repro/internal/par"
+	"repro/internal/rf"
 	"repro/internal/sim"
 )
 
@@ -24,6 +26,8 @@ func TestFailureClassificationTable(t *testing.T) {
 		Rule: audit.RuleWiGigNAVDecrease, Severity: audit.SevError,
 		Time: 3 * time.Millisecond, Detail: "nav shortened",
 	}}
+	ge := &rf.GeometryError{Tx: geom.V(1, 1), Rx: geom.V(2, 2),
+		Err: errors.New(`mat: unknown material "plutonium"`)}
 
 	cases := []struct {
 		name      string
@@ -49,6 +53,16 @@ func TestFailureClassificationTable(t *testing.T) {
 			&par.PointError{Err: fmt.Errorf("driver: %w", ve)}, "audit", string(audit.RuleWiGigNAVDecrease)},
 		{"violation inside nested sweep PointError",
 			&par.PointError{Err: &par.PointError{Index: 2, Panic: ve}}, "audit", string(audit.RuleWiGigNAVDecrease)},
+		{"geometry as panic value",
+			&par.PointError{Panic: ge}, "geometry", "rejected"},
+		{"geometry as panicked wrapping error (medium trace panic)",
+			&par.PointError{Panic: fmt.Errorf("sim: trace a→b: %w", ge)}, "geometry", "rejected"},
+		{"geometry as bare error",
+			&par.PointError{Err: ge}, "geometry", "rejected"},
+		{"geometry wrapped with %w",
+			&par.PointError{Err: fmt.Errorf("driver: %w", ge)}, "geometry", "rejected"},
+		{"geometry inside nested sweep PointError",
+			&par.PointError{Err: &par.PointError{Index: 4, Panic: ge}}, "geometry", "rejected"},
 		{"plain panic stays unclassified",
 			&par.PointError{Panic: "index out of range"}, "completed", "panicked"},
 		{"plain error stays unclassified",
@@ -108,6 +122,52 @@ func TestSentinelRoundTrips(t *testing.T) {
 				t.Errorf("wrapping %d: errors.As lost the violation payload", i)
 			}
 		}
+	}
+}
+
+// End to end: a driver whose scenario uses an unknown wall material dies
+// inside sim.Medium's trace panic; the campaign must classify it as a
+// structured geometry failure naming the material, not a generic panic,
+// and leave its neighbours unharmed.
+func TestCampaignSurfacesGeometryError(t *testing.T) {
+	good, ok := Get("T1")
+	if !ok {
+		t.Fatal("T1 not registered")
+	}
+	runners := []Runner{
+		{ID: "Z8", Title: "bad material", Run: func(Options) core.Result {
+			room := geom.Box(0, 0, 6, 4, "vibranium")
+			s := sim.NewScheduler()
+			m := sim.NewMedium(s, room, rf.FreqChannel2Hz, rf.DefaultBudget(), 1)
+			a := m.AddRadio(&sim.Radio{Name: "a", Pos: geom.V(1, 1)})
+			b := m.AddRadio(&sim.Radio{Name: "b", Pos: geom.V(5, 3)})
+			m.RxPowerDBm(a, b) // traces the pair → panics on the unknown material
+			return core.Result{ID: "Z8"}
+		}},
+		good,
+	}
+	sts := collectStatuses(runners, Options{Seed: 1, Quick: true}, Campaign{Parallel: 2})
+	if sts[0].Failure == nil || sts[0].Result.Pass() {
+		t.Fatalf("geometry failure not reported: %+v", sts[0].Result)
+	}
+	var ge *rf.GeometryError
+	if !asGeometry(sts[0].Failure, &ge) {
+		t.Fatalf("geometry failure misclassified: %v", sts[0].Failure)
+	}
+	if !strings.Contains(ge.Err.Error(), "vibranium") {
+		t.Errorf("geometry error lost the material name: %v", ge.Err)
+	}
+	found := false
+	for _, c := range sts[0].Result.Checks {
+		if c.Name == "geometry" && !c.Pass {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no failing geometry check in %+v", sts[0].Result.Checks)
+	}
+	if sts[1].Failure != nil || !sts[1].Result.Pass() {
+		t.Errorf("healthy neighbour harmed: %+v", sts[1].Result)
 	}
 }
 

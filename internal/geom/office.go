@@ -1,0 +1,105 @@
+package geom
+
+import "math"
+
+// Office floor-plan generator: a deterministic, parameterized environment
+// for the many-wall benchmarks and the tracer equivalence suite. The
+// workloads the related 60 GHz papers study — dense multi-AP office
+// deployments with many partitions — need room counts the hand-built
+// paper rooms (ConferenceRoom et al.) cannot express.
+
+// officeRoomW/H are the dimensions of one office cell in meters.
+const (
+	officeRoomW = 4.0
+	officeRoomH = 3.0
+	officeDoorW = 0.9
+)
+
+// officeGrid returns the column/row layout for n rooms.
+func officeGrid(n int) (cols, rows int) {
+	if n < 1 {
+		n = 1
+	}
+	cols = int(math.Ceil(math.Sqrt(float64(n))))
+	rows = (n + cols - 1) / cols
+	return cols, rows
+}
+
+// OfficeFloor builds a deterministic office floor with n rooms arranged
+// in a near-square grid: a brick perimeter, drywall partition walls with
+// door gaps between adjacent rooms, and per-room furnishings (a wooden
+// partition plus blocking metal/wood obstacles) whose placement varies
+// deterministically with the room index. Wall count grows linearly with
+// n (roughly 6–7 segments per room), which is what makes it a scaling
+// probe for the tracer's spatial index.
+func OfficeFloor(n int) *Room {
+	cols, rows := officeGrid(n)
+	w := float64(cols) * officeRoomW
+	h := float64(rows) * officeRoomH
+	r := &Room{}
+	// Perimeter.
+	r.AddWall(V(0, 0), V(w, 0), "brick")
+	r.AddWall(V(w, 0), V(w, h), "brick")
+	r.AddWall(V(w, h), V(0, h), "brick")
+	r.AddWall(V(0, h), V(0, 0), "brick")
+	// Interior column boundaries, one pair of segments per room row with
+	// a door gap in the middle.
+	for c := 1; c < cols; c++ {
+		x := float64(c) * officeRoomW
+		for rr := 0; rr < rows; rr++ {
+			y0 := float64(rr) * officeRoomH
+			gap0 := y0 + (officeRoomH-officeDoorW)/2
+			r.AddWall(V(x, y0), V(x, gap0), "drywall")
+			r.AddWall(V(x, gap0+officeDoorW), V(x, y0+officeRoomH), "drywall")
+		}
+	}
+	// Interior row boundaries, one pair per room column with a door gap.
+	for rr := 1; rr < rows; rr++ {
+		y := float64(rr) * officeRoomH
+		for c := 0; c < cols; c++ {
+			x0 := float64(c) * officeRoomW
+			gap0 := x0 + (officeRoomW-officeDoorW)/2
+			r.AddWall(V(x0, y), V(gap0, y), "drywall")
+			r.AddWall(V(gap0+officeDoorW, y), V(x0+officeRoomW, y), "drywall")
+		}
+	}
+	// Furnishings: deterministic per-room variation via small integer
+	// mixes (no RNG, so the plan is reproducible byte for byte).
+	for i := 0; i < n; i++ {
+		c, rr := i%cols, i/cols
+		x0 := float64(c) * officeRoomW
+		y0 := float64(rr) * officeRoomH
+		if i%2 == 0 {
+			px := x0 + 2.5 + 0.2*float64(i%3)
+			r.AddWall(V(px, y0), V(px, y0+1.6), "wood")
+		} else {
+			py := y0 + 1.4 + 0.2*float64(i%3)
+			r.AddWall(V(x0, py), V(x0+2.0, py), "wood")
+		}
+		// A metal cabinet: short blocking obstacle at a room-dependent
+		// position and orientation (golden-angle increments spread the
+		// orientations without an RNG).
+		ang := float64(i) * 2.39996
+		cx := x0 + 1.1 + 0.6*float64(i%4)*0.45
+		cy := y0 + 0.8 + 0.5*float64((i/2)%3)*0.55
+		dx := 0.4 * math.Cos(ang)
+		dy := 0.4 * math.Sin(ang)
+		r.AddObstacle(V(cx-dx, cy-dy), V(cx+dx, cy+dy), "metal")
+		// A desk: a second, wooden blocking obstacle in every other room.
+		if i%2 == 1 {
+			qx := x0 + 3.0
+			qy := y0 + 2.2
+			r.AddObstacle(V(qx-0.5, qy), V(qx+0.5, qy), "wood")
+		}
+	}
+	return r
+}
+
+// OfficeCenter returns the center of room i in the floor built by
+// OfficeFloor(n) — anchor positions for benchmark transmitters and
+// receivers.
+func OfficeCenter(n, i int) Vec2 {
+	cols, _ := officeGrid(n)
+	c, rr := i%cols, i/cols
+	return V(float64(c)*officeRoomW+officeRoomW/2, float64(rr)*officeRoomH+officeRoomH/2)
+}

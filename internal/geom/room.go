@@ -71,15 +71,23 @@ func (r *Room) MoveWall(i int, s Segment) {
 // every mutation since then; false means structural edits happened or
 // the log was trimmed, and the caller must rebuild its cache entirely.
 func (r *Room) MovesSince(epoch uint64) (moves []WallMove, complete bool) {
+	return r.AppendMovesSince(nil, epoch)
+}
+
+// AppendMovesSince is MovesSince appending onto dst, so steady-state
+// callers (the tracer's spatial index, the medium's channel cache) can
+// reuse a scratch slice instead of allocating per room mutation.
+func (r *Room) AppendMovesSince(dst []WallMove, epoch uint64) (moves []WallMove, complete bool) {
 	if epoch > r.epoch {
-		return nil, false
+		return dst, false
 	}
+	n := len(dst)
 	for _, m := range r.moves {
 		if m.Epoch > epoch {
-			moves = append(moves, m)
+			dst = append(dst, m)
 		}
 	}
-	return moves, uint64(len(moves)) == r.epoch-epoch
+	return dst, uint64(len(dst)-n) == r.epoch-epoch
 }
 
 // AddWall appends a reflecting wall made of the named material.

@@ -76,6 +76,7 @@ func (m Material) ReflectionLossDB(incidence float64) float64 {
 // use NewRegistry or DefaultRegistry.
 type Registry struct {
 	byName map[string]Material
+	rev    uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -83,10 +84,18 @@ func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]Material)}
 }
 
-// Register adds or replaces a material definition.
+// Register adds or replaces a material definition, advancing the
+// registry's revision counter.
 func (r *Registry) Register(m Material) {
 	r.byName[m.Name] = m
+	r.rev++
 }
+
+// Rev returns the registry's mutation counter. Caches of resolved
+// materials (the ray tracer's wall slab) snapshot it so a material
+// registered or redefined after cache construction is still picked up,
+// while untouched registries pay only an integer compare per query.
+func (r *Registry) Rev() uint64 { return r.rev }
 
 // Lookup returns the named material. Unknown names return an error so a
 // mistyped wall material fails loudly at scenario-build time rather than

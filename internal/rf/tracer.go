@@ -12,6 +12,15 @@ import (
 // using the image method: a k-th order reflection is found by mirroring
 // the transmitter across k walls and intersecting the straight line from
 // the final image to the receiver with the mirror walls in reverse order.
+//
+// Queries run through an exact spatial index: leg blockage tests walk a
+// uniform grid (geom.Grid) instead of scanning every wall, and
+// second-order mirror pairs come from a precomputed, epoch-keyed
+// candidate table with per-wall same-side prechecks. The index only ever
+// skips work the brute-force scan provably discards, so the returned
+// path sets are byte-identical to the retained naive reference
+// (naive.go, selected via Naive) — the acceleration is observable only
+// as time.
 type Tracer struct {
 	// Room supplies the reflecting walls and blocking obstacles.
 	Room *geom.Room
@@ -27,24 +36,149 @@ type Tracer struct {
 	// MaxLossDB drops paths weaker than this total propagation loss to
 	// keep channel lists short; 0 means keep everything.
 	MaxLossDB float64
+	// Naive routes every query through the retained brute-force
+	// reference implementation (naive.go). The equivalence and
+	// metamorphic suites use it as the oracle the spatial index must
+	// match byte for byte; production callers leave it false.
+	Naive bool
 
 	// wallMats is the dense wall→material slab, resolved in one batch via
-	// mat.ResolveInto and re-synced whenever the room epoch moves. The
-	// per-leg and per-bounce loops index it instead of hashing material
-	// names, which removes the map lookups from the tracing hot path.
+	// mat.ResolveInto and re-synced when the wall list or the registry
+	// changes. The per-leg and per-bounce loops index it instead of
+	// hashing material names, which removes the map lookups from the
+	// tracing hot path.
 	wallMats     []mat.Material
 	wallMatNames []string
 	matEpoch     uint64
+	matRev       uint64
+	matReg       *mat.Registry
 	matsValid    bool
+
+	// grid is the uniform spatial index the leg-blockage walk queries.
+	grid geom.Grid
+
+	// cand holds per wall i its second-order mirror candidates j
+	// (ascending), with precomputed side classifications for the
+	// same-side culls. Rows are keyed to the room epoch and updated
+	// incrementally from the move log, so the MoveWall blockage walker
+	// pays O(W) per step instead of an O(W²) rebuild.
+	cand      [][]pairCand
+	candEpoch uint64
+	candWalls int
+	candValid bool
+	candMoves []geom.WallMove
+
+	// blocks partitions the wall array into index ranges of wallsPerBlock
+	// and stores each range's bounding box. Generated floors emit walls
+	// room by room, so index ranges are spatially tight, and a whole block
+	// of candidate entries can be skipped when its box lies confidently
+	// outside a row's same-side halfplane or mirror cone. rowStart[i][b]
+	// is the offset of block b's entries within cand[i] (rows are sorted
+	// by j, so blocks are contiguous runs).
+	blocks      []wallBlock
+	superBlocks []wallBlock
+	rowStart    [][]int32
+	rowSlab     []int32
+
+	// Per-query scratch, sized to the wall count by syncGeometry.
+	// txCross/rxCross hold the SameSide cross products of the endpoints
+	// against every wall line, computed once per query with exactly the
+	// expressions geom.Segment.SameSide uses.
+	txCross, rxCross []float64
+	// skipGen/skipCur replace the per-candidate skip maps: a wall is
+	// "skipped" for the current leg set iff its stamp equals skipCur.
+	skipGen []uint64
+	skipCur uint64
+	// legIdx collects grid candidates per leg; legHit collects the few
+	// walls a leg actually crosses (sorted before the loss sum).
+	legIdx []int32
+	legHit []int32
+	// ptsScratch stages a path's points before the loss cutoff decides
+	// whether they are materialized; ptsFree pools released point slabs.
+	ptsScratch [maxTracePoints]geom.Vec2
+	ptsFree    [][]geom.Vec2
+
+	// PairAffected scratch.
+	paSegs     []geom.Segment
+	paPhantoms []geom.Segment
+	paMoved    []uint64
+	paMovedCur uint64
 }
 
-// syncMaterials refreshes the wall→material slab when the room has been
-// edited since the last trace (wall moves keep materials but also bump
-// the epoch; the re-resolve is one map hit per wall, paid per room
-// revision rather than per path leg).
+// maxTracePoints is the longest point sequence a traced path can carry:
+// tx, two bounces, rx (the tracer implements orders ≤ 2).
+const maxTracePoints = 4
+
+// pairCand is one entry of the second-order candidate table: wall j is a
+// potential second mirror for first mirror i. The side fields classify
+// each wall's endpoints against the other wall's infinite line with a
+// conservative margin: ±1 means confidently that side, 0 means on or
+// near the line (never culled). jaSide/jbSide are w_j's endpoints
+// against line(w_i); iaSide/ibSide are w_i's endpoints against
+// line(w_j).
+type pairCand struct {
+	j              int32
+	jaSide, jbSide int8
+	iaSide, ibSide int8
+}
+
+// wallBlock is the bounding box of one wallsPerBlock-sized index range
+// of the wall array, stored as center and half-extents — the granule of
+// the block-level candidate culls. For any edge vector e, the extremes
+// of cross(e, p−anchor) over the box are cross(e, c−anchor) ±
+// (|e.x|·ry + |e.y|·rx), so one cross product decides a whole block.
+type wallBlock struct {
+	cx, cy, rx, ry float64
+}
+
+// wallsPerBlock is the block granularity. Smaller blocks cull more
+// precisely but cost more box tests per row; a room's worth of walls
+// keeps the boxes spatially tight on the generated office floors.
+// Superblocks of blocksPerSuper blocks form a second level so a row can
+// discard whole regions before testing individual blocks.
+const (
+	wallsPerBlock  = 4
+	blocksPerSuper = 4
+)
+
+// sideMargin is the relative margin of the candidate table's side
+// classification. Cross products within margin·|d|·|reach| of zero are
+// classified 0 (unknown) and never culled, so floating-point wobble in
+// an interpolated reflection point can never disagree with a
+// "confident" side — the cull only discards pairs the naive SameSide
+// checks provably reject.
+const sideMargin = 1e-9
+
+// GeometryError reports that the tracer could not evaluate the channel
+// between two points — in practice an unresolvable wall material name
+// surfacing deep inside a sweep loop. The campaign runner classifies it
+// as a structured "geometry" failure (see experiments.RunCampaign).
+type GeometryError struct {
+	Tx, Rx geom.Vec2
+	Err    error
+}
+
+func (e *GeometryError) Error() string {
+	return fmt.Sprintf("rf: trace %v→%v: %v", e.Tx, e.Rx, e.Err)
+}
+
+func (e *GeometryError) Unwrap() error { return e.Err }
+
+// syncMaterials refreshes the wall→material slab when the wall list or
+// the registry changed. Wall moves bump the room epoch without touching
+// material names, so an epoch-only change re-validates with one name
+// compare per wall instead of re-resolving; a registry edit after
+// construction (Registry.Rev) still forces the full re-resolve.
 func (t *Tracer) syncMaterials() error {
-	if t.matsValid && t.matEpoch == t.Room.Epoch() && len(t.wallMats) == len(t.Room.Walls) {
-		return nil
+	if t.matsValid && t.matReg == t.Materials && t.matRev == t.Materials.Rev() &&
+		len(t.wallMats) == len(t.Room.Walls) {
+		if t.matEpoch == t.Room.Epoch() {
+			return nil
+		}
+		if t.wallNamesUnchanged() {
+			t.matEpoch = t.Room.Epoch()
+			return nil
+		}
 	}
 	t.wallMatNames = t.wallMatNames[:0]
 	for _, w := range t.Room.Walls {
@@ -57,8 +191,22 @@ func (t *Tracer) syncMaterials() error {
 	}
 	t.wallMats = mats
 	t.matEpoch = t.Room.Epoch()
+	t.matRev = t.Materials.Rev()
+	t.matReg = t.Materials
 	t.matsValid = true
 	return nil
+}
+
+func (t *Tracer) wallNamesUnchanged() bool {
+	if len(t.wallMatNames) != len(t.Room.Walls) {
+		return false
+	}
+	for i := range t.Room.Walls {
+		if t.Room.Walls[i].Material != t.wallMatNames[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // NewTracer returns a tracer for the room with the default material set,
@@ -77,26 +225,319 @@ func NewTracer(room *geom.Room, freqHz float64) *Tracer {
 // reflection points.
 const blockEps = 1e-9
 
-// legLoss accumulates penetration losses of walls crossed by the open
-// segment from a to b, skipping the walls indexed in skip (the mirrors a
-// reflected path legitimately touches). It reports blocked=true when a
-// Blocking wall is crossed. Materials come from the pre-resolved slab, so
-// the caller must have run syncMaterials first.
-func (t *Tracer) legLoss(a, b geom.Vec2, skip map[int]bool) (lossDB float64, blocked bool) {
-	seg := geom.Seg(a, b)
-	for i, w := range t.Room.Walls {
-		if skip[i] {
+// syncGeometry reconciles the spatial index (grid, candidate table, and
+// the per-wall scratch slices) with the room. Static rooms pay integer
+// compares; MoveWall edits apply incrementally via the move log.
+func (t *Tracer) syncGeometry() {
+	t.grid.Sync(t.Room)
+	t.syncCandidates()
+	if n := len(t.Room.Walls); len(t.skipGen) != n {
+		t.skipGen = growUint64(t.skipGen, n)
+		t.paMoved = growUint64(t.paMoved, n)
+		t.txCross = growFloat64(t.txCross, n)
+		t.rxCross = growFloat64(t.rxCross, n)
+	}
+}
+
+func growUint64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growFloat64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func (t *Tracer) syncCandidates() {
+	room := t.Room
+	n := len(room.Walls)
+	if t.candValid && t.candEpoch == room.Epoch() && t.candWalls == n {
+		return
+	}
+	if t.candValid && t.candWalls == n {
+		moves, complete := room.AppendMovesSince(t.candMoves[:0], t.candEpoch)
+		t.candMoves = moves[:0]
+		if complete {
+			for _, m := range moves {
+				t.updateCandidates(m.Index)
+			}
+			t.candEpoch = room.Epoch()
+			return
+		}
+	}
+	t.rebuildCandidates()
+}
+
+func (t *Tracer) rebuildCandidates() {
+	n := len(t.Room.Walls)
+	if cap(t.cand) < n {
+		old := t.cand
+		t.cand = make([][]pairCand, n)
+		copy(t.cand, old)
+	} else {
+		t.cand = t.cand[:n]
+	}
+	for i := 0; i < n; i++ {
+		t.cand[i] = t.buildRow(t.cand[i][:0], i)
+	}
+	t.rebuildBlocks()
+	t.candEpoch = t.Room.Epoch()
+	t.candWalls = n
+	t.candValid = true
+}
+
+// rebuildBlocks recomputes every block and superblock bounding box and
+// every row's block offsets from scratch.
+func (t *Tracer) rebuildBlocks() {
+	n := len(t.Room.Walls)
+	nb := (n + wallsPerBlock - 1) / wallsPerBlock
+	if cap(t.blocks) < nb {
+		t.blocks = make([]wallBlock, nb)
+	} else {
+		t.blocks = t.blocks[:nb]
+	}
+	for b := range t.blocks {
+		t.blockBox(b)
+	}
+	ns := (nb + blocksPerSuper - 1) / blocksPerSuper
+	if cap(t.superBlocks) < ns {
+		t.superBlocks = make([]wallBlock, ns)
+	} else {
+		t.superBlocks = t.superBlocks[:ns]
+	}
+	for sb := range t.superBlocks {
+		t.superBox(sb)
+	}
+	// All rows share one backing slab (row i at [i*(nb+1), (i+1)*(nb+1)))
+	// so a rebuild costs O(1) allocations, not one per wall.
+	stride := nb + 1
+	if need := n * stride; cap(t.rowSlab) < need {
+		t.rowSlab = make([]int32, need)
+	} else {
+		t.rowSlab = t.rowSlab[:need]
+	}
+	if cap(t.rowStart) < n {
+		t.rowStart = make([][]int32, n)
+	} else {
+		t.rowStart = t.rowStart[:n]
+	}
+	for i := 0; i < n; i++ {
+		t.rowStart[i] = t.rowSlab[i*stride : (i+1)*stride : (i+1)*stride]
+		fillRowStarts(t.cand[i], t.rowStart[i])
+	}
+}
+
+// blockBox recomputes the bounding box of block b from its member walls.
+func (t *Tracer) blockBox(b int) {
+	walls := t.Room.Walls
+	lo := b * wallsPerBlock
+	hi := lo + wallsPerBlock
+	if hi > len(walls) {
+		hi = len(walls)
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for k := lo; k < hi; k++ {
+		s := &walls[k].Segment
+		minX = math.Min(minX, math.Min(s.A.X, s.B.X))
+		minY = math.Min(minY, math.Min(s.A.Y, s.B.Y))
+		maxX = math.Max(maxX, math.Max(s.A.X, s.B.X))
+		maxY = math.Max(maxY, math.Max(s.A.Y, s.B.Y))
+	}
+	t.blocks[b] = wallBlock{
+		cx: (minX + maxX) / 2, cy: (minY + maxY) / 2,
+		rx: (maxX - minX) / 2, ry: (maxY - minY) / 2,
+	}
+}
+
+// superBox recomputes the bounding box of superblock sb from its member
+// blocks' center/half-extent boxes.
+func (t *Tracer) superBox(sb int) {
+	lo := sb * blocksPerSuper
+	hi := lo + blocksPerSuper
+	if hi > len(t.blocks) {
+		hi = len(t.blocks)
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for b := lo; b < hi; b++ {
+		bb := &t.blocks[b]
+		minX = math.Min(minX, bb.cx-bb.rx)
+		minY = math.Min(minY, bb.cy-bb.ry)
+		maxX = math.Max(maxX, bb.cx+bb.rx)
+		maxY = math.Max(maxY, bb.cy+bb.ry)
+	}
+	t.superBlocks[sb] = wallBlock{
+		cx: (minX + maxX) / 2, cy: (minY + maxY) / 2,
+		rx: (maxX - minX) / 2, ry: (maxY - minY) / 2,
+	}
+}
+
+// fillRowStarts records, for the sorted row, where each index block's
+// entries begin: starts[b] is the first entry with j ≥ b·wallsPerBlock,
+// starts[len-1] is len(row).
+func fillRowStarts(row []pairCand, starts []int32) {
+	k := 0
+	for b := range starts {
+		lim := int32(b * wallsPerBlock)
+		for k < len(row) && row[k].j < lim {
+			k++
+		}
+		starts[b] = int32(k)
+	}
+}
+
+func (t *Tracer) buildRow(dst []pairCand, i int) []pairCand {
+	walls := t.Room.Walls
+	wi := walls[i].Segment
+	for j := range walls {
+		if j == i {
 			continue
 		}
+		if c, ok := makeCand(wi, walls[j].Segment, int32(j)); ok {
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// updateCandidates repairs the table after wall k moved: row k is
+// rebuilt, and k's entry in every other row is recomputed in place
+// (rows stay sorted by j, so the column fix is a binary search each).
+func (t *Tracer) updateCandidates(k int) {
+	walls := t.Room.Walls
+	t.cand[k] = t.buildRow(t.cand[k][:0], k)
+	fillRowStarts(t.cand[k], t.rowStart[k])
+	t.blockBox(k / wallsPerBlock)
+	t.superBox(k / (wallsPerBlock * blocksPerSuper))
+	wk := walls[k].Segment
+	for i := range walls {
+		if i == k {
+			continue
+		}
+		c, ok := makeCand(walls[i].Segment, wk, int32(k))
+		before := len(t.cand[i])
+		t.cand[i] = setRowEntry(t.cand[i], int32(k), c, ok)
+		if len(t.cand[i]) != before {
+			fillRowStarts(t.cand[i], t.rowStart[i])
+		}
+	}
+}
+
+func setRowEntry(row []pairCand, j int32, c pairCand, present bool) []pairCand {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid].j < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	found := lo < len(row) && row[lo].j == j
+	switch {
+	case found && present:
+		row[lo] = c
+	case found && !present:
+		row = append(row[:lo], row[lo+1:]...)
+	case !found && present:
+		row = append(row, pairCand{})
+		copy(row[lo+1:], row[lo:])
+		row[lo] = c
+	}
+	return row
+}
+
+// makeCand classifies the (wi, wj) mirror pair. ok=false drops the pair
+// from the table entirely; that is only done for axis-aligned collinear
+// walls, where the naive SameSide cross products are exactly zero by IEEE
+// arithmetic (the interpolated bounce point inherits the shared exact
+// coordinate), so the brute-force scan provably emits no path.
+func makeCand(wi, wj geom.Segment, j int32) (pairCand, bool) {
+	if wi.A.Y == wi.B.Y && wj.A.Y == wj.B.Y && wi.A.Y == wj.A.Y {
+		return pairCand{}, false
+	}
+	if wi.A.X == wi.B.X && wj.A.X == wj.B.X && wi.A.X == wj.A.X {
+		return pairCand{}, false
+	}
+	di := wi.B.Sub(wi.A)
+	dj := wj.B.Sub(wj.A)
+	va, vb := wj.A.Sub(wi.A), wj.B.Sub(wi.A)
+	ua, ub := wi.A.Sub(wj.A), wi.B.Sub(wj.A)
+	epsI := sideMargin * di.Len() * (va.Len() + vb.Len())
+	epsJ := sideMargin * dj.Len() * (ua.Len() + ub.Len())
+	return pairCand{
+		j:      j,
+		jaSide: confidentSide(di.Cross(va), epsI),
+		jbSide: confidentSide(di.Cross(vb), epsI),
+		iaSide: confidentSide(dj.Cross(ua), epsJ),
+		ibSide: confidentSide(dj.Cross(ub), epsJ),
+	}, true
+}
+
+func confidentSide(cross, eps float64) int8 {
+	if cross > eps {
+		return 1
+	}
+	if cross < -eps {
+		return -1
+	}
+	return 0
+}
+
+// legLoss accumulates penetration losses of walls crossed by the open
+// segment from a to b, skipping walls stamped with the current skip
+// generation (the mirrors a reflected path legitimately touches). It
+// reports blocked=true when a Blocking wall is crossed. Candidates come
+// from the grid and are re-tested with the exact naive predicates. The
+// candidate order is irrelevant to the tests themselves (IntersectInterior
+// is pure, and "some blocking wall is crossed" is a set property), so the
+// list is scanned unsorted; only the few walls actually crossed are
+// sorted, which keeps the penetration-loss float summation in the naive
+// scan's ascending wall order — bit-identical to the full scan.
+func (t *Tracer) legLoss(a, b geom.Vec2) (lossDB float64, blocked bool) {
+	seg := geom.Seg(a, b)
+	t.legIdx = t.grid.AppendSegmentWalls(t.legIdx[:0], a, b)
+	walls := t.Room.Walls
+	hits := t.legHit[:0]
+	for _, wi := range t.legIdx {
+		if t.skipGen[wi] == t.skipCur {
+			continue
+		}
+		w := &walls[wi]
 		if _, _, ok := seg.IntersectInterior(w.Segment, blockEps); !ok {
 			continue
 		}
 		if w.Blocking {
 			return 0, true
 		}
-		lossDB += t.wallMats[i].PenetrationLossDB
+		hits = append(hits, wi)
+	}
+	t.legHit = hits[:0]
+	sortInt32(hits)
+	for _, wi := range hits {
+		lossDB += t.wallMats[wi].PenetrationLossDB
 	}
 	return lossDB, false
+}
+
+// sortInt32 is an insertion sort for the tiny crossed-wall lists legLoss
+// produces (almost always under a handful of entries).
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
 }
 
 // reflectionLoss returns the specular loss of a bounce at point p on the
@@ -114,22 +555,65 @@ func (t *Tracer) reflectionLoss(wi int, from, p geom.Vec2) float64 {
 	return t.wallMats[wi].ReflectionLossDB(incidence)
 }
 
-func (t *Tracer) finishPath(points []geom.Vec2, extraLossDB float64, order int) Path {
+// appendPath finishes the path staged in ptsScratch[:n] (length, FSPL,
+// atmospheric loss, departure/arrival angles — the same arithmetic as the
+// naive finishPath) and appends it to dst unless the loss cutoff drops
+// it. Point storage is recycled: a spare element beyond len(dst) donates
+// its slab, then the tracer's freelist, and only then a fresh allocation.
+func (t *Tracer) appendPath(dst []Path, n int, extraLossDB float64, order int) []Path {
+	pts := t.ptsScratch[:n]
 	length := 0.0
-	for i := 1; i < len(points); i++ {
-		length += points[i-1].Dist(points[i])
+	for i := 1; i < n; i++ {
+		length += pts[i-1].Dist(pts[i])
 	}
 	loss := FSPLdB(length, t.FreqHz) + AtmosphericLossDB(length, t.FreqHz) + extraLossDB
-	aod := points[1].Sub(points[0]).Angle()
-	n := len(points)
-	aoa := points[n-2].Sub(points[n-1]).Angle()
-	return Path{
-		Points: points,
+	if t.MaxLossDB > 0 && loss > t.MaxLossDB {
+		return dst
+	}
+	aod := pts[1].Sub(pts[0]).Angle()
+	aoa := pts[n-2].Sub(pts[n-1]).Angle()
+	stable := t.takePoints(dst)[:n]
+	copy(stable, pts)
+	return append(dst, Path{
+		Points: stable,
 		LossDB: loss,
 		AoD:    aod,
 		AoA:    aoa,
 		Length: length,
 		Order:  order,
+	})
+}
+
+// takePoints returns an empty capacity-maxTracePoints point slab:
+// preferentially the one parked on dst's next spare element (storage the
+// caller surrendered via TraceAppend(dst[:0], …)), then the freelist.
+func (t *Tracer) takePoints(dst []Path) []geom.Vec2 {
+	if n := len(dst); cap(dst) > n {
+		spare := dst[: n+1 : cap(dst)]
+		if p := spare[n].Points; cap(p) >= maxTracePoints {
+			spare[n].Points = nil
+			return p[:0]
+		}
+	}
+	if k := len(t.ptsFree); k > 0 {
+		p := t.ptsFree[k-1]
+		t.ptsFree[k-1] = nil
+		t.ptsFree = t.ptsFree[:k-1]
+		return p[:0]
+	}
+	return make([]geom.Vec2, 0, maxTracePoints)
+}
+
+// ReleasePaths surrenders the point storage of every path in ps to the
+// tracer's freelist and zeroes the entries. Callers dropping a cached
+// path list wholesale use it so the next trace reuses the slabs; the
+// entries must not be read afterwards.
+func (t *Tracer) ReleasePaths(ps []Path) {
+	for i := range ps {
+		if p := ps[i].Points; cap(p) >= maxTracePoints {
+			t.ptsFree = append(t.ptsFree, p[:0])
+		}
+		ps[i] = Path{}
 	}
 }
 
@@ -137,97 +621,309 @@ func (t *Tracer) finishPath(points []geom.Vec2, extraLossDB float64, order int) 
 // reflections, strongest first is NOT guaranteed; callers that need
 // ordering sort by LossDB.
 func (t *Tracer) Trace(tx, rx geom.Vec2) ([]Path, error) {
-	if err := t.syncMaterials(); err != nil {
-		return nil, err
-	}
-	var paths []Path
+	return t.TraceAppend(nil, tx, rx)
+}
 
-	keep := func(p Path) {
-		if t.MaxLossDB > 0 && p.LossDB > t.MaxLossDB {
-			return
-		}
-		paths = append(paths, p)
+// TraceAppend is Trace appending onto dst, reusing dst's spare capacity
+// — including the Points slabs of surrendered elements beyond len(dst)
+// — so a steady-state re-trace (the medium's channel cache after a wall
+// move) allocates nothing. The caller transfers ownership of dst's full
+// capacity: entries beyond len(dst) must not alias paths still in use.
+// On error dst is returned unchanged with a *GeometryError.
+func (t *Tracer) TraceAppend(dst []Path, tx, rx geom.Vec2) ([]Path, error) {
+	if t.Naive {
+		return t.traceNaive(dst, tx, rx)
+	}
+	if err := t.syncMaterials(); err != nil {
+		return dst, &GeometryError{Tx: tx, Rx: rx, Err: err}
+	}
+	t.syncGeometry()
+
+	walls := t.Room.Walls
+	for i := range walls {
+		s := &walls[i].Segment
+		d := s.B.Sub(s.A)
+		t.txCross[i] = d.Cross(tx.Sub(s.A))
+		t.rxCross[i] = d.Cross(rx.Sub(s.A))
 	}
 
 	// Line of sight.
-	if tx.Dist(rx) > 0 {
-		if loss, blocked := t.legLoss(tx, rx, nil); !blocked {
-			keep(t.finishPath([]geom.Vec2{tx, rx}, loss, 0))
+	if d := tx.Dist(rx); d > 0 &&
+		!(t.MaxLossDB > 0 && FSPLdB(d, t.FreqHz)+AtmosphericLossDB(d, t.FreqHz) > t.MaxLossDB) {
+		t.skipCur++
+		if loss, blocked := t.legLoss(tx, rx); !blocked {
+			t.ptsScratch[0], t.ptsScratch[1] = tx, rx
+			dst = t.appendPath(dst, 2, loss, 0)
 		}
 	}
-
 	if t.MaxOrder >= 1 {
-		t.traceFirstOrder(tx, rx, keep)
+		dst = t.traceFirstOrder(dst, tx, rx)
 	}
 	if t.MaxOrder >= 2 {
-		t.traceSecondOrder(tx, rx, keep)
+		dst = t.traceSecondOrder(dst, tx, rx)
 	}
-	return paths, nil
+	return dst, nil
 }
 
-func (t *Tracer) traceFirstOrder(tx, rx geom.Vec2, keep func(Path)) {
-	for i, w := range t.Room.Walls {
+func (t *Tracer) traceFirstOrder(dst []Path, tx, rx geom.Vec2) []Path {
+	walls := t.Room.Walls
+	for i := range walls {
 		// A specular bounce requires both endpoints on the same side of
-		// the mirror wall.
-		if !w.SameSide(tx, rx) {
+		// the mirror wall; txCross/rxCross are the SameSide cross
+		// products, precomputed once per query.
+		if !(t.txCross[i]*t.rxCross[i] > 0) {
 			continue
 		}
+		w := walls[i]
 		img := w.Mirror(tx)
 		_, u, ok := geom.Seg(img, rx).Intersect(w.Segment)
 		if !ok || u <= 0 || u >= 1 {
 			continue
 		}
 		p := w.Point(u)
-		skip := map[int]bool{i: true}
-		l1, b1 := t.legLoss(tx, p, skip)
-		l2, b2 := t.legLoss(p, rx, skip)
+		// Early loss cutoff — see traceSecondBlock; identical reasoning.
+		if t.MaxLossDB > 0 {
+			length := tx.Dist(p) + p.Dist(rx)
+			if FSPLdB(length, t.FreqHz)+AtmosphericLossDB(length, t.FreqHz) > t.MaxLossDB {
+				continue
+			}
+		}
+		t.skipCur++
+		t.skipGen[i] = t.skipCur
+		l1, b1 := t.legLoss(tx, p)
+		l2, b2 := t.legLoss(p, rx)
 		if b1 || b2 {
 			continue
 		}
 		rl := t.reflectionLoss(i, tx, p)
-		keep(t.finishPath([]geom.Vec2{tx, p, rx}, l1+l2+rl, 1))
+		t.ptsScratch[0], t.ptsScratch[1], t.ptsScratch[2] = tx, p, rx
+		dst = t.appendPath(dst, 3, l1+l2+rl, 1)
 	}
+	return dst
 }
 
-func (t *Tracer) traceSecondOrder(tx, rx geom.Vec2, keep func(Path)) {
+func (t *Tracer) traceSecondOrder(dst []Path, tx, rx geom.Vec2) []Path {
 	walls := t.Room.Walls
-	for i, w1 := range walls {
+	for i := range walls {
+		cpTx := t.txCross[i]
+		if cpTx == 0 {
+			// SameSide(tx, p2) is cp*cq > 0 with cp exactly zero: false
+			// for every bounce point, so the whole row is dead.
+			continue
+		}
+		sTx := int8(1)
+		if cpTx < 0 {
+			sTx = -1
+		}
+		w1 := walls[i]
 		img1 := w1.Mirror(tx)
-		for j, w2 := range walls {
-			if i == j {
+		// Cone precull data: a candidate second bounce point p2 must be
+		// reachable by a ray from img1 through w1's interior (the first
+		// Intersect bounds both parameters to (0,1)), so p2 lies in the
+		// forward cone from img1 spanned by w1's endpoints. eA/eB are the
+		// cone edges; sWedge orients them; the L1 norms scale the
+		// conservative margins.
+		eAx, eAy := w1.A.X-img1.X, w1.A.Y-img1.Y
+		eBx, eBy := w1.B.X-img1.X, w1.B.Y-img1.Y
+		sWedge := eAx*eBy - eAy*eBx
+		if sWedge < 0 {
+			// Swap the cone edges so the interior is always the
+			// positive-orientation side: one branch shape in the loop.
+			eAx, eAy, eBx, eBy = eBx, eBy, eAx, eAy
+			sWedge = -sWedge
+		}
+		nEA := math.Abs(eAx) + math.Abs(eAy)
+		nEB := math.Abs(eBx) + math.Abs(eBy)
+		d1x, d1y := w1.B.X-w1.A.X, w1.B.Y-w1.A.Y
+		nD1 := math.Abs(d1x) + math.Abs(d1y)
+		row := t.cand[i]
+		starts := t.rowStart[i]
+		nb := len(t.blocks)
+		for sb := range t.superBlocks {
+			b0 := sb * blocksPerSuper
+			b1 := b0 + blocksPerSuper
+			if b1 > nb {
+				b1 = nb
+			}
+			if starts[b0] == starts[b1] {
 				continue
 			}
-			img2 := w2.Mirror(img1)
-			// Work backwards: the last bounce is on w2.
-			_, u2, ok := geom.Seg(img2, rx).Intersect(w2.Segment)
-			if !ok || u2 <= 0 || u2 >= 1 {
+			// Two-level block culls: the boxes bound every member wall,
+			// the cone and same-side predicates are linear in the point,
+			// and the box extremes of a cross product are center ±
+			// (|e.x|·ry+|e.y|·rx) — so one cross product per predicate
+			// rules a whole index range confidently outside a cone edge
+			// or confidently opposite tx across line(w1). A culled
+			// superblock skips its blocks unexamined; margins keep every
+			// level conservative.
+			bb := &t.superBlocks[sb]
+			qCx, qCy := bb.cx-img1.X, bb.cy-img1.Y
+			nQC := math.Abs(qCx) + math.Abs(qCy) + bb.rx + bb.ry
+			if sWedge != 0 {
+				extA := math.Abs(eAx)*bb.ry + math.Abs(eAy)*bb.rx
+				if eAx*qCy-eAy*qCx+extA < -sideMargin*nEA*nQC {
+					continue
+				}
+				extB := math.Abs(eBx)*bb.ry + math.Abs(eBy)*bb.rx
+				if eBx*qCy-eBy*qCx-extB > sideMargin*nEB*nQC {
+					continue
+				}
+			}
+			sCx, sCy := bb.cx-w1.A.X, bb.cy-w1.A.Y
+			sC := d1x*sCy - d1y*sCx
+			extD := math.Abs(d1x)*bb.ry + math.Abs(d1y)*bb.rx
+			mD := sideMargin * nD1 * (math.Abs(sCx) + math.Abs(sCy) + bb.rx + bb.ry)
+			if sTx > 0 {
+				if sC+extD < -mD {
+					continue
+				}
+			} else if sC-extD > mD {
 				continue
 			}
-			p2 := w2.Point(u2)
-			_, u1, ok := geom.Seg(img1, p2).Intersect(w1.Segment)
-			if !ok || u1 <= 0 || u1 >= 1 {
-				continue
+			for b := b0; b < b1; b++ {
+				lo, hi := starts[b], starts[b+1]
+				if lo == hi {
+					continue
+				}
+				bb := &t.blocks[b]
+				qCx, qCy := bb.cx-img1.X, bb.cy-img1.Y
+				nQC := math.Abs(qCx) + math.Abs(qCy) + bb.rx + bb.ry
+				if sWedge != 0 {
+					extA := math.Abs(eAx)*bb.ry + math.Abs(eAy)*bb.rx
+					if eAx*qCy-eAy*qCx+extA < -sideMargin*nEA*nQC {
+						continue
+					}
+					extB := math.Abs(eBx)*bb.ry + math.Abs(eBy)*bb.rx
+					if eBx*qCy-eBy*qCx-extB > sideMargin*nEB*nQC {
+						continue
+					}
+				}
+				sCx, sCy := bb.cx-w1.A.X, bb.cy-w1.A.Y
+				sC := d1x*sCy - d1y*sCx
+				extD := math.Abs(d1x)*bb.ry + math.Abs(d1y)*bb.rx
+				mD := sideMargin * nD1 * (math.Abs(sCx) + math.Abs(sCy) + bb.rx + bb.ry)
+				if sTx > 0 {
+					if sC+extD < -mD {
+						continue
+					}
+				} else if sC-extD > mD {
+					continue
+				}
+				dst = t.traceSecondBlock(dst, row[lo:hi], tx, rx, i, sTx,
+					img1, eAx, eAy, eBx, eBy, sWedge, nEA, nEB)
 			}
-			p1 := w1.Point(u1)
-			// Physicality: the incoming and outgoing legs of each bounce
-			// must lie on the same side of the mirror wall (tx and p2
-			// straddle w1's plane only for a non-physical solution, and
-			// likewise p1/rx for w2).
-			if !w1.SameSide(tx, p2) || !w2.SameSide(p1, rx) {
-				continue
-			}
-			skip := map[int]bool{i: true, j: true}
-			l1, b1 := t.legLoss(tx, p1, skip)
-			l2, b2 := t.legLoss(p1, p2, skip)
-			l3, b3 := t.legLoss(p2, rx, skip)
-			if b1 || b2 || b3 {
-				continue
-			}
-			rl1 := t.reflectionLoss(i, tx, p1)
-			rl2 := t.reflectionLoss(j, p1, p2)
-			keep(t.finishPath([]geom.Vec2{tx, p1, p2, rx}, l1+l2+l3+rl1+rl2, 2))
 		}
 	}
+	return dst
+}
+
+// traceSecondBlock runs the per-pair culls and exact image-method
+// predicates over one block's candidate entries for first mirror i.
+func (t *Tracer) traceSecondBlock(dst []Path, row []pairCand, tx, rx geom.Vec2,
+	i int, sTx int8, img1 geom.Vec2, eAx, eAy, eBx, eBy, sWedge, nEA, nEB float64) []Path {
+	walls := t.Room.Walls
+	w1 := walls[i]
+	for _, c := range row {
+		// Same-side culls: if both endpoints of w_j lie confidently
+		// opposite tx across line(w_i), no interior bounce point can
+		// pass SameSide(tx, p2); mirrored for w_i against rx. The
+		// tx-side cull needs no per-entry load, so it runs first.
+		if c.jaSide == -sTx && c.jbSide == -sTx {
+			continue
+		}
+		j := c.j
+		cqRx := t.rxCross[j]
+		if cqRx == 0 {
+			continue
+		}
+		sRx := int8(1)
+		if cqRx < 0 {
+			sRx = -1
+		}
+		if c.iaSide == -sRx && c.ibSide == -sRx {
+			continue
+		}
+		w2 := walls[j]
+		// Mirror-image side precheck: the last-leg Intersect needs
+		// the crossing between img2 and rx, so img2 and rx sit on
+		// opposite sides of w2 — equivalently img1 and rx on the
+		// SAME side (img2 mirrors img1 across w2). cross(qA, qB)
+		// equals cross(d_j, img1 − w2.A) exactly, so its sign is
+		// img1's side; cull on a confident mismatch with rx's side.
+		qAx, qAy := w2.A.X-img1.X, w2.A.Y-img1.Y
+		qBx, qBy := w2.B.X-img1.X, w2.B.Y-img1.Y
+		nQA := math.Abs(qAx) + math.Abs(qAy)
+		nQB := math.Abs(qBx) + math.Abs(qBy)
+		cImg := qAx*qBy - qAy*qBx
+		mImg := sideMargin * nQA * nQB
+		if (cqRx > 0 && cImg < -mImg) || (cqRx < 0 && cImg > mImg) {
+			continue
+		}
+		// Cone precull: if w2 lies confidently outside either cone
+		// edge, no point of w2 is reachable through w1 from img1 and
+		// the pair cannot yield a path. Margins keep the cull
+		// conservative — grazing geometry falls through to the exact
+		// predicates below.
+		if sWedge != 0 {
+			caA := eAx*qAy - eAy*qAx
+			caB := eAx*qBy - eAy*qBx
+			mA := sideMargin * nEA * (nQA + nQB)
+			if caA < -mA && caB < -mA {
+				continue
+			}
+			cbA := eBx*qAy - eBy*qAx
+			cbB := eBx*qBy - eBy*qBx
+			mB := sideMargin * nEB * (nQA + nQB)
+			if cbA > mB && cbB > mB {
+				continue
+			}
+		}
+		img2 := w2.Mirror(img1)
+		// Work backwards: the last bounce is on w2.
+		_, u2, ok := geom.Seg(img2, rx).Intersect(w2.Segment)
+		if !ok || u2 <= 0 || u2 >= 1 {
+			continue
+		}
+		p2 := w2.Point(u2)
+		_, u1, ok := geom.Seg(img1, p2).Intersect(w1.Segment)
+		if !ok || u1 <= 0 || u1 >= 1 {
+			continue
+		}
+		p1 := w1.Point(u1)
+		// Physicality: the incoming and outgoing legs of each bounce
+		// must lie on the same side of the mirror wall. These are the
+		// exact naive checks — the culls above only skip pairs these
+		// would reject.
+		if !w1.SameSide(tx, p2) || !w2.SameSide(p1, rx) {
+			continue
+		}
+		// Early loss cutoff: FSPL + atmospheric of the bare path length is
+		// a lower bound on the final loss (penetration and reflection only
+		// add, and adding non-negative floats never decreases a sum), so a
+		// path already over budget here is dropped by appendPath in every
+		// case — skip its three leg walks. The length sum matches
+		// appendPath's term order exactly.
+		if t.MaxLossDB > 0 {
+			length := tx.Dist(p1) + p1.Dist(p2) + p2.Dist(rx)
+			if FSPLdB(length, t.FreqHz)+AtmosphericLossDB(length, t.FreqHz) > t.MaxLossDB {
+				continue
+			}
+		}
+		t.skipCur++
+		t.skipGen[i] = t.skipCur
+		t.skipGen[j] = t.skipCur
+		l1, b1 := t.legLoss(tx, p1)
+		l2, b2 := t.legLoss(p1, p2)
+		l3, b3 := t.legLoss(p2, rx)
+		if b1 || b2 || b3 {
+			continue
+		}
+		rl1 := t.reflectionLoss(int(i), tx, p1)
+		rl2 := t.reflectionLoss(int(j), p1, p2)
+		t.ptsScratch[0], t.ptsScratch[1], t.ptsScratch[2], t.ptsScratch[3] = tx, p1, p2, rx
+		dst = t.appendPath(dst, 4, l1+l2+l3+rl1+rl2, 2)
+	}
+	return dst
 }
 
 // PairAffected reports whether the channel between tx and rx can have
@@ -247,95 +943,153 @@ func (t *Tracer) traceSecondOrder(tx, rx geom.Vec2, keep func(Path)) {
 //     geometry itself changed), or
 //   - has a leg crossing a moved segment, old or new (penetration loss
 //     or blockage along the leg changed).
+//
+// The current-wall × current-wall enumeration runs through the same
+// candidate table as Trace; pairs involving the phantom old segments
+// (at most the move-log depth) are enumerated directly. The result is
+// identical to the naive enumeration.
 func (t *Tracer) PairAffected(tx, rx geom.Vec2, moves []geom.WallMove) bool {
 	if len(moves) == 0 {
 		return false
 	}
-	// Extended wall set: every wall at its current position, plus one
-	// phantom copy per move holding the old segment. Phantoms (and moved
-	// walls themselves) are tagged so that any candidate path bouncing
-	// off them marks the pair affected.
-	movedIdx := make(map[int]bool, len(moves))
-	segs := make([]geom.Segment, 0, 2*len(moves))
+	if t.Naive {
+		return t.pairAffectedNaive(tx, rx, moves)
+	}
+	t.syncGeometry()
+	walls := t.Room.Walls
+	t.paMovedCur++
+	t.paSegs = t.paSegs[:0]
+	t.paPhantoms = t.paPhantoms[:0]
 	for _, m := range moves {
-		movedIdx[m.Index] = true
-		segs = append(segs, m.Old, m.New)
-	}
-	type extWall struct {
-		seg   geom.Segment
-		moved bool
-	}
-	ext := make([]extWall, 0, len(t.Room.Walls)+len(moves))
-	for i, w := range t.Room.Walls {
-		ext = append(ext, extWall{seg: w.Segment, moved: movedIdx[i]})
-	}
-	for _, m := range moves {
-		ext = append(ext, extWall{seg: m.Old, moved: true})
-	}
-
-	legTouches := func(a, b geom.Vec2) bool {
-		leg := geom.Seg(a, b)
-		for _, s := range segs {
-			if _, _, ok := leg.IntersectInterior(s, blockEps); ok {
-				return true
-			}
+		if m.Index >= 0 && m.Index < len(walls) {
+			t.paMoved[m.Index] = t.paMovedCur
 		}
-		return false
+		t.paSegs = append(t.paSegs, m.Old, m.New)
+		t.paPhantoms = append(t.paPhantoms, m.Old)
 	}
 
 	// Line of sight.
-	if legTouches(tx, rx) {
+	if t.legTouches(tx, rx) {
 		return true
 	}
 	if t.MaxOrder < 1 {
 		return false
 	}
-	// First-order candidates.
-	for _, w := range ext {
-		if !w.seg.SameSide(tx, rx) {
-			continue
+	// First-order candidates: current walls, then the phantom old
+	// segments (which are moved by definition).
+	for i := range walls {
+		if t.firstOrderTouches(walls[i].Segment, t.paMoved[i] == t.paMovedCur, tx, rx) {
+			return true
 		}
-		img := w.seg.Mirror(tx)
-		_, u, ok := geom.Seg(img, rx).Intersect(w.seg)
-		if !ok || u <= 0 || u >= 1 {
-			continue
-		}
-		p := w.seg.Point(u)
-		if w.moved || legTouches(tx, p) || legTouches(p, rx) {
+	}
+	for _, s := range t.paPhantoms {
+		if t.firstOrderTouches(s, true, tx, rx) {
 			return true
 		}
 	}
 	if t.MaxOrder < 2 {
 		return false
 	}
-	// Second-order candidates.
-	for i, w1 := range ext {
-		img1 := w1.seg.Mirror(tx)
-		for j, w2 := range ext {
-			if i == j {
+	// Second-order candidates, current × current, through the candidate
+	// table with the same culls as Trace.
+	for i := range walls {
+		cpTx := t.txCrossOf(walls[i].Segment, tx)
+		if cpTx == 0 {
+			continue
+		}
+		sTx := int8(1)
+		if cpTx < 0 {
+			sTx = -1
+		}
+		w1 := walls[i].Segment
+		img1 := w1.Mirror(tx)
+		m1 := t.paMoved[i] == t.paMovedCur
+		for _, c := range t.cand[i] {
+			j := c.j
+			if c.jaSide == -sTx && c.jbSide == -sTx {
 				continue
 			}
-			img2 := w2.seg.Mirror(img1)
-			_, u2, ok := geom.Seg(img2, rx).Intersect(w2.seg)
-			if !ok || u2 <= 0 || u2 >= 1 {
+			w2 := walls[j].Segment
+			if t.secondOrderTouches(w1, w2, img1, m1 || t.paMoved[j] == t.paMovedCur, tx, rx) {
+				return true
+			}
+		}
+	}
+	// Pairs involving a phantom (first mirror, second mirror, or both).
+	for pi, p1 := range t.paPhantoms {
+		img1 := p1.Mirror(tx)
+		for i := range walls {
+			if t.secondOrderTouches(p1, walls[i].Segment, img1, true, tx, rx) {
+				return true
+			}
+		}
+		for pj, p2 := range t.paPhantoms {
+			if pi == pj {
 				continue
 			}
-			p2 := w2.seg.Point(u2)
-			_, u1, ok := geom.Seg(img1, p2).Intersect(w1.seg)
-			if !ok || u1 <= 0 || u1 >= 1 {
-				continue
+			if t.secondOrderTouches(p1, p2, img1, true, tx, rx) {
+				return true
 			}
-			p1 := w1.seg.Point(u1)
-			if !w1.seg.SameSide(tx, p2) || !w2.seg.SameSide(p1, rx) {
-				continue
-			}
-			if w1.moved || w2.moved ||
-				legTouches(tx, p1) || legTouches(p1, p2) || legTouches(p2, rx) {
+		}
+	}
+	for i := range walls {
+		w1 := walls[i].Segment
+		img1 := w1.Mirror(tx)
+		for _, p2 := range t.paPhantoms {
+			if t.secondOrderTouches(w1, p2, img1, true, tx, rx) {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// txCrossOf computes the SameSide cross product of p against the wall
+// line, with the exact expression SameSide uses.
+func (t *Tracer) txCrossOf(s geom.Segment, p geom.Vec2) float64 {
+	d := s.B.Sub(s.A)
+	return d.Cross(p.Sub(s.A))
+}
+
+func (t *Tracer) legTouches(a, b geom.Vec2) bool {
+	leg := geom.Seg(a, b)
+	for _, s := range t.paSegs {
+		if _, _, ok := leg.IntersectInterior(s, blockEps); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Tracer) firstOrderTouches(w geom.Segment, moved bool, tx, rx geom.Vec2) bool {
+	if !w.SameSide(tx, rx) {
+		return false
+	}
+	img := w.Mirror(tx)
+	_, u, ok := geom.Seg(img, rx).Intersect(w)
+	if !ok || u <= 0 || u >= 1 {
+		return false
+	}
+	p := w.Point(u)
+	return moved || t.legTouches(tx, p) || t.legTouches(p, rx)
+}
+
+func (t *Tracer) secondOrderTouches(w1, w2 geom.Segment, img1 geom.Vec2, moved bool, tx, rx geom.Vec2) bool {
+	img2 := w2.Mirror(img1)
+	_, u2, ok := geom.Seg(img2, rx).Intersect(w2)
+	if !ok || u2 <= 0 || u2 >= 1 {
+		return false
+	}
+	p2 := w2.Point(u2)
+	_, u1, ok := geom.Seg(img1, p2).Intersect(w1)
+	if !ok || u1 <= 0 || u1 >= 1 {
+		return false
+	}
+	p1 := w1.Point(u1)
+	if !w1.SameSide(tx, p2) || !w2.SameSide(p1, rx) {
+		return false
+	}
+	return moved || t.legTouches(tx, p1) || t.legTouches(p1, p2) || t.legTouches(p2, rx)
 }
 
 // GainFunc maps a global-frame angle (radians) to an antenna gain in dBi.

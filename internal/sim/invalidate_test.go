@@ -123,6 +123,43 @@ func TestSyncRoomSelectiveInvalidation(t *testing.T) {
 	}
 }
 
+// TestBlockageWalkSteadyStateAllocFree pins the cost of the paper's
+// blockage-walker pattern (experiment X1): once the caches and freelists
+// are warm, a wall move plus the selective invalidation plus the
+// re-trace of the affected pair must not allocate — path-list storage
+// cycles through Medium.pathsFree and rf.Tracer.TraceAppend.
+func TestBlockageWalkSteadyStateAllocFree(t *testing.T) {
+	room := geom.Open()
+	room.AddWall(geom.V(-3, 2), geom.V(8, 2), "metal")
+	room.AddObstacle(geom.V(1.5, -1), geom.V(1.5, -0.5), "human")
+	walker := len(room.Walls) - 1
+	m, r := testMedium(room, 2)
+	r[0].Pos, r[1].Pos = geom.V(0, 0), geom.V(3, 0)
+
+	// Warm both move positions, both orientations, and the freelists.
+	positions := []geom.Segment{
+		geom.Seg(geom.V(1.5, -0.2), geom.V(1.5, 0.3)),
+		geom.Seg(geom.V(1.5, -1), geom.V(1.5, -0.5)),
+	}
+	for i := 0; i < 4; i++ {
+		room.MoveWall(walker, positions[i%2])
+		m.channel(r[0], r[1])
+		m.channel(r[1], r[0])
+	}
+	step := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		room.MoveWall(walker, positions[step%2])
+		step++
+		if len(m.channel(r[0], r[1])) == 0 {
+			t.Fatal("channel lost its paths")
+		}
+		m.channel(r[1], r[0])
+	})
+	if allocs != 0 {
+		t.Fatalf("blockage-walk steady state allocates %v per step, want 0", allocs)
+	}
+}
+
 // InvalidateChannels still works as the blunt instrument and resyncs the
 // epoch so a pending room change is not double-processed.
 func TestInvalidateChannelsResyncsEpoch(t *testing.T) {

@@ -265,6 +265,14 @@ type Medium struct {
 	// sweep on this medium.
 	sweepDst   []float64
 	sweepRxLin []float64
+	// pathsFree recycles invalidated path-list storage (headers plus the
+	// per-path Points slabs parked on their spare elements). Re-traces
+	// after a wall move or radio move draw from it via
+	// rf.Tracer.TraceAppend, keeping the blockage-walker steady state
+	// allocation-free.
+	pathsFree [][]rf.Path
+	// moveScratch backs syncRoom's move-log reads.
+	moveScratch []geom.WallMove
 }
 
 // pairBundles holds both orientations of one pair's cached ray bundle.
@@ -356,7 +364,7 @@ func (m *Medium) channel(tx, rx *Radio) []rf.Path {
 	if tx.ID > rx.ID {
 		rev, ok := m.revPaths[key]
 		if !ok {
-			rev = reversePaths(ps)
+			rev = reversePathsInto(m.takePathList(), ps)
 			m.revPaths[key] = rev
 		}
 		return rev
@@ -374,13 +382,40 @@ func (m *Medium) canonicalPaths(key [2]int, tx, rx *Radio) []rf.Path {
 		if tx.ID > rx.ID {
 			from, to = rx, tx
 		}
-		ps, err = m.tracer.Trace(from.Pos, to.Pos)
+		ps, err = m.tracer.TraceAppend(m.takePathList(), from.Pos, to.Pos)
 		if err != nil {
-			panic(fmt.Sprintf("sim: trace %s→%s: %v", from.Name, to.Name, err))
+			// Panic with the error value itself (not a formatted string)
+			// so the campaign runner's failure classifier can unwrap the
+			// *rf.GeometryError and file the point as a structured
+			// geometry failure instead of a bare panic.
+			panic(fmt.Errorf("sim: trace %s→%s: %w", from.Name, to.Name, err))
 		}
 		m.paths[key] = ps
 	}
 	return ps
+}
+
+// takePathList pops a recycled path list (emptied, spare storage intact)
+// or returns nil for a fresh allocation by the tracer.
+func (m *Medium) takePathList() []rf.Path {
+	if k := len(m.pathsFree); k > 0 {
+		ps := m.pathsFree[k-1]
+		m.pathsFree[k-1] = nil
+		m.pathsFree = m.pathsFree[:k-1]
+		return ps
+	}
+	return nil
+}
+
+// recyclePaths surrenders an invalidated path list to the freelist. The
+// list is truncated to zero length with its entries — and their Points
+// slabs — left parked in the spare capacity, which is exactly the shape
+// rf.Tracer.TraceAppend scavenges for storage.
+func (m *Medium) recyclePaths(ps []rf.Path) {
+	if cap(ps) == 0 {
+		return
+	}
+	m.pathsFree = append(m.pathsFree, ps[:0])
 }
 
 // pairFor returns the pair's bundle entry, (re)building the canonical
@@ -417,20 +452,37 @@ func (m *Medium) oriented(pb *pairBundles, tx, rx *Radio) (*rf.RayBundle, *pairM
 	return &pb.fwd, &pb.fwdMemo
 }
 
-// reversePaths mirrors a channel: departure and arrival angles swap and
-// the reflection points walk back to front.
-func reversePaths(ps []rf.Path) []rf.Path {
-	rev := make([]rf.Path, len(ps))
-	for i, p := range ps {
-		rev[i] = p
-		rev[i].AoD, rev[i].AoA = p.AoA, p.AoD
-		pts := make([]geom.Vec2, len(p.Points))
+// maxPathPoints mirrors the tracer's path-point bound (tx, two bounces,
+// rx); reversed lists allocate point slabs at this capacity so recycled
+// storage is interchangeable between orientations and pairs.
+const maxPathPoints = 4
+
+// reversePathsInto mirrors a channel onto dst, reusing its spare
+// capacity: departure and arrival angles swap and the reflection points
+// walk back to front.
+func reversePathsInto(dst []rf.Path, ps []rf.Path) []rf.Path {
+	for _, p := range ps {
+		var pts []geom.Vec2
+		if n := len(dst); cap(dst) > n {
+			spare := dst[: n+1 : cap(dst)]
+			if sp := spare[n].Points; cap(sp) >= maxPathPoints {
+				spare[n].Points = nil
+				pts = sp[:0]
+			}
+		}
+		if pts == nil {
+			pts = make([]geom.Vec2, 0, maxPathPoints)
+		}
+		pts = pts[:len(p.Points)]
 		for j, pt := range p.Points {
 			pts[len(pts)-1-j] = pt
 		}
-		rev[i].Points = pts
+		r := p
+		r.AoD, r.AoA = p.AoA, p.AoD
+		r.Points = pts
+		dst = append(dst, r)
 	}
-	return rev
+	return dst
 }
 
 // syncRoom reconciles the path cache with the room's mutation epoch.
@@ -443,15 +495,16 @@ func (m *Medium) syncRoom() {
 	if epoch == m.roomEpoch {
 		return
 	}
-	moves, complete := room.MovesSince(m.roomEpoch)
+	moves, complete := room.AppendMovesSince(m.moveScratch[:0], m.roomEpoch)
+	m.moveScratch = moves[:0]
 	if !complete {
-		m.paths = make(map[[2]int][]rf.Path)
-		m.revPaths = make(map[[2]int][]rf.Path)
-		m.bundles = make(map[[2]int]*pairBundles)
+		m.dropAllChannels()
 	} else {
-		for key := range m.paths {
+		for key, ps := range m.paths {
 			a, b := m.radios[key[0]], m.radios[key[1]]
 			if m.tracer.PairAffected(a.Pos, b.Pos, moves) {
+				m.recyclePaths(ps)
+				m.recyclePaths(m.revPaths[key])
 				delete(m.paths, key)
 				delete(m.revPaths, key)
 				delete(m.bundles, key)
@@ -465,10 +518,22 @@ func (m *Medium) syncRoom() {
 // routes: InvalidateRadio after moving a radio, and geom.Room.MoveWall
 // (picked up automatically) after moving an obstacle.
 func (m *Medium) InvalidateChannels() {
-	m.paths = make(map[[2]int][]rf.Path)
-	m.revPaths = make(map[[2]int][]rf.Path)
-	m.bundles = make(map[[2]int]*pairBundles)
+	m.dropAllChannels()
 	m.roomEpoch = m.tracer.Room.Epoch()
+}
+
+// dropAllChannels recycles every cached path list and empties the three
+// channel caches in lockstep.
+func (m *Medium) dropAllChannels() {
+	for _, ps := range m.paths {
+		m.recyclePaths(ps)
+	}
+	for _, ps := range m.revPaths {
+		m.recyclePaths(ps)
+	}
+	clear(m.paths)
+	clear(m.revPaths)
+	clear(m.bundles)
 }
 
 // InvalidateRadio drops only the cached pairs touching the given radio —
@@ -478,8 +543,10 @@ func (m *Medium) InvalidateChannels() {
 // class of bug this call exists to prevent.
 func (m *Medium) InvalidateRadio(id int) {
 	m.checkRadioID("InvalidateRadio", id)
-	for key := range m.paths {
+	for key, ps := range m.paths {
 		if key[0] == id || key[1] == id {
+			m.recyclePaths(ps)
+			m.recyclePaths(m.revPaths[key])
 			delete(m.paths, key)
 			delete(m.revPaths, key)
 			delete(m.bundles, key)

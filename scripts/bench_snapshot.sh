@@ -26,7 +26,15 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 echo "running benchmarks (-benchtime $benchtime)..." >&2
-go test -run '^$' -bench '^Benchmark' -benchmem -benchtime "$benchtime" . | tee "$raw" >&2
+go test -run '^$' -bench '^Benchmark(Table1|Fig|Aggregation|Ablation|Blockage|Dense|Campaign)' \
+    -benchmem -benchtime "$benchtime" . | tee "$raw" >&2
+
+# The ManyWalls tracer-scaling family (indexed vs brute-force across
+# floor sizes) is millisecond scale and carries ns_rel_tol gates, so it
+# always runs at a fixed iteration count for a stable ns/op regardless
+# of the campaign benchtime.
+echo "running tracer scaling benchmarks (-benchtime 20x)..." >&2
+go test -run '^$' -bench '^BenchmarkManyWalls' -benchmem -benchtime 20x . | tee -a "$raw" >&2
 
 # The hot-path and batch-kernel microbenchmarks are nanosecond-to-
 # microsecond scale, so they get a fixed iteration count instead of the
